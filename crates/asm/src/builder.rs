@@ -1,0 +1,1167 @@
+//! The [`Asm`] program builder.
+
+use crate::program::{Program, Symbol, DEFAULT_DATA_BASE, DEFAULT_TEXT_BASE, HALT_ADDR};
+use std::collections::HashMap;
+use xt_isa::encode::{encode, encode_compressed, EncodeError};
+use xt_isa::reg::{Fpr, Gpr, Vr};
+use xt_isa::vector::{vtypei, Sew};
+use xt_isa::{Inst, Op};
+
+/// A label: a position in the text section, possibly not yet bound.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Label(usize);
+
+/// Error raised while building a program.
+#[derive(Debug)]
+pub enum AsmError {
+    /// An instruction's operands did not fit its encoding.
+    Encode(EncodeError),
+    /// A label was bound twice.
+    Rebound(Label),
+    /// `finish` found a label that was referenced but never bound.
+    Unbound(Label),
+    /// A branch target ended up out of encodable range.
+    OutOfRange {
+        /// Instruction offset of the branch.
+        at: usize,
+        /// Byte distance that did not fit.
+        distance: i64,
+    },
+    /// A symbol name was defined twice in the data section.
+    DuplicateSymbol(String),
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AsmError::Encode(e) => write!(f, "encode error: {e}"),
+            AsmError::Rebound(l) => write!(f, "label {l:?} bound twice"),
+            AsmError::Unbound(l) => write!(f, "label {l:?} referenced but never bound"),
+            AsmError::OutOfRange { at, distance } => {
+                write!(f, "branch at text+{at:#x} target out of range ({distance})")
+            }
+            AsmError::DuplicateSymbol(s) => write!(f, "duplicate data symbol {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+impl From<EncodeError> for AsmError {
+    fn from(e: EncodeError) -> Self {
+        AsmError::Encode(e)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fixup {
+    at: usize,
+    label: Label,
+}
+
+/// Incremental program builder. See the [crate-level docs](crate) for an
+/// example.
+#[derive(Debug)]
+pub struct Asm {
+    text: Vec<u8>,
+    data: Vec<u8>,
+    text_base: u64,
+    data_base: u64,
+    labels: Vec<Option<usize>>,
+    fixups: Vec<Fixup>,
+    symbols: HashMap<String, Symbol>,
+    compress: bool,
+}
+
+impl Default for Asm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Asm {
+    /// Creates a builder with the default section bases.
+    pub fn new() -> Self {
+        Asm {
+            text: Vec::new(),
+            data: Vec::new(),
+            text_base: DEFAULT_TEXT_BASE,
+            data_base: DEFAULT_DATA_BASE,
+            labels: Vec::new(),
+            fixups: Vec::new(),
+            symbols: HashMap::new(),
+            compress: false,
+        }
+    }
+
+    /// Enables opportunistic RVC compression of eligible instructions.
+    pub fn with_compression(mut self) -> Self {
+        self.compress = true;
+        self
+    }
+
+    /// Overrides the data-section base address.
+    pub fn with_data_base(mut self, base: u64) -> Self {
+        self.data_base = base;
+        self
+    }
+
+    /// Current text offset in bytes.
+    pub fn offset(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Current absolute PC.
+    pub fn pc(&self) -> u64 {
+        self.text_base + self.text.len() as u64
+    }
+
+    // ---- labels ----
+
+    /// Allocates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::Rebound`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::Rebound(label));
+        }
+        *slot = Some(self.text.len());
+        Ok(())
+    }
+
+    /// Allocates a label bound to the current position.
+    pub fn here(&mut self) -> Label {
+        self.labels.push(Some(self.text.len()));
+        Label(self.labels.len() - 1)
+    }
+
+    // ---- raw emission ----
+
+    /// Emits a raw instruction; applies compression when enabled.
+    pub fn push(&mut self, inst: Inst) -> &mut Self {
+        if self.compress {
+            if let Some(h) = encode_compressed(&inst) {
+                self.text.extend_from_slice(&h.to_le_bytes());
+                return self;
+            }
+        }
+        let w = encode(&inst).unwrap_or_else(|e| panic!("asm emit: {e}"));
+        self.text.extend_from_slice(&w.to_le_bytes());
+        self
+    }
+
+    fn push_fixed(&mut self, inst: Inst, label: Label) -> &mut Self {
+        let at = self.text.len();
+        // Emit with a zero immediate; finish() patches it. Never compressed
+        // so the layout stays stable.
+        let w = encode(&inst).unwrap_or_else(|e| panic!("asm emit: {e}"));
+        self.text.extend_from_slice(&w.to_le_bytes());
+        self.fixups.push(Fixup { at, label });
+        self
+    }
+
+    // ---- integer register-register ----
+
+    fn rrr(&mut self, op: Op, rd: Gpr, rs1: Gpr, rs2: Gpr) -> &mut Self {
+        self.push(Inst::new(op).rd(rd.index()).rs1(rs1.index()).rs2(rs2.index()))
+    }
+
+    fn rri(&mut self, op: Op, rd: Gpr, rs1: Gpr, imm: i64) -> &mut Self {
+        self.push(Inst::new(op).rd(rd.index()).rs1(rs1.index()).imm(imm))
+    }
+}
+
+macro_rules! rrr_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) -> &mut Self {
+                    self.rrr(Op::$op, rd, rs1, rs2)
+                }
+            )+
+        }
+    };
+}
+
+macro_rules! rri_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Gpr, rs1: Gpr, imm: i64) -> &mut Self {
+                    self.rri(Op::$op, rd, rs1, imm)
+                }
+            )+
+        }
+    };
+}
+
+rrr_helpers! {
+    /// `add rd, rs1, rs2`
+    add => Add,
+    /// `sub rd, rs1, rs2`
+    sub => Sub,
+    /// `addw rd, rs1, rs2`
+    addw => Addw,
+    /// `subw rd, rs1, rs2`
+    subw => Subw,
+    /// `and rd, rs1, rs2`
+    and_ => And,
+    /// `or rd, rs1, rs2`
+    or_ => Or,
+    /// `xor rd, rs1, rs2`
+    xor_ => Xor,
+    /// `sll rd, rs1, rs2`
+    sll => Sll,
+    /// `srl rd, rs1, rs2`
+    srl => Srl,
+    /// `sra rd, rs1, rs2`
+    sra => Sra,
+    /// `sllw rd, rs1, rs2`
+    sllw => Sllw,
+    /// `slt rd, rs1, rs2`
+    slt => Slt,
+    /// `sltu rd, rs1, rs2`
+    sltu => Sltu,
+    /// `mul rd, rs1, rs2`
+    mul => Mul,
+    /// `mulh rd, rs1, rs2`
+    mulh => Mulh,
+    /// `mulhu rd, rs1, rs2`
+    mulhu => Mulhu,
+    /// `mulw rd, rs1, rs2`
+    mulw => Mulw,
+    /// `div rd, rs1, rs2`
+    div => Div,
+    /// `divu rd, rs1, rs2`
+    divu => Divu,
+    /// `rem rd, rs1, rs2`
+    rem => Rem,
+    /// `remu rd, rs1, rs2`
+    remu => Remu,
+    /// `divw rd, rs1, rs2`
+    divw => Divw,
+    /// `remw rd, rs1, rs2`
+    remw => Remw,
+    /// `x.adduw rd, rs1, rs2` — add with zero-extended 32-bit rs2 (custom).
+    xadduw => XAdduw,
+}
+
+rri_helpers! {
+    /// `addi rd, rs1, imm`
+    addi => Addi,
+    /// `addiw rd, rs1, imm`
+    addiw => Addiw,
+    /// `andi rd, rs1, imm`
+    andi => Andi,
+    /// `ori rd, rs1, imm`
+    ori => Ori,
+    /// `xori rd, rs1, imm`
+    xori => Xori,
+    /// `slti rd, rs1, imm`
+    slti => Slti,
+    /// `sltiu rd, rs1, imm`
+    sltiu => Sltiu,
+    /// `slli rd, rs1, shamt`
+    slli => Slli,
+    /// `srli rd, rs1, shamt`
+    srli => Srli,
+    /// `srai rd, rs1, shamt`
+    srai => Srai,
+    /// `slliw rd, rs1, shamt`
+    slliw => Slliw,
+    /// `srliw rd, rs1, shamt`
+    srliw => Srliw,
+    /// `sraiw rd, rs1, shamt`
+    sraiw => Sraiw,
+    /// `x.srri rd, rs1, shamt` — rotate right (custom).
+    xsrri => XSrri,
+    /// `x.tst rd, rs1, bit` — test bit (custom).
+    xtst => XTst,
+}
+
+macro_rules! load_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, rd: Gpr, base: Gpr, off: i64) -> &mut Self {
+                    self.push(Inst::new(Op::$op).rd(rd.index()).rs1(base.index()).imm(off))
+                }
+            )+
+        }
+    };
+}
+
+macro_rules! store_helpers {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        impl Asm {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, src: Gpr, base: Gpr, off: i64) -> &mut Self {
+                    self.push(Inst::new(Op::$op).rs1(base.index()).rs2(src.index()).imm(off))
+                }
+            )+
+        }
+    };
+}
+
+load_helpers! {
+    /// `lb rd, off(base)`
+    lb => Lb,
+    /// `lbu rd, off(base)`
+    lbu => Lbu,
+    /// `lh rd, off(base)`
+    lh => Lh,
+    /// `lhu rd, off(base)`
+    lhu => Lhu,
+    /// `lw rd, off(base)`
+    lw => Lw,
+    /// `lwu rd, off(base)`
+    lwu => Lwu,
+    /// `ld rd, off(base)`
+    ld => Ld,
+}
+
+store_helpers! {
+    /// `sb src, off(base)`
+    sb => Sb,
+    /// `sh src, off(base)`
+    sh => Sh,
+    /// `sw src, off(base)`
+    sw => Sw,
+    /// `sd src, off(base)`
+    sd => Sd,
+}
+
+impl Asm {
+    // ---- FP ----
+
+    /// `fld fd, off(base)`
+    pub fn fld(&mut self, fd: Fpr, base: Gpr, off: i64) -> &mut Self {
+        self.push(Inst::new(Op::Fld).rd(fd.index()).rs1(base.index()).imm(off))
+    }
+
+    /// `flw fd, off(base)`
+    pub fn flw(&mut self, fd: Fpr, base: Gpr, off: i64) -> &mut Self {
+        self.push(Inst::new(Op::Flw).rd(fd.index()).rs1(base.index()).imm(off))
+    }
+
+    /// `fsd fs, off(base)`
+    pub fn fsd(&mut self, fs: Fpr, base: Gpr, off: i64) -> &mut Self {
+        self.push(Inst::new(Op::Fsd).rs1(base.index()).rs2(fs.index()).imm(off))
+    }
+
+    /// `fsw fs, off(base)`
+    pub fn fsw(&mut self, fs: Fpr, base: Gpr, off: i64) -> &mut Self {
+        self.push(Inst::new(Op::Fsw).rs1(base.index()).rs2(fs.index()).imm(off))
+    }
+
+    fn frrr(&mut self, op: Op, rd: Fpr, rs1: Fpr, rs2: Fpr) -> &mut Self {
+        self.push(Inst::new(op).rd(rd.index()).rs1(rs1.index()).rs2(rs2.index()))
+    }
+
+    /// `fadd.d fd, fs1, fs2`
+    pub fn fadd_d(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FaddD, fd, a, b)
+    }
+
+    /// `fsub.d fd, fs1, fs2`
+    pub fn fsub_d(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FsubD, fd, a, b)
+    }
+
+    /// `fmul.d fd, fs1, fs2`
+    pub fn fmul_d(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FmulD, fd, a, b)
+    }
+
+    /// `fdiv.d fd, fs1, fs2`
+    pub fn fdiv_d(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FdivD, fd, a, b)
+    }
+
+    /// `fmadd.d fd, a, b, c` — `fd = a*b + c`
+    pub fn fmadd_d(&mut self, fd: Fpr, a: Fpr, b: Fpr, c: Fpr) -> &mut Self {
+        self.push(
+            Inst::new(Op::FmaddD)
+                .rd(fd.index())
+                .rs1(a.index())
+                .rs2(b.index())
+                .rs3(c.index()),
+        )
+    }
+
+    /// `fsqrt.d fd, fs`
+    pub fn fsqrt_d(&mut self, fd: Fpr, a: Fpr) -> &mut Self {
+        self.push(Inst::new(Op::FsqrtD).rd(fd.index()).rs1(a.index()))
+    }
+
+    /// `fadd.s fd, fs1, fs2`
+    pub fn fadd_s(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FaddS, fd, a, b)
+    }
+
+    /// `fmul.s fd, fs1, fs2`
+    pub fn fmul_s(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FmulS, fd, a, b)
+    }
+
+    /// `fmadd.s fd, a, b, c`
+    pub fn fmadd_s(&mut self, fd: Fpr, a: Fpr, b: Fpr, c: Fpr) -> &mut Self {
+        self.push(
+            Inst::new(Op::FmaddS)
+                .rd(fd.index())
+                .rs1(a.index())
+                .rs2(b.index())
+                .rs3(c.index()),
+        )
+    }
+
+    /// `flt.d rd, fs1, fs2`
+    pub fn flt_d(&mut self, rd: Gpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.push(Inst::new(Op::FltD).rd(rd.index()).rs1(a.index()).rs2(b.index()))
+    }
+
+    /// `fle.d rd, fs1, fs2`
+    pub fn fle_d(&mut self, rd: Gpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.push(Inst::new(Op::FleD).rd(rd.index()).rs1(a.index()).rs2(b.index()))
+    }
+
+    /// `fmv.d fd, fs` (via sign-injection)
+    pub fn fmv_d(&mut self, fd: Fpr, fs: Fpr) -> &mut Self {
+        self.frrr(Op::FsgnjD, fd, fs, fs)
+    }
+
+    /// `fcvt.d.l fd, rs` — signed 64-bit int to double.
+    pub fn fcvt_d_l(&mut self, fd: Fpr, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::FcvtDL).rd(fd.index()).rs1(rs.index()))
+    }
+
+    /// `fcvt.l.d rd, fs` — double to signed 64-bit int (toward zero).
+    pub fn fcvt_l_d(&mut self, rd: Gpr, fs: Fpr) -> &mut Self {
+        self.push(Inst::new(Op::FcvtLD).rd(rd.index()).rs1(fs.index()))
+    }
+
+    /// `fmv.d.x fd, rs` — move raw bits.
+    pub fn fmv_d_x(&mut self, fd: Fpr, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::FmvDX).rd(fd.index()).rs1(rs.index()))
+    }
+
+    /// `fmv.x.d rd, fs` — move raw bits.
+    pub fn fmv_x_d(&mut self, rd: Gpr, fs: Fpr) -> &mut Self {
+        self.push(Inst::new(Op::FmvXD).rd(rd.index()).rs1(fs.index()))
+    }
+
+    // ---- control flow ----
+
+    fn branch(&mut self, op: Op, rs1: Gpr, rs2: Gpr, target: Label) -> &mut Self {
+        self.push_fixed(Inst::new(op).rs1(rs1.index()).rs2(rs2.index()), target)
+    }
+
+    /// `beq rs1, rs2, target`
+    pub fn beq(&mut self, rs1: Gpr, rs2: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Beq, rs1, rs2, target)
+    }
+
+    /// `bne rs1, rs2, target`
+    pub fn bne(&mut self, rs1: Gpr, rs2: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Bne, rs1, rs2, target)
+    }
+
+    /// `blt rs1, rs2, target`
+    pub fn blt(&mut self, rs1: Gpr, rs2: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Blt, rs1, rs2, target)
+    }
+
+    /// `bge rs1, rs2, target`
+    pub fn bge(&mut self, rs1: Gpr, rs2: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Bge, rs1, rs2, target)
+    }
+
+    /// `bltu rs1, rs2, target`
+    pub fn bltu(&mut self, rs1: Gpr, rs2: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Bltu, rs1, rs2, target)
+    }
+
+    /// `bgeu rs1, rs2, target`
+    pub fn bgeu(&mut self, rs1: Gpr, rs2: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Bgeu, rs1, rs2, target)
+    }
+
+    /// `beqz rs, target`
+    pub fn beqz(&mut self, rs: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Beq, rs, Gpr::ZERO, target)
+    }
+
+    /// `bnez rs, target`
+    pub fn bnez(&mut self, rs: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Bne, rs, Gpr::ZERO, target)
+    }
+
+    /// `bltz rs, target`
+    pub fn bltz(&mut self, rs: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Blt, rs, Gpr::ZERO, target)
+    }
+
+    /// `bgez rs, target`
+    pub fn bgez(&mut self, rs: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Bge, rs, Gpr::ZERO, target)
+    }
+
+    /// `bgtz rs, target`
+    pub fn bgtz(&mut self, rs: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Blt, Gpr::ZERO, rs, target)
+    }
+
+    /// `blez rs, target`
+    pub fn blez(&mut self, rs: Gpr, target: Label) -> &mut Self {
+        self.branch(Op::Bge, Gpr::ZERO, rs, target)
+    }
+
+    /// Unconditional `j target`.
+    pub fn jump(&mut self, target: Label) -> &mut Self {
+        self.push_fixed(Inst::new(Op::Jal).rd(0), target)
+    }
+
+    /// `jal rd, target`
+    pub fn jal(&mut self, rd: Gpr, target: Label) -> &mut Self {
+        self.push_fixed(Inst::new(Op::Jal).rd(rd.index()), target)
+    }
+
+    /// `call target` — `jal ra, target`.
+    pub fn call(&mut self, target: Label) -> &mut Self {
+        self.jal(Gpr::RA, target)
+    }
+
+    /// `jalr rd, off(rs)`
+    pub fn jalr(&mut self, rd: Gpr, rs: Gpr, off: i64) -> &mut Self {
+        self.push(Inst::new(Op::Jalr).rd(rd.index()).rs1(rs.index()).imm(off))
+    }
+
+    /// `ret` — `jalr zero, 0(ra)`.
+    pub fn ret(&mut self) -> &mut Self {
+        self.jalr(Gpr::ZERO, Gpr::RA, 0)
+    }
+
+    // ---- pseudo-instructions ----
+
+    /// `nop`
+    pub fn nop(&mut self) -> &mut Self {
+        self.addi(Gpr::ZERO, Gpr::ZERO, 0)
+    }
+
+    /// `mv rd, rs`
+    pub fn mv(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.addi(rd, rs, 0)
+    }
+
+    /// `not rd, rs`
+    pub fn not_(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.xori(rd, rs, -1)
+    }
+
+    /// `neg rd, rs`
+    pub fn neg(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.sub(rd, Gpr::ZERO, rs)
+    }
+
+    /// `seqz rd, rs`
+    pub fn seqz(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.sltiu(rd, rs, 1)
+    }
+
+    /// `snez rd, rs`
+    pub fn snez(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.sltu(rd, Gpr::ZERO, rs)
+    }
+
+    /// Zero-extends the low 32 bits: `slli`+`srli` (base ISA), cf. `x.zextw`.
+    pub fn zext_w(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.slli(rd, rs, 32);
+        self.srli(rd, rd, 32)
+    }
+
+    /// Sign-extends the low 32 bits via `addiw rd, rs, 0`.
+    pub fn sext_w(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.addiw(rd, rs, 0)
+    }
+
+    /// Loads an arbitrary 64-bit constant using the standard
+    /// `lui`/`addiw`/`slli`/`addi` materialization sequence.
+    pub fn li(&mut self, rd: Gpr, value: i64) -> &mut Self {
+        if (-2048..=2047).contains(&value) {
+            return self.addi(rd, Gpr::ZERO, value);
+        }
+        if value >= i32::MIN as i64 && value <= i32::MAX as i64 {
+            let low = ((value << 52) >> 52) as i32 as i64; // sext12
+            let high = value.wrapping_sub(low) & 0xffff_f000;
+            // `high` as a sign-extended 32-bit lui value.
+            let high = (high as i32) as i64;
+            self.push(Inst::new(Op::Lui).rd(rd.index()).imm(high));
+            if low != 0 {
+                self.addiw(rd, rd, low);
+            }
+            return self;
+        }
+        // 64-bit: materialize the upper part, shift, add the low 12.
+        let low = (value << 52) >> 52;
+        let high = value.wrapping_sub(low) >> 12;
+        self.li(rd, high);
+        self.slli(rd, rd, 12);
+        if low != 0 {
+            self.addi(rd, rd, low);
+        }
+        self
+    }
+
+    /// Loads an absolute address (e.g., a data symbol) into `rd`.
+    pub fn la(&mut self, rd: Gpr, addr: u64) -> &mut Self {
+        self.li(rd, addr as i64)
+    }
+
+    /// Terminates simulation: stores `a0` (the exit code) to the magic
+    /// [`HALT_ADDR`], then self-loops as a safety net. Clobbers `t6`.
+    pub fn halt(&mut self) -> &mut Self {
+        self.li(Gpr::T6, HALT_ADDR as i64);
+        self.sd(Gpr::A0, Gpr::T6, 0);
+        let here = self.here();
+        self.jump(here)
+    }
+
+    // ---- CSR ----
+
+    /// `csrr rd, csr`
+    pub fn csrr(&mut self, rd: Gpr, csr: u16) -> &mut Self {
+        self.push(Inst::new(Op::Csrrs).rd(rd.index()).rs1(0).imm(csr as i64))
+    }
+
+    /// `csrw csr, rs`
+    pub fn csrw(&mut self, csr: u16, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::Csrrw).rd(0).rs1(rs.index()).imm(csr as i64))
+    }
+
+    /// `ecall`
+    pub fn ecall(&mut self) -> &mut Self {
+        self.push(Inst::new(Op::Ecall))
+    }
+
+    /// `fence`
+    pub fn fence(&mut self) -> &mut Self {
+        self.push(Inst::new(Op::Fence))
+    }
+
+    /// `sfence.vma rs1, rs2`
+    pub fn sfence_vma(&mut self, rs1: Gpr, rs2: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::SfenceVma).rs1(rs1.index()).rs2(rs2.index()))
+    }
+
+    // ---- atomics ----
+
+    /// `amoadd.d rd, rs2, (rs1)`
+    pub fn amoadd_d(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
+        self.rrr(Op::AmoAddD, rd, addr, src)
+    }
+
+    /// `amoswap.w rd, rs2, (rs1)`
+    pub fn amoswap_w(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
+        self.rrr(Op::AmoSwapW, rd, addr, src)
+    }
+
+    /// `lr.d rd, (rs1)`
+    pub fn lr_d(&mut self, rd: Gpr, addr: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::LrD).rd(rd.index()).rs1(addr.index()))
+    }
+
+    /// `sc.d rd, rs2, (rs1)`
+    pub fn sc_d(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
+        self.rrr(Op::ScD, rd, addr, src)
+    }
+
+    // ---- vector (RVV 0.7.1 subset) ----
+
+    /// `vsetvli rd, rs1, e<SEW>,m<LMUL>`
+    pub fn vsetvli(&mut self, rd: Gpr, avl: Gpr, sew: Sew, lmul: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::Vsetvli)
+                .rd(rd.index())
+                .rs1(avl.index())
+                .imm(vtypei(sew, lmul)),
+        )
+    }
+
+    /// `vle.v vd, (rs1)`
+    pub fn vle(&mut self, vd: Vr, base: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::Vle).rd(vd.index()).rs1(base.index()))
+    }
+
+    /// `vse.v vs3, (rs1)`
+    pub fn vse(&mut self, vs: Vr, base: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::Vse).rs1(base.index()).rs3(vs.index()))
+    }
+
+    /// `vlse.v vd, (rs1), rs2` — strided load.
+    pub fn vlse(&mut self, vd: Vr, base: Gpr, stride: Gpr) -> &mut Self {
+        self.push(
+            Inst::new(Op::Vlse)
+                .rd(vd.index())
+                .rs1(base.index())
+                .rs2(stride.index()),
+        )
+    }
+
+    fn vvv(&mut self, op: Op, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.push(Inst::new(op).rd(vd.index()).rs1(vs2.index()).rs2(vs1.index()))
+    }
+
+    /// `vadd.vv vd, vs2, vs1`
+    pub fn vadd_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VaddVV, vd, vs2, vs1)
+    }
+
+    /// `vmul.vv vd, vs2, vs1`
+    pub fn vmul_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VmulVV, vd, vs2, vs1)
+    }
+
+    /// `vmacc.vv vd, vs1, vs2` — `vd += vs1 * vs2`.
+    pub fn vmacc_vv(&mut self, vd: Vr, vs1: Vr, vs2: Vr) -> &mut Self {
+        self.push(
+            Inst::new(Op::VmaccVV)
+                .rd(vd.index())
+                .rs1(vs2.index())
+                .rs2(vs1.index())
+                .rs3(vd.index()),
+        )
+    }
+
+    /// `vwmacc.vv vd, vs1, vs2` — widening MAC (`2*SEW` accumulator).
+    pub fn vwmacc_vv(&mut self, vd: Vr, vs1: Vr, vs2: Vr) -> &mut Self {
+        self.push(
+            Inst::new(Op::VwmaccVV)
+                .rd(vd.index())
+                .rs1(vs2.index())
+                .rs2(vs1.index())
+                .rs3(vd.index()),
+        )
+    }
+
+    /// `vredsum.vs vd, vs2, vs1`
+    pub fn vredsum_vs(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VredsumVS, vd, vs2, vs1)
+    }
+
+    /// `vmv.v.i vd, imm`
+    pub fn vmv_v_i(&mut self, vd: Vr, imm: i64) -> &mut Self {
+        self.push(Inst::new(Op::VmvVI).rd(vd.index()).imm(imm))
+    }
+
+    /// `vmv.x.s rd, vs2` — extract element 0.
+    pub fn vmv_x_s(&mut self, rd: Gpr, vs: Vr) -> &mut Self {
+        self.push(Inst::new(Op::VmvXS).rd(rd.index()).rs1(vs.index()))
+    }
+
+    /// `vfmacc.vv vd, vs1, vs2`
+    pub fn vfmacc_vv(&mut self, vd: Vr, vs1: Vr, vs2: Vr) -> &mut Self {
+        self.push(
+            Inst::new(Op::VfmaccVV)
+                .rd(vd.index())
+                .rs1(vs2.index())
+                .rs2(vs1.index())
+                .rs3(vd.index()),
+        )
+    }
+
+    /// `vfadd.vv vd, vs2, vs1`
+    pub fn vfadd_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VfaddVV, vd, vs2, vs1)
+    }
+
+    /// `vfmul.vv vd, vs2, vs1`
+    pub fn vfmul_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VfmulVV, vd, vs2, vs1)
+    }
+
+    /// `vfredsum.vs vd, vs2, vs1`
+    pub fn vfredsum_vs(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VfredsumVS, vd, vs2, vs1)
+    }
+
+    // ---- XT-910 custom extensions ----
+
+    /// `x.lrw rd, rs1, rs2, shift` — indexed word load (custom, §VIII-A).
+    pub fn xlrw(&mut self, rd: Gpr, base: Gpr, idx: Gpr, shift: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::XLrw)
+                .rd(rd.index())
+                .rs1(base.index())
+                .rs2(idx.index())
+                .imm(shift as i64),
+        )
+    }
+
+    /// `x.lrd rd, rs1, rs2, shift` — indexed doubleword load.
+    pub fn xlrd(&mut self, rd: Gpr, base: Gpr, idx: Gpr, shift: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::XLrd)
+                .rd(rd.index())
+                .rs1(base.index())
+                .rs2(idx.index())
+                .imm(shift as i64),
+        )
+    }
+
+    /// `x.lrbu rd, rs1, rs2, shift` — indexed unsigned byte load.
+    pub fn xlrbu(&mut self, rd: Gpr, base: Gpr, idx: Gpr, shift: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::XLrbu)
+                .rd(rd.index())
+                .rs1(base.index())
+                .rs2(idx.index())
+                .imm(shift as i64),
+        )
+    }
+
+    /// `x.lurd rd, rs1, rs2, shift` — indexed load with zero-extended index.
+    pub fn xlurd(&mut self, rd: Gpr, base: Gpr, idx: Gpr, shift: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::XLurd)
+                .rd(rd.index())
+                .rs1(base.index())
+                .rs2(idx.index())
+                .imm(shift as i64),
+        )
+    }
+
+    /// `x.srw src, rs1, rs2, shift` — indexed word store.
+    pub fn xsrw(&mut self, src: Gpr, base: Gpr, idx: Gpr, shift: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::XSrw)
+                .rs1(base.index())
+                .rs2(idx.index())
+                .rs3(src.index())
+                .imm(shift as i64),
+        )
+    }
+
+    /// `x.srd src, rs1, rs2, shift` — indexed doubleword store.
+    pub fn xsrd(&mut self, src: Gpr, base: Gpr, idx: Gpr, shift: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::XSrd)
+                .rs1(base.index())
+                .rs2(idx.index())
+                .rs3(src.index())
+                .imm(shift as i64),
+        )
+    }
+
+    /// `x.addsl rd, rs1, rs2, shift` — `rd = rs1 + (rs2 << shift)`.
+    pub fn xaddsl(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr, shift: u8) -> &mut Self {
+        self.push(
+            Inst::new(Op::XAddsl)
+                .rd(rd.index())
+                .rs1(rs1.index())
+                .rs2(rs2.index())
+                .imm(shift as i64),
+        )
+    }
+
+    /// `x.zextw rd, rs` — zero-extend low 32 bits (custom single-op form).
+    pub fn xzextw(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::XZextw).rd(rd.index()).rs1(rs.index()))
+    }
+
+    /// `x.ext rd, rs1, msb, lsb` — signed bit-field extract.
+    pub fn xext(&mut self, rd: Gpr, rs: Gpr, msb: u32, lsb: u32) -> &mut Self {
+        self.push(
+            Inst::new(Op::XExt)
+                .rd(rd.index())
+                .rs1(rs.index())
+                .imm(Inst::pack_ext_bounds(msb, lsb)),
+        )
+    }
+
+    /// `x.extu rd, rs1, msb, lsb` — unsigned bit-field extract.
+    pub fn xextu(&mut self, rd: Gpr, rs: Gpr, msb: u32, lsb: u32) -> &mut Self {
+        self.push(
+            Inst::new(Op::XExtu)
+                .rd(rd.index())
+                .rs1(rs.index())
+                .imm(Inst::pack_ext_bounds(msb, lsb)),
+        )
+    }
+
+    /// `x.ff1 rd, rs` — find first set bit from the MSB.
+    pub fn xff1(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::XFf1).rd(rd.index()).rs1(rs.index()))
+    }
+
+    /// `x.rev rd, rs` — byte reverse.
+    pub fn xrev(&mut self, rd: Gpr, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::XRev).rd(rd.index()).rs1(rs.index()))
+    }
+
+    /// `x.mula rd, rs1, rs2` — `rd += rs1 * rs2`.
+    pub fn xmula(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) -> &mut Self {
+        self.push(
+            Inst::new(Op::XMula)
+                .rd(rd.index())
+                .rs1(rs1.index())
+                .rs2(rs2.index())
+                .rs3(rd.index()),
+        )
+    }
+
+    /// `x.muls rd, rs1, rs2` — `rd -= rs1 * rs2`.
+    pub fn xmuls(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) -> &mut Self {
+        self.push(
+            Inst::new(Op::XMuls)
+                .rd(rd.index())
+                .rs1(rs1.index())
+                .rs2(rs2.index())
+                .rs3(rd.index()),
+        )
+    }
+
+    /// `x.mveqz rd, rs1, rs2` — `rd = rs1 if rs2 == 0`.
+    pub fn xmveqz(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) -> &mut Self {
+        self.push(
+            Inst::new(Op::XMveqz)
+                .rd(rd.index())
+                .rs1(rs1.index())
+                .rs2(rs2.index())
+                .rs3(rd.index()),
+        )
+    }
+
+    /// `x.mvnez rd, rs1, rs2` — `rd = rs1 if rs2 != 0`.
+    pub fn xmvnez(&mut self, rd: Gpr, rs1: Gpr, rs2: Gpr) -> &mut Self {
+        self.push(
+            Inst::new(Op::XMvnez)
+                .rd(rd.index())
+                .rs1(rs1.index())
+                .rs2(rs2.index())
+                .rs3(rd.index()),
+        )
+    }
+
+    /// `x.tlb.bcast` — hardware TLB-maintenance broadcast (§V-E).
+    pub fn xtlb_bcast(&mut self, va: Gpr, asid: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::XTlbBroadcast).rs1(va.index()).rs2(asid.index()))
+    }
+
+    /// `x.dcache.call` — clean+invalidate the whole D-cache (hint).
+    pub fn xdcache_call(&mut self) -> &mut Self {
+        self.push(Inst::new(Op::XDcacheCall))
+    }
+
+    // ---- data section ----
+
+    fn define(&mut self, name: &str, bytes: Vec<u8>, align: u64) -> u64 {
+        let pad = (align - (self.data.len() as u64 % align)) % align;
+        self.data.extend(std::iter::repeat_n(0, pad as usize));
+        let addr = self.data_base + self.data.len() as u64;
+        let size = bytes.len() as u64;
+        self.data.extend(bytes);
+        if self
+            .symbols
+            .insert(
+                name.to_string(),
+                Symbol {
+                    name: name.to_string(),
+                    addr,
+                    size,
+                },
+            )
+            .is_some()
+        {
+            panic!("duplicate data symbol {name:?}");
+        }
+        addr
+    }
+
+    /// Defines a byte array symbol; returns its absolute address.
+    pub fn data_bytes(&mut self, name: &str, bytes: &[u8]) -> u64 {
+        self.define(name, bytes.to_vec(), 1)
+    }
+
+    /// Defines a `u16` array symbol (2-byte aligned).
+    pub fn data_u16(&mut self, name: &str, vals: &[u16]) -> u64 {
+        let bytes = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.define(name, bytes, 2)
+    }
+
+    /// Defines a `u32` array symbol (4-byte aligned).
+    pub fn data_u32(&mut self, name: &str, vals: &[u32]) -> u64 {
+        let bytes = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.define(name, bytes, 4)
+    }
+
+    /// Defines a `u64` array symbol (8-byte aligned).
+    pub fn data_u64(&mut self, name: &str, vals: &[u64]) -> u64 {
+        let bytes = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.define(name, bytes, 8)
+    }
+
+    /// Defines an `f64` array symbol (8-byte aligned).
+    pub fn data_f64(&mut self, name: &str, vals: &[f64]) -> u64 {
+        let bytes = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.define(name, bytes, 8)
+    }
+
+    /// Defines an `f32` array symbol (4-byte aligned).
+    pub fn data_f32(&mut self, name: &str, vals: &[f32]) -> u64 {
+        let bytes = vals.iter().flat_map(|v| v.to_le_bytes()).collect();
+        self.define(name, bytes, 4)
+    }
+
+    /// Reserves `len` zeroed bytes (8-byte aligned).
+    pub fn data_zeros(&mut self, name: &str, len: usize) -> u64 {
+        self.define(name, vec![0; len], 8)
+    }
+
+    // ---- finalization ----
+
+    /// Resolves all fixups and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Fails if any referenced label is unbound or a branch target is out
+    /// of range.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        for fix in std::mem::take(&mut self.fixups) {
+            let target = self.labels[fix.label.0].ok_or(AsmError::Unbound(fix.label))?;
+            let dist = target as i64 - fix.at as i64;
+            let raw = u32::from_le_bytes(self.text[fix.at..fix.at + 4].try_into().unwrap());
+            let mut inst = xt_isa::decode(raw).expect("previously encoded instruction");
+            inst.imm = dist;
+            let patched = encode(&inst).map_err(|_| AsmError::OutOfRange {
+                at: fix.at,
+                distance: dist,
+            })?;
+            self.text[fix.at..fix.at + 4].copy_from_slice(&patched.to_le_bytes());
+        }
+        Ok(Program {
+            entry: self.text_base,
+            text_base: self.text_base,
+            text: self.text,
+            data_base: self.data_base,
+            data: self.data,
+            symbols: self.symbols,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        let fwd = a.new_label();
+        a.beqz(Gpr::A0, fwd);
+        a.nop();
+        a.bind(fwd).unwrap();
+        let back = a.here();
+        a.jump(back);
+        let p = a.finish().unwrap();
+        // beqz at 0 jumps +8; jal at 8 jumps 0 (self).
+        let w0 = u32::from_le_bytes(p.text[0..4].try_into().unwrap());
+        let i0 = xt_isa::decode(w0).unwrap();
+        assert_eq!(i0.imm, 8);
+        let w2 = u32::from_le_bytes(p.text[8..12].try_into().unwrap());
+        let i2 = xt_isa::decode(w2).unwrap();
+        assert_eq!(i2.imm, 0);
+    }
+
+    #[test]
+    fn unbound_label_rejected() {
+        let mut a = Asm::new();
+        let l = a.new_label();
+        a.jump(l);
+        assert!(matches!(a.finish(), Err(AsmError::Unbound(_))));
+    }
+
+    #[test]
+    fn rebinding_rejected() {
+        let mut a = Asm::new();
+        let l = a.here();
+        assert!(matches!(a.bind(l), Err(AsmError::Rebound(_))));
+    }
+
+    #[test]
+    fn li_sequences() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            2047,
+            -2048,
+            2048,
+            0x1234,
+            -0x1234,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1_0000_0000,
+            0x1234_5678_9abc_def0,
+            i64::MIN,
+            i64::MAX,
+        ] {
+            let mut a = Asm::new();
+            a.li(Gpr::A0, v);
+            let p = a.finish().unwrap();
+            assert!(!p.text.is_empty(), "li {v} emitted nothing");
+        }
+    }
+
+    #[test]
+    fn data_symbols_aligned() {
+        let mut a = Asm::new();
+        let b = a.data_bytes("b", &[1, 2, 3]);
+        let w = a.data_u64("w", &[42]);
+        assert_eq!(b % 1, 0);
+        assert_eq!(w % 8, 0);
+        let p = a.finish().unwrap();
+        assert_eq!(p.symbol("w"), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate data symbol")]
+    fn duplicate_symbol_panics() {
+        let mut a = Asm::new();
+        a.data_u64("x", &[1]);
+        a.data_u64("x", &[2]);
+    }
+
+    #[test]
+    fn compression_shrinks_text() {
+        let mut plain = Asm::new();
+        plain.addi(Gpr::S0, Gpr::S0, 1).addi(Gpr::S0, Gpr::S0, 1);
+        let plain = plain.finish().unwrap();
+
+        let mut comp = Asm::new().with_compression();
+        comp.addi(Gpr::S0, Gpr::S0, 1).addi(Gpr::S0, Gpr::S0, 1);
+        let comp = comp.finish().unwrap();
+        assert!(comp.text_len() < plain.text_len());
+    }
+
+    #[test]
+    fn disassembly_smoke() {
+        let mut a = Asm::new();
+        a.li(Gpr::A0, 7).halt();
+        let p = a.finish().unwrap();
+        let d = p.disassemble();
+        assert!(d.contains("addi"), "{d}");
+    }
+}

@@ -1,0 +1,119 @@
+//! The finished, loadable program image produced by [`crate::Asm`].
+
+use std::collections::HashMap;
+
+/// Default base address of the text section.
+pub const DEFAULT_TEXT_BASE: u64 = 0x8000_0000;
+/// Default base address of the data section.
+pub const DEFAULT_DATA_BASE: u64 = 0x8100_0000;
+/// Magic MMIO address: a store to this address terminates simulation
+/// ("tohost" convention); the stored value is the exit code.
+pub const HALT_ADDR: u64 = 0x4000_0000;
+
+/// A named address in the data (or text) section.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Absolute address.
+    pub addr: u64,
+    /// Size in bytes.
+    pub size: u64,
+}
+
+/// A fully assembled guest program: text and data images plus symbols.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    /// Base virtual address of the text section.
+    pub text_base: u64,
+    /// Raw text bytes (little-endian instruction stream).
+    pub text: Vec<u8>,
+    /// Base virtual address of the data section.
+    pub data_base: u64,
+    /// Raw data bytes.
+    pub data: Vec<u8>,
+    /// Named data symbols.
+    pub symbols: HashMap<String, Symbol>,
+    /// Entry point (defaults to `text_base`).
+    pub entry: u64,
+}
+
+impl Program {
+    /// Length of the text section in bytes.
+    pub fn text_len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Looks up a symbol's address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the symbol does not exist (programming error in a
+    /// workload definition).
+    pub fn symbol(&self, name: &str) -> u64 {
+        self.symbols
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown symbol {name:?}"))
+            .addr
+    }
+
+    /// Iterates over `(address, raw_bytes)` chunks to load into guest
+    /// memory: first the text image, then the data image.
+    pub fn load_chunks(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        [
+            (self.text_base, self.text.as_slice()),
+            (self.data_base, self.data.as_slice()),
+        ]
+        .into_iter()
+        .filter(|(_, bytes)| !bytes.is_empty())
+    }
+
+    /// Disassembles the text section, one line per instruction, for
+    /// debugging workload definitions.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        let mut pc = 0usize;
+        while pc + 2 <= self.text.len() {
+            let lo = u16::from_le_bytes([self.text[pc], self.text[pc + 1]]);
+            if lo & 3 == 3 {
+                if pc + 4 > self.text.len() {
+                    break;
+                }
+                let w = u32::from_le_bytes([
+                    self.text[pc],
+                    self.text[pc + 1],
+                    self.text[pc + 2],
+                    self.text[pc + 3],
+                ]);
+                match xt_isa::decode(w) {
+                    Ok(i) => out.push_str(&format!(
+                        "{:#010x}: {}\n",
+                        self.text_base + pc as u64,
+                        i
+                    )),
+                    Err(_) => out.push_str(&format!(
+                        "{:#010x}: .word {:#010x}\n",
+                        self.text_base + pc as u64,
+                        w
+                    )),
+                }
+                pc += 4;
+            } else {
+                match xt_isa::decode_compressed(lo) {
+                    Ok(i) => out.push_str(&format!(
+                        "{:#010x}: {}  # c\n",
+                        self.text_base + pc as u64,
+                        i
+                    )),
+                    Err(_) => out.push_str(&format!(
+                        "{:#010x}: .half {:#06x}\n",
+                        self.text_base + pc as u64,
+                        lo
+                    )),
+                }
+                pc += 2;
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,58 @@
+//! `figures` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//!   figures              # run everything
+//!   figures fig17 fig21  # run a subset
+//!
+//! Available ids: table1 table2 fig17 fig18 fig19 fig20 fig21 specint
+//!                vector_mac blockchain asid ablations multicore snoop
+
+use xt_bench::{ablations, figures, multicore};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    if want("table1") {
+        println!("{}", figures::table1());
+    }
+    if want("table2") {
+        println!("{}", figures::table2());
+    }
+    if want("fig17") {
+        println!("{}", figures::fig17());
+    }
+    if want("fig18") {
+        println!("{}", figures::fig18());
+    }
+    if want("fig19") {
+        println!("{}", figures::fig19());
+    }
+    if want("fig20") {
+        println!("{}", figures::fig20());
+    }
+    if want("fig21") {
+        println!("{}", figures::fig21());
+    }
+    if want("specint") {
+        println!("{}", figures::specint());
+    }
+    if want("vector_mac") {
+        println!("{}", figures::vector_mac());
+    }
+    if want("blockchain") {
+        println!("{}", figures::blockchain_fig());
+    }
+    if want("asid") {
+        println!("{}", figures::asid_flush());
+    }
+    if want("ablations") {
+        println!("{}", ablations::all());
+    }
+    if want("multicore") {
+        println!("{}", multicore::scaling());
+    }
+    if want("snoop") {
+        println!("{}", multicore::snoop_filter());
+    }
+}

@@ -1,0 +1,90 @@
+//! # xt-bench — the experiment harness
+//!
+//! One function per table/figure of the paper (see DESIGN.md §4 for the
+//! index). Each returns a structured result whose `Display` prints the
+//! same rows/series the paper reports, side by side with the paper's
+//! numbers. Absolute values are not expected to match (the substrate is
+//! a simulator, not the authors' testbed); the *shape* — who wins, by
+//! roughly what factor — is the reproduction target (EXPERIMENTS.md
+//! records both).
+
+pub mod ablations;
+pub mod figures;
+pub mod multicore;
+
+pub use figures::*;
+
+use xt_core::{run_inorder, run_ooo, run_ooo_with_mem, CoreConfig, RunReport};
+use xt_mem::MemConfig;
+use xt_workloads::Kernel;
+
+/// Calibration constant mapping simulated work/cycle onto the
+/// CoreMark/MHz scale, chosen once so the XT-910 configuration lands
+/// near the published 7.1 (documented in EXPERIMENTS.md; the *ratio*
+/// between machines is calibration-free).
+pub const COREMARK_SCALE: f64 = 100.0;
+
+/// Runs `kernel` on the XT-910 out-of-order model.
+pub fn run_on_xt910(kernel: &Kernel) -> RunReport {
+    let r = run_ooo(&kernel.program, &CoreConfig::xt910(), 500_000_000);
+    check(kernel, &r);
+    r
+}
+
+/// Runs `kernel` on the A73-class reference machine.
+pub fn run_on_a73like(kernel: &Kernel) -> RunReport {
+    let r = run_ooo(&kernel.program, &CoreConfig::a73_like(), 500_000_000);
+    check(kernel, &r);
+    r
+}
+
+/// Runs `kernel` on the U74-class in-order baseline.
+pub fn run_on_u74like(kernel: &Kernel) -> RunReport {
+    let r = run_inorder(&kernel.program, &CoreConfig::u74_like(), 500_000_000);
+    check(kernel, &r);
+    r
+}
+
+/// Runs `kernel` on XT-910 with an explicit memory configuration.
+pub fn run_on_xt910_mem(kernel: &Kernel, mem: MemConfig) -> RunReport {
+    let r = run_ooo_with_mem(&kernel.program, &CoreConfig::xt910(), mem, 500_000_000);
+    check(kernel, &r);
+    r
+}
+
+fn check(kernel: &Kernel, r: &RunReport) {
+    if let (Some(want), Some(got)) = (kernel.expected, r.exit_code) {
+        assert_eq!(
+            got, want,
+            "{}: timing run produced a wrong result",
+            kernel.name
+        );
+    }
+}
+
+/// Geometric mean of a slice of ratios.
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn kernel_runs_are_checked() {
+        let k = xt_workloads::coremark::crc(&xt_compiler::CompileOpts::optimized());
+        let r = run_on_xt910(&k);
+        assert!(r.perf.instructions > 0);
+        assert_eq!(r.exit_code, k.expected);
+    }
+}

@@ -1,0 +1,132 @@
+//! Multi-core scaling and coherence experiments (Figs. 2/13, §VI).
+
+use crate::figures::{Figure, Row};
+use xt_asm::{Asm, Program};
+use xt_core::CoreConfig;
+use xt_mem::MemConfig;
+use xt_soc::ClusterSim;
+
+/// A per-core private working-set kernel (sum over a 256 KiB array).
+fn private_kernel(id: u64) -> Program {
+    let mut a = Asm::new().with_data_base(0x8200_0000 + id * 0x0100_0000);
+    let buf = a.data_zeros("buf", 256 * 1024);
+    a.la(xt_isa::reg::Gpr::A1, buf);
+    a.li(xt_isa::reg::Gpr::A2, (256 * 1024 / 8) as i64);
+    let top = a.here();
+    a.ld(xt_isa::reg::Gpr::A4, xt_isa::reg::Gpr::A1, 0);
+    a.add(xt_isa::reg::Gpr::A5, xt_isa::reg::Gpr::A5, xt_isa::reg::Gpr::A4);
+    a.addi(xt_isa::reg::Gpr::A1, xt_isa::reg::Gpr::A1, 8);
+    a.addi(xt_isa::reg::Gpr::A2, xt_isa::reg::Gpr::A2, -1);
+    a.bnez(xt_isa::reg::Gpr::A2, top);
+    a.halt();
+    a.finish().unwrap()
+}
+
+/// Throughput scaling over 1/2/4 cores on private working sets
+/// (Table I's cluster sizes).
+pub fn scaling() -> Figure {
+    let run = |n: usize| {
+        let progs: Vec<Program> = (0..n as u64).map(private_kernel).collect();
+        let mem = MemConfig {
+            cores: n,
+            ..MemConfig::default()
+        };
+        ClusterSim::new(&progs, &CoreConfig::xt910(), mem, 100_000_000)
+            .run()
+            .throughput_ipc()
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    Figure {
+        title: "Multi-core throughput scaling (private sets)".into(),
+        unit: "aggregate IPC (and scaling vs 1 core)".into(),
+        rows: vec![
+            Row {
+                label: "1 core".into(),
+                value: one,
+                paper: None,
+            },
+            Row {
+                label: "2 cores".into(),
+                value: two,
+                paper: None,
+            },
+            Row {
+                label: "4 cores".into(),
+                value: four,
+                paper: None,
+            },
+            Row {
+                label: "4-core scaling".into(),
+                value: four / one,
+                paper: None,
+            },
+        ],
+    }
+}
+
+/// Snoop-filter effectiveness: private vs shared-line traffic (§VI:
+/// "a snoop filter … effectively reduces the inter-core communications").
+pub fn snoop_filter() -> Figure {
+    // shared-counter kernel
+    let shared = |iters: i64| -> Program {
+        let mut a = Asm::new();
+        let cell = a.data_u64("cell", &[0]);
+        a.la(xt_isa::reg::Gpr::A1, cell);
+        a.li(xt_isa::reg::Gpr::A2, iters);
+        a.li(xt_isa::reg::Gpr::A3, 1);
+        let top = a.here();
+        a.amoadd_d(xt_isa::reg::Gpr::A4, xt_isa::reg::Gpr::A3, xt_isa::reg::Gpr::A1);
+        a.addi(xt_isa::reg::Gpr::A2, xt_isa::reg::Gpr::A2, -1);
+        a.bnez(xt_isa::reg::Gpr::A2, top);
+        a.halt();
+        a.finish().unwrap()
+    };
+    let mem = || MemConfig {
+        cores: 4,
+        ..MemConfig::default()
+    };
+    let private: Vec<Program> = (0..4u64).map(private_kernel).collect();
+    let rp = ClusterSim::new(&private, &CoreConfig::xt910(), mem(), 100_000_000).run();
+    let sharing: Vec<Program> = (0..4).map(|_| shared(400)).collect();
+    let rs = ClusterSim::new(&sharing, &CoreConfig::xt910(), mem(), 100_000_000).run();
+    Figure {
+        title: "Snoop filter (4 cores)".into(),
+        unit: "snoop probes sent".into(),
+        rows: vec![
+            Row {
+                label: "private sets: filtered".into(),
+                value: rp.mem.snoops_filtered as f64,
+                paper: None,
+            },
+            Row {
+                label: "private sets: sent".into(),
+                value: rp.mem.snoops_sent as f64,
+                paper: None,
+            },
+            Row {
+                label: "shared counter: sent".into(),
+                value: rs.mem.snoops_sent as f64,
+                paper: None,
+            },
+            Row {
+                label: "shared counter: c2c transfers".into(),
+                value: rs.mem.c2c_transfers as f64,
+                paper: None,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_meaningful() {
+        let f = scaling();
+        let s4 = f.rows.last().unwrap().value;
+        assert!(s4 > 2.0, "4 cores should scale well past 2x: {s4:.2}");
+    }
+}

@@ -1,0 +1,592 @@
+//! Lowering the IR to `xt-asm`, with or without the XT-910 custom
+//! extensions.
+
+use crate::ir::{BinOp, Cond, DataDef, FuncBuilder, IrInst, MemWidth, Rval, Term, VReg};
+use crate::regalloc::{allocate, Allocation, Loc, SCRATCH};
+use crate::CompileOpts;
+use std::collections::HashMap;
+use xt_asm::{Asm, AsmError, Label, Program};
+use xt_isa::reg::Gpr;
+
+/// Compilation failure.
+#[derive(Debug)]
+pub enum CompileError {
+    /// A block was never sealed with a terminator.
+    UnsealedBlock(usize),
+    /// Assembly-level failure (label/range).
+    Asm(AsmError),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnsealedBlock(b) => write!(f, "block {b} has no terminator"),
+            CompileError::Asm(e) => write!(f, "assembly error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<AsmError> for CompileError {
+    fn from(e: AsmError) -> Self {
+        CompileError::Asm(e)
+    }
+}
+
+struct Ctx<'a> {
+    asm: Asm,
+    alloc: &'a Allocation,
+    symbols: HashMap<String, u64>,
+    opts: CompileOpts,
+}
+
+impl Ctx<'_> {
+    fn g(x: u8) -> Gpr {
+        Gpr::new(x)
+    }
+
+    /// Physical register holding `v`'s value; spilled vregs are loaded
+    /// into scratch slot `si`.
+    fn src(&mut self, v: VReg, si: usize) -> Gpr {
+        match self.alloc.map.get(&v) {
+            Some(Loc::Reg(r)) => Self::g(*r),
+            Some(Loc::Stack(off)) => {
+                let s = Self::g(SCRATCH[si]);
+                self.asm.ld(s, Gpr::SP, *off);
+                s
+            }
+            None => Gpr::ZERO, // never-defined vreg reads as zero
+        }
+    }
+
+    /// Register holding an `Rval` (immediates materialize into scratch).
+    fn src_rv(&mut self, rv: Rval, si: usize) -> Gpr {
+        match rv {
+            Rval::Reg(v) => self.src(v, si),
+            Rval::Imm(0) => Gpr::ZERO,
+            Rval::Imm(i) => {
+                let s = Self::g(SCRATCH[si]);
+                self.asm.li(s, i);
+                s
+            }
+        }
+    }
+
+    /// Register to compute `v`'s new value into (scratch slot 2 when
+    /// spilled), plus whether a spill-back is needed.
+    fn dst(&mut self, v: VReg) -> (Gpr, Option<i64>) {
+        match self.alloc.map.get(&v) {
+            Some(Loc::Reg(r)) => (Self::g(*r), None),
+            Some(Loc::Stack(off)) => (Self::g(SCRATCH[2]), Some(*off)),
+            None => (Self::g(SCRATCH[2]), None), // dead dest
+        }
+    }
+
+    /// Like [`Self::dst`] but for read-modify-write destinations: loads
+    /// the current value first.
+    fn dst_rmw(&mut self, v: VReg) -> (Gpr, Option<i64>) {
+        match self.alloc.map.get(&v) {
+            Some(Loc::Reg(r)) => (Self::g(*r), None),
+            Some(Loc::Stack(off)) => {
+                let s = Self::g(SCRATCH[2]);
+                self.asm.ld(s, Gpr::SP, *off);
+                (s, Some(*off))
+            }
+            None => (Self::g(SCRATCH[2]), None),
+        }
+    }
+
+    fn finish(&mut self, spill: Option<i64>, reg: Gpr) {
+        if let Some(off) = spill {
+            self.asm.sd(reg, Gpr::SP, off);
+        }
+    }
+
+    fn lower_bin(&mut self, op: BinOp, dv: VReg, a: Rval, b: Rval) {
+        let (d, sp) = self.dst(dv);
+        let ra = self.src_rv(a, 0);
+        // immediate fast paths
+        if let Rval::Imm(i) = b {
+            let handled = match op {
+                BinOp::Add if (-2048..=2047).contains(&i) => {
+                    self.asm.addi(d, ra, i);
+                    true
+                }
+                BinOp::Sub if (-2047..=2048).contains(&i) => {
+                    self.asm.addi(d, ra, -i);
+                    true
+                }
+                BinOp::AddW if (-2048..=2047).contains(&i) => {
+                    self.asm.addiw(d, ra, i);
+                    true
+                }
+                BinOp::And if (-2048..=2047).contains(&i) => {
+                    self.asm.andi(d, ra, i);
+                    true
+                }
+                BinOp::Or if (-2048..=2047).contains(&i) => {
+                    self.asm.ori(d, ra, i);
+                    true
+                }
+                BinOp::Xor if (-2048..=2047).contains(&i) => {
+                    self.asm.xori(d, ra, i);
+                    true
+                }
+                BinOp::Shl if (0..64).contains(&i) => {
+                    self.asm.slli(d, ra, i);
+                    true
+                }
+                BinOp::Shr if (0..64).contains(&i) => {
+                    self.asm.srli(d, ra, i);
+                    true
+                }
+                BinOp::Sar if (0..64).contains(&i) => {
+                    self.asm.srai(d, ra, i);
+                    true
+                }
+                BinOp::SltS if (-2048..=2047).contains(&i) => {
+                    self.asm.slti(d, ra, i);
+                    true
+                }
+                _ => false,
+            };
+            if handled {
+                self.finish(sp, d);
+                return;
+            }
+        }
+        let rb = self.src_rv(b, 1);
+        match op {
+            BinOp::Add => self.asm.add(d, ra, rb),
+            BinOp::Sub => self.asm.sub(d, ra, rb),
+            BinOp::Mul => self.asm.mul(d, ra, rb),
+            BinOp::MulW => self.asm.mulw(d, ra, rb),
+            BinOp::Div => self.asm.div(d, ra, rb),
+            BinOp::Rem => self.asm.rem(d, ra, rb),
+            BinOp::And => self.asm.and_(d, ra, rb),
+            BinOp::Or => self.asm.or_(d, ra, rb),
+            BinOp::Xor => self.asm.xor_(d, ra, rb),
+            BinOp::Shl => self.asm.sll(d, ra, rb),
+            BinOp::Shr => self.asm.srl(d, ra, rb),
+            BinOp::Sar => self.asm.sra(d, ra, rb),
+            BinOp::SltS => self.asm.slt(d, ra, rb),
+            BinOp::SltU => self.asm.sltu(d, ra, rb),
+            BinOp::AddW => self.asm.addw(d, ra, rb),
+        };
+        self.finish(sp, d);
+    }
+
+    fn emit_load(&mut self, d: Gpr, base: Gpr, off: i64, width: MemWidth, signed: bool) {
+        match (width, signed) {
+            (MemWidth::B1, true) => self.asm.lb(d, base, off),
+            (MemWidth::B1, false) => self.asm.lbu(d, base, off),
+            (MemWidth::B2, true) => self.asm.lh(d, base, off),
+            (MemWidth::B2, false) => self.asm.lhu(d, base, off),
+            (MemWidth::B4, true) => self.asm.lw(d, base, off),
+            (MemWidth::B4, false) => self.asm.lwu(d, base, off),
+            (MemWidth::B8, _) => self.asm.ld(d, base, off),
+        };
+    }
+
+    fn emit_store(&mut self, s: Gpr, base: Gpr, off: i64, width: MemWidth) {
+        match width {
+            MemWidth::B1 => self.asm.sb(s, base, off),
+            MemWidth::B2 => self.asm.sh(s, base, off),
+            MemWidth::B4 => self.asm.sw(s, base, off),
+            MemWidth::B8 => self.asm.sd(s, base, off),
+        };
+    }
+
+    fn lower(&mut self, inst: &IrInst) {
+        match inst {
+            IrInst::Bin { op, dst, a, b } => self.lower_bin(*op, *dst, *a, *b),
+            IrInst::Li { dst, imm } => {
+                let (d, sp) = self.dst(*dst);
+                self.asm.li(d, *imm);
+                self.finish(sp, d);
+            }
+            IrInst::La { dst, symbol } => {
+                let (d, sp) = self.dst(*dst);
+                let addr = self.symbols[symbol];
+                self.asm.la(d, addr);
+                self.finish(sp, d);
+            }
+            IrInst::Load {
+                dst,
+                base,
+                off,
+                width,
+                signed,
+            } => {
+                let b = self.src(*base, 0);
+                let (d, sp) = self.dst(*dst);
+                if (-2048..=2047).contains(off) {
+                    self.emit_load(d, b, *off, *width, *signed);
+                } else {
+                    let s = Self::g(SCRATCH[1]);
+                    self.asm.li(s, *off);
+                    self.asm.add(s, b, s);
+                    self.emit_load(d, s, 0, *width, *signed);
+                }
+                self.finish(sp, d);
+            }
+            IrInst::LoadIdx {
+                dst,
+                base,
+                index,
+                width,
+                signed,
+            } => {
+                let b = self.src(*base, 0);
+                let i = self.src(*index, 1);
+                let (d, sp) = self.dst(*dst);
+                if self.opts.custom_ext {
+                    // §VIII-A: register+register addressed load
+                    let sh = width.shift();
+                    match (width, signed) {
+                        (MemWidth::B1, false) => {
+                            self.asm.xlrbu(d, b, i, sh);
+                        }
+                        (MemWidth::B4, true) => {
+                            self.asm.xlrw(d, b, i, sh);
+                        }
+                        (MemWidth::B8, _) => {
+                            self.asm.xlrd(d, b, i, sh);
+                        }
+                        _ => {
+                            // widths without a helper: generic custom path
+                            self.asm.xaddsl(d, b, i, sh);
+                            self.emit_load(d, d, 0, *width, *signed);
+                        }
+                    }
+                } else {
+                    let s = Self::g(SCRATCH[2 - usize::from(sp.is_some())]);
+                    // base + (index << shift) in two base-ISA ops
+                    if width.shift() > 0 {
+                        self.asm.slli(s, i, width.shift() as i64);
+                        self.asm.add(s, b, s);
+                    } else {
+                        self.asm.add(s, b, i);
+                    }
+                    self.emit_load(d, s, 0, *width, *signed);
+                }
+                self.finish(sp, d);
+            }
+            IrInst::Store {
+                src,
+                base,
+                off,
+                width,
+            } => {
+                let s = self.src_rv(*src, 0);
+                let b = self.src(*base, 1);
+                if (-2048..=2047).contains(off) {
+                    self.emit_store(s, b, *off, *width);
+                } else {
+                    let t = Self::g(SCRATCH[2]);
+                    self.asm.li(t, *off);
+                    self.asm.add(t, b, t);
+                    self.emit_store(s, t, 0, *width);
+                }
+            }
+            IrInst::StoreIdx {
+                src,
+                base,
+                index,
+                width,
+            } => {
+                let s = self.src_rv(*src, 0);
+                let b = self.src(*base, 1);
+                let i = self.src(*index, 2);
+                if self.opts.custom_ext {
+                    let sh = width.shift();
+                    match width {
+                        MemWidth::B4 => {
+                            self.asm.xsrw(s, b, i, sh);
+                        }
+                        MemWidth::B8 => {
+                            self.asm.xsrd(s, b, i, sh);
+                        }
+                        _ => {
+                            // no helper for byte/half: fuse address, store
+                            let t = Self::g(SCRATCH[2]);
+                            self.asm.xaddsl(t, b, i, sh);
+                            self.emit_store(s, t, 0, *width);
+                        }
+                    }
+                } else {
+                    let t = Self::g(SCRATCH[2]);
+                    if width.shift() > 0 {
+                        self.asm.slli(t, i, width.shift() as i64);
+                        self.asm.add(t, b, t);
+                    } else {
+                        self.asm.add(t, b, i);
+                    }
+                    self.emit_store(s, t, 0, *width);
+                }
+            }
+            IrInst::SelectEqz { dst, a, test } => {
+                let t = self.src(*test, 1);
+                let va = self.src_rv(*a, 0);
+                let (d, sp) = self.dst_rmw(*dst);
+                if self.opts.custom_ext {
+                    self.asm.xmveqz(d, va, t);
+                } else {
+                    let skip = self.asm.new_label();
+                    self.asm.bnez(t, skip);
+                    self.asm.mv(d, va);
+                    self.asm.bind(skip).expect("fresh label");
+                }
+                self.finish(sp, d);
+            }
+            IrInst::MulAcc { dst, a, b } => {
+                let ra = self.src(*a, 0);
+                let rb = self.src(*b, 1);
+                let (d, sp) = self.dst_rmw(*dst);
+                if self.opts.custom_ext {
+                    self.asm.xmula(d, ra, rb);
+                } else {
+                    let t = Self::g(SCRATCH[2 - usize::from(sp.is_some())]);
+                    // careful: if d is scratch2, use scratch1 slot for tmp
+                    let t = if t == d { Self::g(SCRATCH[1]) } else { t };
+                    self.asm.mul(t, ra, rb);
+                    self.asm.add(d, d, t);
+                }
+                self.finish(sp, d);
+            }
+            IrInst::ZextW { dst, a } => {
+                let ra = self.src(*a, 0);
+                let (d, sp) = self.dst(*dst);
+                if self.opts.custom_ext {
+                    self.asm.xzextw(d, ra);
+                } else {
+                    self.asm.slli(d, ra, 32);
+                    self.asm.srli(d, d, 32);
+                }
+                self.finish(sp, d);
+            }
+        }
+    }
+}
+
+/// Compiles `f` under `opts`.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+pub fn compile(f: &FuncBuilder, opts: &CompileOpts) -> Result<Program, CompileError> {
+    let f = if opts.optimize {
+        crate::passes::optimize(f)
+    } else {
+        f.clone()
+    };
+    let alloc = allocate(&f);
+    let mut asm = Asm::new();
+
+    // data section (definition order; layout mirrored by symbol_offsets)
+    let mut symbols = HashMap::new();
+    for (name, def) in &f.data {
+        let addr = match def {
+            DataDef::Bytes(v) => asm.data_bytes(name, v),
+            DataDef::U16(v) => asm.data_u16(name, v),
+            DataDef::U32(v) => asm.data_u32(name, v),
+            DataDef::U64(v) => asm.data_u64(name, v),
+            DataDef::Zeros(n) => asm.data_zeros(name, *n),
+        };
+        symbols.insert(name.clone(), addr);
+    }
+
+    let mut ctx = Ctx {
+        asm,
+        alloc: &alloc,
+        symbols,
+        opts: *opts,
+    };
+
+    // prologue
+    if alloc.frame_size > 0 {
+        ctx.asm.addi(Gpr::SP, Gpr::SP, -alloc.frame_size);
+    }
+
+    // block labels
+    let labels: Vec<Label> = f.blocks.iter().map(|_| ctx.asm.new_label()).collect();
+
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        ctx.asm.bind(labels[bi])?;
+        for inst in &blk.insts {
+            ctx.lower(inst);
+        }
+        match blk.term.as_ref().ok_or(CompileError::UnsealedBlock(bi))? {
+            Term::Jmp(t) => {
+                if t.0 as usize != bi + 1 {
+                    ctx.asm.jump(labels[t.0 as usize]);
+                }
+            }
+            Term::Halt(code) => {
+                let r = ctx.src_rv(*code, 0);
+                ctx.asm.mv(Gpr::A0, r);
+                ctx.asm.halt();
+            }
+            Term::Br {
+                cond,
+                a,
+                b,
+                then_to,
+                else_to,
+            } => {
+                let ra = ctx.src_rv(*a, 0);
+                let rb = ctx.src_rv(*b, 1);
+                let tl = labels[then_to.0 as usize];
+                match cond {
+                    Cond::Eq => ctx.asm.beq(ra, rb, tl),
+                    Cond::Ne => ctx.asm.bne(ra, rb, tl),
+                    Cond::Lt => ctx.asm.blt(ra, rb, tl),
+                    Cond::Ge => ctx.asm.bge(ra, rb, tl),
+                    Cond::Ltu => ctx.asm.bltu(ra, rb, tl),
+                    Cond::Geu => ctx.asm.bgeu(ra, rb, tl),
+                };
+                if else_to.0 as usize != bi + 1 {
+                    ctx.asm.jump(labels[else_to.0 as usize]);
+                }
+            }
+        }
+    }
+    ctx.asm.finish().map_err(CompileError::Asm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FuncBuilder;
+
+    fn run(p: &Program) -> u64 {
+        let mut e = xt_emu::Emulator::new();
+        e.load(p);
+        e.run(1_000_000).unwrap()
+    }
+
+    #[test]
+    fn both_modes_same_semantics_dot_product() {
+        let mut f = FuncBuilder::new("dot");
+        let x = f.symbol_u64("x", &[1, 2, 3, 4, 5]);
+        let y = f.symbol_u64("y", &[10, 20, 30, 40, 50]);
+        let (i, acc) = (f.vreg(), f.vreg());
+        let bx = f.addr_of(&x);
+        let by = f.addr_of(&y);
+        f.li(i, 0);
+        f.li(acc, 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jmp(head);
+        f.switch_to(head);
+        f.br_lt(Rval::Reg(i), Rval::Imm(5), body, exit);
+        f.switch_to(body);
+        let a = f.load_indexed_u64(bx, i);
+        let b = f.load_indexed_u64(by, i);
+        f.mul_acc(acc, a, b);
+        f.add(i, Rval::Reg(i), Rval::Imm(1));
+        f.jmp(head);
+        f.switch_to(exit);
+        f.halt(Rval::Reg(acc));
+
+        let expect: u64 = (1..=5u64).map(|k| k * k * 10).sum();
+        assert_eq!(run(&f.compile(&CompileOpts::native()).unwrap()), expect);
+        assert_eq!(run(&f.compile(&CompileOpts::optimized()).unwrap()), expect);
+        // extensions only (no passes)
+        let ext_only = CompileOpts {
+            custom_ext: true,
+            optimize: false,
+        };
+        assert_eq!(run(&f.compile(&ext_only).unwrap()), expect);
+    }
+
+    #[test]
+    fn select_lowering_matches() {
+        for opts in [CompileOpts::native(), CompileOpts::optimized()] {
+            let mut f = FuncBuilder::new("sel");
+            let (d, t) = (f.vreg(), f.vreg());
+            f.li(d, 111);
+            f.li(t, 0); // test == 0 -> select happens
+            f.select_eqz(d, Rval::Imm(42), t);
+            f.halt(Rval::Reg(d));
+            assert_eq!(run(&f.compile(&opts).unwrap()), 42, "{opts:?}");
+
+            let mut g = FuncBuilder::new("sel2");
+            let (d, t) = (g.vreg(), g.vreg());
+            g.li(d, 111);
+            g.li(t, 5); // test != 0 -> keep
+            g.select_eqz(d, Rval::Imm(42), t);
+            g.halt(Rval::Reg(d));
+            assert_eq!(run(&g.compile(&opts).unwrap()), 111, "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn zext_lowering_matches() {
+        for opts in [CompileOpts::native(), CompileOpts::optimized()] {
+            let mut f = FuncBuilder::new("z");
+            let (a, d) = (f.vreg(), f.vreg());
+            f.li(a, -1);
+            f.zext_w(d, a);
+            f.halt(Rval::Reg(d));
+            assert_eq!(run(&f.compile(&opts).unwrap()), 0xffff_ffff, "{opts:?}");
+        }
+    }
+
+    #[test]
+    fn spilled_program_still_correct() {
+        // more live values than the register pool
+        let mut f = FuncBuilder::new("pressure");
+        let regs: Vec<_> = (0..40).map(|_| f.vreg()).collect();
+        for (k, r) in regs.iter().enumerate() {
+            f.li(*r, k as i64 + 1);
+        }
+        let sum = f.vreg();
+        f.li(sum, 0);
+        for r in &regs {
+            f.add(sum, Rval::Reg(sum), Rval::Reg(*r));
+        }
+        f.halt(Rval::Reg(sum));
+        let expect: u64 = (1..=40).sum();
+        assert_eq!(run(&f.compile(&CompileOpts::native()).unwrap()), expect);
+        assert_eq!(run(&f.compile(&CompileOpts::optimized()).unwrap()), expect);
+    }
+
+    #[test]
+    fn ext_mode_emits_custom_instructions() {
+        let mut f = FuncBuilder::new("idx");
+        let arr = f.symbol_u64("arr", &[7, 8, 9]);
+        let base = f.addr_of(&arr);
+        let i = f.vreg();
+        f.li(i, 2);
+        let v = f.load_indexed_u64(base, i);
+        f.halt(Rval::Reg(v));
+        let ext_only = CompileOpts {
+            custom_ext: true,
+            optimize: false,
+        };
+        let p = f.compile(&ext_only).unwrap();
+        assert_eq!(run(&p), 9);
+        assert!(
+            p.disassemble().contains("x.lrd"),
+            "custom indexed load selected:\n{}",
+            p.disassemble()
+        );
+    }
+
+    #[test]
+    fn native_mode_is_pure_rv64(){
+        let mut f = FuncBuilder::new("idx");
+        let arr = f.symbol_u64("arr", &[7, 8, 9]);
+        let base = f.addr_of(&arr);
+        let i = f.vreg();
+        f.li(i, 2);
+        let v = f.load_indexed_u64(base, i);
+        f.mul_acc(v, v, v);
+        f.halt(Rval::Reg(v));
+        let p = f.compile(&CompileOpts::native()).unwrap();
+        assert!(!p.disassemble().contains("x."), "no custom ops in native mode");
+    }
+}

@@ -1,0 +1,600 @@
+//! The typed three-address intermediate representation and its builder.
+
+use std::collections::HashMap;
+
+/// A virtual register.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VReg(pub u32);
+
+/// A basic-block id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct BlockId(pub u32);
+
+/// Right-hand-side value: virtual register or immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rval {
+    /// A virtual register.
+    Reg(VReg),
+    /// A constant.
+    Imm(i64),
+}
+
+/// Memory access width.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemWidth {
+    /// 1 byte.
+    B1,
+    /// 2 bytes.
+    B2,
+    /// 4 bytes.
+    B4,
+    /// 8 bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+
+    /// log2 of the width (the indexed-addressing shift).
+    pub fn shift(self) -> u8 {
+        self.bytes().trailing_zeros() as u8
+    }
+}
+
+/// Branch conditions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cond {
+    /// a == b
+    Eq,
+    /// a != b
+    Ne,
+    /// a < b (signed)
+    Lt,
+    /// a >= b (signed)
+    Ge,
+    /// a < b (unsigned)
+    Ltu,
+    /// a >= b (unsigned)
+    Geu,
+}
+
+/// Binary ALU operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    MulW,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    SltS,
+    SltU,
+    AddW,
+}
+
+/// One IR instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum IrInst {
+    /// `dst = a <op> b`
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination.
+        dst: VReg,
+        /// Left operand.
+        a: Rval,
+        /// Right operand.
+        b: Rval,
+    },
+    /// `dst = imm`
+    Li {
+        /// Destination.
+        dst: VReg,
+        /// Constant value.
+        imm: i64,
+    },
+    /// `dst = &symbol`
+    La {
+        /// Destination.
+        dst: VReg,
+        /// Data symbol name.
+        symbol: String,
+    },
+    /// `dst = mem[base + off]`
+    Load {
+        /// Destination.
+        dst: VReg,
+        /// Base address register.
+        base: VReg,
+        /// Byte offset.
+        off: i64,
+        /// Access width.
+        width: MemWidth,
+        /// Sign-extend the loaded value.
+        signed: bool,
+    },
+    /// `dst = mem[base + (index << width.shift())]` — the indexed
+    /// addressing form the custom extension accelerates (§VIII-A).
+    LoadIdx {
+        /// Destination.
+        dst: VReg,
+        /// Base address register.
+        base: VReg,
+        /// Element index register.
+        index: VReg,
+        /// Access width (also determines the index shift).
+        width: MemWidth,
+        /// Sign-extend.
+        signed: bool,
+    },
+    /// `mem[base + off] = src`
+    Store {
+        /// Value to store.
+        src: Rval,
+        /// Base address register.
+        base: VReg,
+        /// Byte offset.
+        off: i64,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `mem[base + (index << width.shift())] = src`
+    StoreIdx {
+        /// Value to store.
+        src: Rval,
+        /// Base address register.
+        base: VReg,
+        /// Element index register.
+        index: VReg,
+        /// Access width.
+        width: MemWidth,
+    },
+    /// `dst = cond ? a : dst` — select, lowered to a branch (native) or
+    /// a conditional move (custom extension).
+    SelectEqz {
+        /// Destination (keeps its value when `test != 0`).
+        dst: VReg,
+        /// Value when `test == 0`.
+        a: Rval,
+        /// Test register.
+        test: VReg,
+    },
+    /// `dst = dst + a*b` — lowered to mul+add (native) or `x.mula`.
+    MulAcc {
+        /// Accumulator.
+        dst: VReg,
+        /// Multiplicand.
+        a: VReg,
+        /// Multiplier.
+        b: VReg,
+    },
+    /// `dst = zext32(a)` — two shifts (native) or `x.zextw`.
+    ZextW {
+        /// Destination.
+        dst: VReg,
+        /// Source.
+        a: VReg,
+    },
+}
+
+/// Block terminator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Term {
+    /// Conditional branch.
+    Br {
+        /// Condition.
+        cond: Cond,
+        /// Left operand.
+        a: Rval,
+        /// Right operand.
+        b: Rval,
+        /// Target when the condition holds.
+        then_to: BlockId,
+        /// Fall-through target.
+        else_to: BlockId,
+    },
+    /// Unconditional jump.
+    Jmp(BlockId),
+    /// Terminate the program with an exit code.
+    Halt(Rval),
+}
+
+/// A basic block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Body instructions.
+    pub insts: Vec<IrInst>,
+    /// Terminator (`None` until sealed).
+    pub term: Option<Term>,
+}
+
+/// A data symbol definition.
+#[derive(Clone, Debug)]
+pub enum DataDef {
+    /// Raw bytes.
+    Bytes(Vec<u8>),
+    /// 16-bit values.
+    U16(Vec<u16>),
+    /// 32-bit values.
+    U32(Vec<u32>),
+    /// 64-bit values.
+    U64(Vec<u64>),
+    /// Zeroed region of the given size.
+    Zeros(usize),
+}
+
+/// A function under construction (and the whole compilation unit: the
+/// workloads in this workspace are single-function kernels).
+#[derive(Clone, Debug)]
+pub struct FuncBuilder {
+    /// Kernel name (diagnostics).
+    pub name: String,
+    pub(crate) blocks: Vec<Block>,
+    pub(crate) entry: BlockId,
+    current: BlockId,
+    next_vreg: u32,
+    pub(crate) data: Vec<(String, DataDef)>,
+    pub(crate) data_index: HashMap<String, usize>,
+}
+
+impl FuncBuilder {
+    /// Starts a function; an entry block is created and selected.
+    pub fn new(name: &str) -> Self {
+        FuncBuilder {
+            name: name.to_string(),
+            blocks: vec![Block {
+                insts: Vec::new(),
+                term: None,
+            }],
+            entry: BlockId(0),
+            current: BlockId(0),
+            next_vreg: 0,
+            data: Vec::new(),
+            data_index: HashMap::new(),
+        }
+    }
+
+    /// Allocates a fresh virtual register.
+    pub fn vreg(&mut self) -> VReg {
+        self.next_vreg += 1;
+        VReg(self.next_vreg - 1)
+    }
+
+    /// Number of virtual registers allocated so far.
+    pub fn vreg_count(&self) -> u32 {
+        self.next_vreg
+    }
+
+    /// Creates an empty block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(Block {
+            insts: Vec::new(),
+            term: None,
+        });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Selects the block receiving subsequent instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already sealed with a terminator.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            self.blocks[b.0 as usize].term.is_none(),
+            "block {b:?} already sealed"
+        );
+        self.current = b;
+    }
+
+    fn push(&mut self, i: IrInst) {
+        let blk = &mut self.blocks[self.current.0 as usize];
+        assert!(blk.term.is_none(), "emitting into a sealed block");
+        blk.insts.push(i);
+    }
+
+    fn seal(&mut self, t: Term) {
+        let blk = &mut self.blocks[self.current.0 as usize];
+        assert!(blk.term.is_none(), "block already sealed");
+        blk.term = Some(t);
+    }
+
+    // ---- data ----
+
+    fn add_data(&mut self, name: &str, def: DataDef) -> String {
+        assert!(
+            !self.data_index.contains_key(name),
+            "duplicate symbol {name}"
+        );
+        self.data_index.insert(name.to_string(), self.data.len());
+        self.data.push((name.to_string(), def));
+        name.to_string()
+    }
+
+    /// Defines a u64 array symbol; returns its name for [`Self::la`].
+    pub fn symbol_u64(&mut self, name: &str, vals: &[u64]) -> String {
+        self.add_data(name, DataDef::U64(vals.to_vec()))
+    }
+
+    /// Defines a u32 array symbol.
+    pub fn symbol_u32(&mut self, name: &str, vals: &[u32]) -> String {
+        self.add_data(name, DataDef::U32(vals.to_vec()))
+    }
+
+    /// Defines a u16 array symbol.
+    pub fn symbol_u16(&mut self, name: &str, vals: &[u16]) -> String {
+        self.add_data(name, DataDef::U16(vals.to_vec()))
+    }
+
+    /// Defines a byte array symbol.
+    pub fn symbol_bytes(&mut self, name: &str, vals: &[u8]) -> String {
+        self.add_data(name, DataDef::Bytes(vals.to_vec()))
+    }
+
+    /// Defines a zeroed region.
+    pub fn symbol_zeros(&mut self, name: &str, len: usize) -> String {
+        self.add_data(name, DataDef::Zeros(len))
+    }
+
+    // ---- instructions ----
+
+    /// `dst = imm`
+    pub fn li(&mut self, dst: VReg, imm: i64) {
+        self.push(IrInst::Li { dst, imm });
+    }
+
+    /// `dst = &symbol`
+    pub fn la(&mut self, dst: VReg, symbol: &str) {
+        assert!(
+            self.data_index.contains_key(symbol),
+            "unknown symbol {symbol}"
+        );
+        self.push(IrInst::La {
+            dst,
+            symbol: symbol.to_string(),
+        });
+    }
+
+    /// Convenience: new vreg holding `&symbol`.
+    pub fn addr_of(&mut self, symbol: &str) -> VReg {
+        let r = self.vreg();
+        self.la(r, symbol);
+        r
+    }
+
+    fn bin(&mut self, op: BinOp, dst: VReg, a: Rval, b: Rval) {
+        self.push(IrInst::Bin { op, dst, a, b });
+    }
+
+    /// `dst = a + b`
+    pub fn add(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Add, dst, a, b);
+    }
+
+    /// `dst = a - b`
+    pub fn sub(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Sub, dst, a, b);
+    }
+
+    /// `dst = a * b`
+    pub fn mul(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Mul, dst, a, b);
+    }
+
+    /// `dst = a / b` (signed)
+    pub fn div(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Div, dst, a, b);
+    }
+
+    /// `dst = a % b` (signed)
+    pub fn rem(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Rem, dst, a, b);
+    }
+
+    /// `dst = a & b`
+    pub fn and(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::And, dst, a, b);
+    }
+
+    /// `dst = a | b`
+    pub fn or(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Or, dst, a, b);
+    }
+
+    /// `dst = a ^ b`
+    pub fn xor(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Xor, dst, a, b);
+    }
+
+    /// `dst = a << b`
+    pub fn shl(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Shl, dst, a, b);
+    }
+
+    /// `dst = a >> b` (logical)
+    pub fn shr(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Shr, dst, a, b);
+    }
+
+    /// `dst = a >> b` (arithmetic)
+    pub fn sar(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::Sar, dst, a, b);
+    }
+
+    /// `dst = (a < b) ? 1 : 0` signed
+    pub fn slt(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::SltS, dst, a, b);
+    }
+
+    /// `dst = (a < b) ? 1 : 0` unsigned
+    pub fn sltu(&mut self, dst: VReg, a: Rval, b: Rval) {
+        self.bin(BinOp::SltU, dst, a, b);
+    }
+
+    /// `dst = zext32(a)`
+    pub fn zext_w(&mut self, dst: VReg, a: VReg) {
+        self.push(IrInst::ZextW { dst, a });
+    }
+
+    /// `dst += a * b`
+    pub fn mul_acc(&mut self, dst: VReg, a: VReg, b: VReg) {
+        self.push(IrInst::MulAcc { dst, a, b });
+    }
+
+    /// `dst = (test == 0) ? a : dst`
+    pub fn select_eqz(&mut self, dst: VReg, a: Rval, test: VReg) {
+        self.push(IrInst::SelectEqz { dst, a, test });
+    }
+
+    /// `dst = (test != 0) ? a : dst` (derived from [`Self::select_eqz`]).
+    pub fn select_nez(&mut self, dst: VReg, a: Rval, test: VReg) {
+        let tz = self.vreg();
+        self.sltu(tz, Rval::Reg(test), Rval::Imm(1)); // tz = (test == 0)
+        self.push(IrInst::SelectEqz { dst, a, test: tz });
+    }
+
+    /// `dst = mem[base + off]`, 8 bytes.
+    pub fn load_u64(&mut self, base: VReg, off: i64) -> VReg {
+        let dst = self.vreg();
+        self.push(IrInst::Load {
+            dst,
+            base,
+            off,
+            width: MemWidth::B8,
+            signed: false,
+        });
+        dst
+    }
+
+    /// Generic load.
+    pub fn load(&mut self, base: VReg, off: i64, width: MemWidth, signed: bool) -> VReg {
+        let dst = self.vreg();
+        self.push(IrInst::Load {
+            dst,
+            base,
+            off,
+            width,
+            signed,
+        });
+        dst
+    }
+
+    /// `dst = mem[&symbol? no — base + (index << shift)]` for u64 arrays.
+    pub fn load_indexed_u64(&mut self, base: VReg, index: VReg) -> VReg {
+        let dst = self.vreg();
+        self.push(IrInst::LoadIdx {
+            dst,
+            base,
+            index,
+            width: MemWidth::B8,
+            signed: false,
+        });
+        dst
+    }
+
+    /// Generic indexed load.
+    pub fn load_indexed(&mut self, base: VReg, index: VReg, width: MemWidth, signed: bool) -> VReg {
+        let dst = self.vreg();
+        self.push(IrInst::LoadIdx {
+            dst,
+            base,
+            index,
+            width,
+            signed,
+        });
+        dst
+    }
+
+    /// `mem[base + off] = src` (8 bytes).
+    pub fn store_u64(&mut self, src: Rval, base: VReg, off: i64) {
+        self.push(IrInst::Store {
+            src,
+            base,
+            off,
+            width: MemWidth::B8,
+        });
+    }
+
+    /// Generic store.
+    pub fn store(&mut self, src: Rval, base: VReg, off: i64, width: MemWidth) {
+        self.push(IrInst::Store {
+            src,
+            base,
+            off,
+            width,
+        });
+    }
+
+    /// Generic indexed store.
+    pub fn store_indexed(&mut self, src: Rval, base: VReg, index: VReg, width: MemWidth) {
+        self.push(IrInst::StoreIdx {
+            src,
+            base,
+            index,
+            width,
+        });
+    }
+
+    // ---- terminators ----
+
+    /// Seals with a conditional branch.
+    pub fn br(&mut self, cond: Cond, a: Rval, b: Rval, then_to: BlockId, else_to: BlockId) {
+        self.seal(Term::Br {
+            cond,
+            a,
+            b,
+            then_to,
+            else_to,
+        });
+    }
+
+    /// `if a < b goto then_to else else_to` (signed).
+    pub fn br_lt(&mut self, a: Rval, b: Rval, then_to: BlockId, else_to: BlockId) {
+        self.br(Cond::Lt, a, b, then_to, else_to);
+    }
+
+    /// `if a != b goto then_to else else_to`.
+    pub fn br_ne(&mut self, a: Rval, b: Rval, then_to: BlockId, else_to: BlockId) {
+        self.br(Cond::Ne, a, b, then_to, else_to);
+    }
+
+    /// `if a == b goto then_to else else_to`.
+    pub fn br_eq(&mut self, a: Rval, b: Rval, then_to: BlockId, else_to: BlockId) {
+        self.br(Cond::Eq, a, b, then_to, else_to);
+    }
+
+    /// Seals with an unconditional jump.
+    pub fn jmp(&mut self, target: BlockId) {
+        self.seal(Term::Jmp(target));
+    }
+
+    /// Seals with program termination.
+    pub fn halt(&mut self, code: Rval) {
+        self.seal(Term::Halt(code));
+    }
+
+    /// Compiles to a loadable program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::CompileError`] on malformed IR or register
+    /// pressure beyond the allocator's spill capacity.
+    pub fn compile(&self, opts: &crate::CompileOpts) -> Result<xt_asm::Program, crate::CompileError> {
+        crate::codegen::compile(self, opts)
+    }
+}

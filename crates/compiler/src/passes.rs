@@ -1,0 +1,466 @@
+//! The co-optimization passes of §IX.
+
+use crate::ir::{BinOp, BlockId, DataDef, FuncBuilder, IrInst, Rval, Term, VReg};
+use std::collections::HashMap;
+
+/// Runs all three passes in order; returns the transformed function.
+pub fn optimize(f: &FuncBuilder) -> FuncBuilder {
+    let mut f = f.clone();
+    dead_store_elimination(&mut f);
+    anchor_addressing(&mut f);
+    induction_variables(&mut f);
+    f
+}
+
+/// Data-section byte offsets of every symbol, mirroring the layout the
+/// code generator produces (definition order, natural alignment).
+pub fn symbol_offsets(f: &FuncBuilder) -> HashMap<String, u64> {
+    let mut out = HashMap::new();
+    let mut cursor = 0u64;
+    for (name, def) in &f.data {
+        let (align, size) = match def {
+            DataDef::Bytes(v) => (1, v.len() as u64),
+            DataDef::U16(v) => (2, v.len() as u64 * 2),
+            DataDef::U32(v) => (4, v.len() as u64 * 4),
+            DataDef::U64(v) => (8, v.len() as u64 * 8),
+            DataDef::Zeros(n) => (8, *n as u64),
+        };
+        cursor = (cursor + align - 1) & !(align - 1);
+        out.insert(name.clone(), cursor);
+        cursor += size;
+    }
+    out
+}
+
+/// §IX item 3: block-local dead-store elimination. A store is dead when
+/// the same (base, offset, width) is overwritten later in the block with
+/// no intervening memory read, possible alias, or base redefinition.
+pub fn dead_store_elimination(f: &mut FuncBuilder) {
+    for blk in &mut f.blocks {
+        let n = blk.insts.len();
+        let mut dead = vec![false; n];
+        for i in 0..n {
+            let IrInst::Store {
+                base, off, width, ..
+            } = blk.insts[i]
+            else {
+                continue;
+            };
+            // scan forward for a killing store
+            for j in i + 1..n {
+                match &blk.insts[j] {
+                    IrInst::Store {
+                        base: b2,
+                        off: o2,
+                        width: w2,
+                        ..
+                    } if *b2 == base && *o2 == off && *w2 == width => {
+                        dead[i] = true;
+                        break;
+                    }
+                    // any read, aliasing store or base redefinition stops
+                    IrInst::Load { .. } | IrInst::LoadIdx { .. } | IrInst::StoreIdx { .. } => break,
+                    IrInst::Store { .. } => break, // unknown alias
+                    other => {
+                        if defines(other) == Some(base) {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let mut k = 0;
+        blk.insts.retain(|_| {
+            k += 1;
+            !dead[k - 1]
+        });
+    }
+}
+
+fn defines(i: &IrInst) -> Option<VReg> {
+    match i {
+        IrInst::Bin { dst, .. }
+        | IrInst::Li { dst, .. }
+        | IrInst::La { dst, .. }
+        | IrInst::Load { dst, .. }
+        | IrInst::LoadIdx { dst, .. }
+        | IrInst::SelectEqz { dst, .. }
+        | IrInst::MulAcc { dst, .. }
+        | IrInst::ZextW { dst, .. } => Some(*dst),
+        IrInst::Store { .. } | IrInst::StoreIdx { .. } => None,
+    }
+}
+
+/// §IX item 2: anchor addressing. When a function references two or more
+/// data symbols, materialize one anchor and derive the rest by adding
+/// their (compile-time) offsets, instead of a full `li`-sequence per
+/// symbol.
+pub fn anchor_addressing(f: &mut FuncBuilder) {
+    let offsets = symbol_offsets(f);
+    // count distinct symbols actually referenced by La
+    let mut used: Vec<String> = Vec::new();
+    for blk in &f.blocks {
+        for i in &blk.insts {
+            if let IrInst::La { symbol, .. } = i {
+                if !used.contains(symbol) {
+                    used.push(symbol.clone());
+                }
+            }
+        }
+    }
+    if used.len() < 2 {
+        return;
+    }
+    // the anchor points at the lowest-offset used symbol
+    let anchor_sym = used
+        .iter()
+        .min_by_key(|s| offsets[*s])
+        .expect("non-empty")
+        .clone();
+    let anchor_off = offsets[&anchor_sym];
+    let anchor = f.vreg();
+    // prepend the single La to the entry block
+    let entry = f.entry;
+    f.blocks[entry.0 as usize].insts.insert(
+        0,
+        IrInst::La {
+            dst: anchor,
+            symbol: anchor_sym,
+        },
+    );
+    // rewrite every (other) La as anchor + delta
+    for (bi, blk) in f.blocks.iter_mut().enumerate() {
+        let skip_first = bi == entry.0 as usize;
+        for (k, inst) in blk.insts.iter_mut().enumerate() {
+            if skip_first && k == 0 {
+                continue; // the anchor itself
+            }
+            if let IrInst::La { dst, symbol } = inst {
+                let delta = offsets[symbol] as i64 - anchor_off as i64;
+                *inst = IrInst::Bin {
+                    op: BinOp::Add,
+                    dst: *dst,
+                    a: Rval::Reg(anchor),
+                    b: Rval::Imm(delta),
+                };
+            }
+        }
+    }
+}
+
+/// §IX item 1: induction-variable strength reduction for the canonical
+/// `pre -> head(cond) -> body(latch) -> head` loop shape: indexed
+/// accesses `mem[base + (i << s)]` inside the body become pointer
+/// dereferences with the pointer hoisted to the preheader and advanced
+/// next to `i`'s own increment.
+pub fn induction_variables(f: &mut FuncBuilder) {
+    let nblocks = f.blocks.len();
+    let mut rewrites: Vec<(BlockId, BlockId, BlockId)> = Vec::new(); // (pre, head, body)
+    for body_id in 0..nblocks {
+        let Some(Term::Jmp(head)) = f.blocks[body_id].term.clone() else {
+            continue;
+        };
+        if head.0 as usize >= body_id {
+            continue; // not a back edge
+        }
+        // head must branch into the body
+        let Some(Term::Br {
+            then_to, else_to, ..
+        }) = f.blocks[head.0 as usize].term.clone()
+        else {
+            continue;
+        };
+        if then_to.0 as usize != body_id && else_to.0 as usize != body_id {
+            continue;
+        }
+        // unique preheader: a block outside {head, body} targeting head
+        let mut pre = None;
+        for (bi, blk) in f.blocks.iter().enumerate() {
+            if bi == body_id || bi == head.0 as usize {
+                continue;
+            }
+            let targets_head = match &blk.term {
+                Some(Term::Jmp(t)) => *t == head,
+                Some(Term::Br {
+                    then_to, else_to, ..
+                }) => *then_to == head || *else_to == head,
+                _ => false,
+            };
+            if targets_head {
+                if pre.is_some() {
+                    pre = None; // multiple preheaders: bail
+                    break;
+                }
+                pre = Some(BlockId(bi as u32));
+            }
+        }
+        if let Some(pre) = pre {
+            rewrites.push((pre, head, BlockId(body_id as u32)));
+        }
+    }
+
+    for (pre, _head, body) in rewrites {
+        reduce_loop(f, pre, body);
+    }
+}
+
+fn reduce_loop(f: &mut FuncBuilder, pre: BlockId, body: BlockId) {
+    // find induction variables: i = i + const, exactly one update in body
+    let mut updates: HashMap<VReg, (usize, i64)> = HashMap::new();
+    for (k, inst) in f.blocks[body.0 as usize].insts.iter().enumerate() {
+        if let IrInst::Bin {
+            op: BinOp::Add,
+            dst,
+            a: Rval::Reg(a),
+            b: Rval::Imm(c),
+        } = inst
+        {
+            if dst == a {
+                if updates.contains_key(dst) {
+                    updates.remove(dst); // multiple updates: not affine
+                } else {
+                    updates.insert(*dst, (k, *c));
+                }
+            }
+        }
+    }
+    // collect candidate indexed accesses occurring BEFORE the update
+    struct Cand {
+        pos: usize,
+        ptr: VReg,
+        step_bytes: i64,
+    }
+    let mut cands: Vec<Cand> = Vec::new();
+    let mut pre_inserts: Vec<IrInst> = Vec::new();
+    let body_insts = f.blocks[body.0 as usize].insts.clone();
+    for (k, inst) in body_insts.iter().enumerate() {
+        let (index, base, width) = match inst {
+            IrInst::LoadIdx {
+                index, base, width, ..
+            } => (*index, *base, *width),
+            IrInst::StoreIdx {
+                index, base, width, ..
+            } => (*index, *base, *width),
+            _ => continue,
+        };
+        let Some(&(upd_pos, step)) = updates.get(&index) else {
+            continue;
+        };
+        if k >= upd_pos {
+            continue; // access after the increment: skip (ordering)
+        }
+        // base must not be redefined inside the body
+        if body_insts.iter().any(|i| defines(i) == Some(base)) {
+            continue;
+        }
+        // hoist: ptr = base + (index << shift) into the preheader
+        let tmp = f.vreg();
+        let ptr = f.vreg();
+        pre_inserts.push(IrInst::Bin {
+            op: BinOp::Shl,
+            dst: tmp,
+            a: Rval::Reg(index),
+            b: Rval::Imm(width.shift() as i64),
+        });
+        pre_inserts.push(IrInst::Bin {
+            op: BinOp::Add,
+            dst: ptr,
+            a: Rval::Reg(base),
+            b: Rval::Reg(tmp),
+        });
+        cands.push(Cand {
+            pos: k,
+            ptr,
+            step_bytes: step * width.bytes() as i64,
+        });
+    }
+    if cands.is_empty() {
+        return;
+    }
+    // rewrite body: replace indexed ops, then append pointer bumps at end
+    let blk = &mut f.blocks[body.0 as usize];
+    for c in &cands {
+        let inst = &mut blk.insts[c.pos];
+        *inst = match inst.clone() {
+            IrInst::LoadIdx {
+                dst,
+                width,
+                signed,
+                ..
+            } => IrInst::Load {
+                dst,
+                base: c.ptr,
+                off: 0,
+                width,
+                signed,
+            },
+            IrInst::StoreIdx { src, width, .. } => IrInst::Store {
+                src,
+                base: c.ptr,
+                off: 0,
+                width,
+            },
+            other => other,
+        };
+    }
+    for c in &cands {
+        blk.insts.push(IrInst::Bin {
+            op: BinOp::Add,
+            dst: c.ptr,
+            a: Rval::Reg(c.ptr),
+            b: Rval::Imm(c.step_bytes),
+        });
+    }
+    // preheader gets the pointer initialization before its terminator
+    let pre_blk = &mut f.blocks[pre.0 as usize];
+    pre_blk.insts.extend(pre_inserts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical_loop() -> FuncBuilder {
+        let mut f = FuncBuilder::new("t");
+        let arr = f.symbol_u64("arr", &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let (i, sum) = (f.vreg(), f.vreg());
+        let base = f.addr_of(&arr);
+        f.li(i, 0);
+        f.li(sum, 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jmp(head);
+        f.switch_to(head);
+        f.br_lt(Rval::Reg(i), Rval::Imm(8), body, exit);
+        f.switch_to(body);
+        let v = f.load_indexed_u64(base, i);
+        f.add(sum, Rval::Reg(sum), Rval::Reg(v));
+        f.add(i, Rval::Reg(i), Rval::Imm(1));
+        f.jmp(head);
+        f.switch_to(exit);
+        f.halt(Rval::Reg(sum));
+        f
+    }
+
+    #[test]
+    fn indvar_rewrites_indexed_load() {
+        let mut f = canonical_loop();
+        induction_variables(&mut f);
+        let body = &f.blocks[2]; // body block
+        assert!(
+            body.insts
+                .iter()
+                .all(|i| !matches!(i, IrInst::LoadIdx { .. })),
+            "indexed load strength-reduced"
+        );
+        assert!(
+            body.insts
+                .iter()
+                .any(|i| matches!(i, IrInst::Load { off: 0, .. })),
+            "pointer dereference present"
+        );
+        // entry (preheader) got the pointer init
+        let entry = &f.blocks[0];
+        assert!(entry
+            .insts
+            .iter()
+            .any(|i| matches!(i, IrInst::Bin { op: BinOp::Shl, .. })));
+    }
+
+    #[test]
+    fn indvar_preserves_semantics() {
+        let f = canonical_loop();
+        let native = f.compile(&crate::CompileOpts::native()).unwrap();
+        let opt = f.compile(&crate::CompileOpts::optimized()).unwrap();
+        let run = |p: &xt_asm::Program| {
+            let mut e = xt_emu::Emulator::new();
+            e.load(p);
+            e.run(100_000).unwrap()
+        };
+        assert_eq!(run(&native), 36);
+        assert_eq!(run(&opt), 36);
+    }
+
+    #[test]
+    fn dse_removes_overwritten_store() {
+        let mut f = FuncBuilder::new("t");
+        let buf = f.symbol_zeros("buf", 64);
+        let base = f.addr_of(&buf);
+        f.store_u64(Rval::Imm(1), base, 0);
+        f.store_u64(Rval::Imm(2), base, 0); // kills the first
+        f.store_u64(Rval::Imm(3), base, 8); // different offset: kept
+        f.halt(Rval::Imm(0));
+        dead_store_elimination(&mut f);
+        let stores = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, IrInst::Store { .. }))
+            .count();
+        assert_eq!(stores, 2);
+    }
+
+    #[test]
+    fn dse_respects_intervening_load() {
+        let mut f = FuncBuilder::new("t");
+        let buf = f.symbol_zeros("buf", 64);
+        let base = f.addr_of(&buf);
+        f.store_u64(Rval::Imm(1), base, 0);
+        let _v = f.load_u64(base, 0); // reads the first store
+        f.store_u64(Rval::Imm(2), base, 0);
+        f.halt(Rval::Imm(0));
+        dead_store_elimination(&mut f);
+        let stores = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, IrInst::Store { .. }))
+            .count();
+        assert_eq!(stores, 2, "load blocks elimination");
+    }
+
+    #[test]
+    fn anchor_merges_symbol_materializations() {
+        let mut f = FuncBuilder::new("t");
+        let a = f.symbol_u64("a", &[1]);
+        let b = f.symbol_u64("b", &[2]);
+        let ra = f.addr_of(&a);
+        let rb = f.addr_of(&b);
+        let va = f.load_u64(ra, 0);
+        let vb = f.load_u64(rb, 0);
+        let s = f.vreg();
+        f.add(s, Rval::Reg(va), Rval::Reg(vb));
+        f.halt(Rval::Reg(s));
+        anchor_addressing(&mut f);
+        let las = f.blocks[0]
+            .insts
+            .iter()
+            .filter(|i| matches!(i, IrInst::La { .. }))
+            .count();
+        assert_eq!(las, 1, "one anchor materialization remains");
+        // and it still computes 3
+        let p = f.compile(&crate::CompileOpts::native()).unwrap();
+        let mut e = xt_emu::Emulator::new();
+        e.load(&p);
+        assert_eq!(e.run(100_000).unwrap(), 3);
+    }
+
+    #[test]
+    fn optimized_executes_fewer_instructions() {
+        // The passes trade a couple of preheader instructions for a
+        // shorter loop body — the win is dynamic, as in the paper.
+        let f = canonical_loop();
+        let count = |opts: &crate::CompileOpts| {
+            let p = f.compile(opts).unwrap();
+            let mut e = xt_emu::Emulator::new();
+            e.load(&p);
+            e.run(100_000).unwrap();
+            e.cpu.instret
+        };
+        let native = count(&crate::CompileOpts::native());
+        let opt = count(&crate::CompileOpts::optimized());
+        assert!(
+            opt < native,
+            "optimized retires fewer instructions: {opt} vs {native}"
+        );
+    }
+}

@@ -1,0 +1,306 @@
+//! Linear-scan register allocation (Poletto/Sarkar style) with
+//! back-edge interval closure and stack spilling.
+
+use crate::ir::{FuncBuilder, IrInst, Rval, Term, VReg};
+use std::collections::HashMap;
+
+/// Where a virtual register lives.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Loc {
+    /// A physical integer register (x-index).
+    Reg(u8),
+    /// A stack slot at `sp + offset`.
+    Stack(i64),
+}
+
+/// Physical registers handed to the allocator. `x29..x31` are reserved
+/// as codegen scratch; `x0/ra/sp/gp/tp/s0` are never allocated.
+pub const POOL: &[u8] = &[
+    5, 6, 7, // t0-t2
+    9, // s1
+    10, 11, 12, 13, 14, 15, 16, 17, // a0-a7
+    18, 19, 20, 21, 22, 23, 24, 25, 26, 27, // s2-s11
+    28, // t3
+];
+
+/// Codegen scratch registers (never allocated).
+pub const SCRATCH: [u8; 3] = [29, 30, 31];
+
+/// The allocation result.
+#[derive(Clone, Debug)]
+pub struct Allocation {
+    /// Location of every virtual register.
+    pub map: HashMap<VReg, Loc>,
+    /// Stack frame size in bytes (16-aligned).
+    pub frame_size: i64,
+    /// Number of spilled vregs (diagnostics).
+    pub spills: usize,
+}
+
+fn rv_reg(r: &Rval) -> Option<VReg> {
+    match r {
+        Rval::Reg(v) => Some(*v),
+        Rval::Imm(_) => None,
+    }
+}
+
+fn uses_of(inst: &IrInst) -> Vec<VReg> {
+    let mut out = Vec::new();
+    let mut rv = |r: &Rval| {
+        if let Rval::Reg(v) = r {
+            out.push(*v);
+        }
+    };
+    match inst {
+        IrInst::Bin { a, b, .. } => {
+            rv(a);
+            rv(b);
+        }
+        IrInst::Li { .. } | IrInst::La { .. } => {}
+        IrInst::Load { base, .. } => out.push(*base),
+        IrInst::LoadIdx { base, index, .. } => {
+            out.push(*base);
+            out.push(*index);
+        }
+        IrInst::Store { src, base, .. } => {
+            if let Some(v) = rv_reg(src) {
+                out.push(v);
+            }
+            out.push(*base);
+        }
+        IrInst::StoreIdx {
+            src, base, index, ..
+        } => {
+            if let Some(v) = rv_reg(src) {
+                out.push(v);
+            }
+            out.push(*base);
+            out.push(*index);
+        }
+        IrInst::SelectEqz { dst, a, test } => {
+            out.push(*dst); // read-modify-write
+            if let Some(v) = rv_reg(a) {
+                out.push(v);
+            }
+            out.push(*test);
+        }
+        IrInst::MulAcc { dst, a, b } => {
+            out.push(*dst);
+            out.push(*a);
+            out.push(*b);
+        }
+        IrInst::ZextW { a, .. } => out.push(*a),
+    }
+    out
+}
+
+fn def_of(inst: &IrInst) -> Option<VReg> {
+    match inst {
+        IrInst::Bin { dst, .. }
+        | IrInst::Li { dst, .. }
+        | IrInst::La { dst, .. }
+        | IrInst::Load { dst, .. }
+        | IrInst::LoadIdx { dst, .. }
+        | IrInst::SelectEqz { dst, .. }
+        | IrInst::MulAcc { dst, .. }
+        | IrInst::ZextW { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn term_uses(t: &Term) -> Vec<VReg> {
+    let mut out = Vec::new();
+    let mut rv = |r: &Rval| {
+        if let Rval::Reg(v) = r {
+            out.push(*v);
+        }
+    };
+    match t {
+        Term::Br { a, b, .. } => {
+            rv(a);
+            rv(b);
+        }
+        Term::Halt(c) => rv(c),
+        Term::Jmp(_) => {}
+    }
+    out
+}
+
+/// Computes locations for every vreg in `f`.
+pub fn allocate(f: &FuncBuilder) -> Allocation {
+    // 1. linear positions and raw intervals
+    let mut pos = 0u32;
+    let mut block_span: Vec<(u32, u32)> = Vec::new(); // [start, end] per block
+    let mut interval: HashMap<VReg, (u32, u32)> = HashMap::new();
+    let touch = |iv: &mut HashMap<VReg, (u32, u32)>, v: VReg, p: u32| {
+        let e = iv.entry(v).or_insert((p, p));
+        e.0 = e.0.min(p);
+        e.1 = e.1.max(p);
+    };
+    for blk in &f.blocks {
+        let start = pos;
+        for inst in &blk.insts {
+            for u in uses_of(inst) {
+                touch(&mut interval, u, pos);
+            }
+            if let Some(d) = def_of(inst) {
+                touch(&mut interval, d, pos);
+            }
+            pos += 1;
+        }
+        if let Some(t) = &blk.term {
+            for u in term_uses(t) {
+                touch(&mut interval, u, pos);
+            }
+        }
+        pos += 1;
+        block_span.push((start, pos - 1));
+    }
+
+    // 2. back-edge closure: anything live across a loop spans the loop
+    let mut loops: Vec<(u32, u32)> = Vec::new();
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let targets: Vec<u32> = match &blk.term {
+            Some(Term::Jmp(t)) => vec![t.0],
+            Some(Term::Br {
+                then_to, else_to, ..
+            }) => vec![then_to.0, else_to.0],
+            _ => vec![],
+        };
+        for t in targets {
+            if (t as usize) <= bi {
+                loops.push((block_span[t as usize].0, block_span[bi].1));
+            }
+        }
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (ls, le) in &loops {
+            for e in interval.values_mut() {
+                // intersects the loop span?
+                if e.0 <= *le && e.1 >= *ls && (e.0 > *ls || e.1 < *le) {
+                    e.0 = e.0.min(*ls);
+                    e.1 = e.1.max(*le);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // 3. linear scan
+    let mut order: Vec<(VReg, (u32, u32))> = interval.into_iter().collect();
+    order.sort_by_key(|(v, (s, _))| (*s, v.0));
+    let mut free: Vec<u8> = POOL.to_vec();
+    let mut active: Vec<(VReg, u32, u8)> = Vec::new(); // (vreg, end, reg)
+    let mut map: HashMap<VReg, Loc> = HashMap::new();
+    let mut next_slot = 0i64;
+    let mut spills = 0usize;
+    for (v, (s, e)) in order {
+        // expire
+        active.retain(|(av, aend, areg)| {
+            if *aend < s {
+                free.push(*areg);
+                let _ = av;
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(r) = free.pop() {
+            active.push((v, e, r));
+            map.insert(v, Loc::Reg(r));
+        } else {
+            // spill the interval ending last
+            let (mi, &(cand, cand_end, cand_reg)) = active
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, (_, end, _))| *end)
+                .expect("active non-empty when out of registers");
+            if cand_end > e {
+                // steal its register
+                map.insert(cand, Loc::Stack(next_slot));
+                next_slot += 8;
+                spills += 1;
+                active.remove(mi);
+                active.push((v, e, cand_reg));
+                map.insert(v, Loc::Reg(cand_reg));
+            } else {
+                map.insert(v, Loc::Stack(next_slot));
+                next_slot += 8;
+                spills += 1;
+            }
+        }
+    }
+    let frame_size = (next_slot + 15) & !15;
+    Allocation {
+        map,
+        frame_size,
+        spills,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::FuncBuilder;
+
+    #[test]
+    fn few_vregs_all_in_registers() {
+        let mut f = FuncBuilder::new("t");
+        let (a, b, c) = (f.vreg(), f.vreg(), f.vreg());
+        f.li(a, 1);
+        f.li(b, 2);
+        f.add(c, Rval::Reg(a), Rval::Reg(b));
+        f.halt(Rval::Reg(c));
+        let alloc = allocate(&f);
+        assert_eq!(alloc.spills, 0);
+        assert!(alloc.map.values().all(|l| matches!(l, Loc::Reg(_))));
+        // distinct simultaneous vregs get distinct registers
+        let ra = alloc.map[&a];
+        let rb = alloc.map[&b];
+        assert_ne!(ra, rb);
+    }
+
+    #[test]
+    fn high_pressure_spills() {
+        let mut f = FuncBuilder::new("t");
+        let regs: Vec<_> = (0..40).map(|_| f.vreg()).collect();
+        for (k, r) in regs.iter().enumerate() {
+            f.li(*r, k as i64);
+        }
+        // keep all live to the end
+        let sum = f.vreg();
+        f.li(sum, 0);
+        for r in &regs {
+            f.add(sum, Rval::Reg(sum), Rval::Reg(*r));
+        }
+        f.halt(Rval::Reg(sum));
+        let alloc = allocate(&f);
+        assert!(alloc.spills > 0, "40 live vregs exceed the pool");
+        assert!(alloc.frame_size >= alloc.spills as i64 * 8);
+    }
+
+    #[test]
+    fn loop_closure_keeps_values_alive() {
+        let mut f = FuncBuilder::new("t");
+        let (i, acc) = (f.vreg(), f.vreg());
+        f.li(i, 0);
+        f.li(acc, 0);
+        let head = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.jmp(head);
+        f.switch_to(head);
+        f.br_lt(Rval::Reg(i), Rval::Imm(10), body, exit);
+        f.switch_to(body);
+        f.add(acc, Rval::Reg(acc), Rval::Reg(i));
+        f.add(i, Rval::Reg(i), Rval::Imm(1));
+        f.jmp(head);
+        f.switch_to(exit);
+        f.halt(Rval::Reg(acc));
+        let alloc = allocate(&f);
+        // i and acc must not share a register (both live through the loop)
+        assert_ne!(alloc.map[&i], alloc.map[&acc]);
+    }
+}

@@ -1,0 +1,255 @@
+//! Dual-issue in-order pipeline model — the SiFive-U74-class baseline
+//! the paper compares against in Fig. 17.
+//!
+//! The U74 is an 8-stage, dual-issue, in-order application core. The
+//! model shares the front-end predictors and memory hierarchy with the
+//! OoO model but issues strictly in program order: an instruction cannot
+//! begin execution before its program-order predecessor has issued, and
+//! operand dependencies stall the whole issue stage (scoreboarding, no
+//! renaming, no speculation past unresolved stores).
+
+use crate::config::CoreConfig;
+use crate::ifu::{FrontEnd, Redirect};
+use crate::perf::{PerfCounters, RunReport};
+use crate::resources::{Bandwidth, PipeGroup};
+use xt_emu::{DynInst, TraceSource};
+use xt_isa::ExecClass;
+use xt_mem::MemSystem;
+
+/// The in-order core model.
+#[derive(Debug)]
+pub struct InOrderCore {
+    cfg: CoreConfig,
+    core_id: usize,
+    fe: FrontEnd,
+    fetch_cycle: u64,
+    fetch_bytes: u64,
+    cur_fetch_line: u64,
+    issue_bw: Bandwidth,
+    alu: PipeGroup,
+    mdu: PipeGroup,
+    fp: PipeGroup,
+    agu: PipeGroup,
+    reg_ready: [[u64; 32]; 3],
+    /// issue must be monotonic (in-order)
+    last_issue: u64,
+    max_complete: u64,
+    perf: PerfCounters,
+}
+
+impl InOrderCore {
+    /// Creates the baseline core.
+    pub fn new(cfg: CoreConfig, core_id: usize) -> Self {
+        InOrderCore {
+            fe: FrontEnd::new(&cfg),
+            fetch_cycle: 0,
+            fetch_bytes: 0,
+            cur_fetch_line: u64::MAX,
+            issue_bw: Bandwidth::new(cfg.issue_width),
+            alu: PipeGroup::new(2),
+            mdu: PipeGroup::new(1),
+            fp: PipeGroup::new(1),
+            agu: PipeGroup::new(1),
+            reg_ready: [[0; 32]; 3],
+            last_issue: 0,
+            max_complete: 0,
+            perf: PerfCounters::default(),
+            core_id,
+            cfg,
+        }
+    }
+
+    /// Consumes the whole trace and produces the report.
+    pub fn run_to_end(&mut self, mut trace: TraceSource, mem: &mut MemSystem) -> RunReport {
+        for d in trace.by_ref() {
+            self.step(&d, mem);
+        }
+        self.perf.cycles = self.max_complete.max(self.last_issue);
+        RunReport {
+            machine: self.cfg.name,
+            perf: self.perf.clone(),
+            mem: mem.stats(),
+            exit_code: trace.exit_code,
+        }
+    }
+
+    fn rf_idx(rf: xt_isa::RegFile) -> usize {
+        match rf {
+            xt_isa::RegFile::Int => 0,
+            xt_isa::RegFile::Fp => 1,
+            xt_isa::RegFile::Vec => 2,
+            xt_isa::RegFile::None => 0,
+        }
+    }
+
+    /// Advances the model by one committed instruction.
+    pub fn step(&mut self, d: &DynInst, mem: &mut MemSystem) {
+        let class = d.inst.op.exec_class();
+        let fo = self.fe.observe(d, &mut self.perf);
+
+        // fetch
+        let line = d.fetch_pa >> 6;
+        if line != self.cur_fetch_line {
+            let t = mem.icache_fetch(self.core_id, self.fetch_cycle, d.fetch_pa);
+            if t > self.fetch_cycle {
+                self.fetch_cycle = t;
+                self.fetch_bytes = 0;
+            }
+            self.cur_fetch_line = line;
+        }
+        if self.fetch_bytes + d.inst.len as u64 > self.cfg.fetch_bytes {
+            self.fetch_cycle += 1;
+            self.fetch_bytes = 0;
+        }
+        self.fetch_bytes += d.inst.len as u64;
+
+        // in-order issue: operands must be ready, and issue is monotonic
+        let mut ready = self.fetch_cycle + 1;
+        for (rf, idx) in d.inst.sources() {
+            ready = ready.max(self.reg_ready[Self::rf_idx(rf)][idx as usize]);
+        }
+        ready = ready.max(self.last_issue);
+        let issue = self.issue_bw.take(ready);
+        self.last_issue = issue;
+        // a stalled issue stage also stalls fetch eventually
+        if issue > self.fetch_cycle + 8 {
+            self.fetch_cycle = issue - 8;
+            self.fetch_bytes = 0;
+        }
+
+        let lat = self.cfg.lat;
+        let complete = match class {
+            ExecClass::Alu => self.alu.issue(issue, 1) + lat.alu,
+            ExecClass::Mul => self.mdu.issue(issue, 1) + lat.mul,
+            ExecClass::Div => self.mdu.issue(issue, lat.div) + lat.div,
+            ExecClass::Branch | ExecClass::Jump | ExecClass::JumpInd => {
+                self.alu.issue(issue, 1) + lat.alu
+            }
+            ExecClass::Load | ExecClass::VecLoad | ExecClass::Amo => {
+                let m = d.mem.expect("load accesses memory");
+                let start = self.agu.issue(issue, 1) + lat.agu;
+                mem.dload(self.core_id, start, m.vaddr, m.paddr)
+            }
+            ExecClass::Store | ExecClass::VecStore => {
+                let m = d.mem.expect("store accesses memory");
+                let start = self.agu.issue(issue, 1) + lat.agu;
+                // in-order cores retire stores through a small buffer;
+                // the store itself doesn't stall dependents
+                let _ = mem.dstore(self.core_id, start, m.vaddr, m.paddr);
+                start + 1
+            }
+            ExecClass::Fence | ExecClass::Csr | ExecClass::System | ExecClass::CacheOp => {
+                let done = issue.max(self.max_complete) + lat.csr;
+                self.last_issue = done;
+                done
+            }
+            ExecClass::VSet => self.alu.issue(issue, 1) + lat.alu,
+            ExecClass::VecAlu | ExecClass::VecFAdd => self.fp.issue(issue, 1) + lat.valu,
+            ExecClass::VecMul => self.fp.issue(issue, 1) + lat.vfmul,
+            ExecClass::VecDiv => self.fp.issue(issue, lat.vdiv) + lat.vdiv,
+            ExecClass::VecPerm => self.fp.issue(issue, 2) + lat.vperm,
+            // scalar FP on the single FP pipe
+            ExecClass::FpAdd => self.fp.issue(issue, 1) + lat.fadd,
+            ExecClass::FpMul => self.fp.issue(issue, 1) + lat.fmul,
+            ExecClass::FpDiv => self.fp.issue(issue, lat.fdiv) + lat.fdiv,
+            ExecClass::FpCvt => self.fp.issue(issue, 1) + lat.fcvt,
+        };
+
+        if let Some((rf, idx)) = d.inst.dest() {
+            self.reg_ready[Self::rf_idx(rf)][idx as usize] = complete;
+        }
+        self.max_complete = self.max_complete.max(complete);
+        self.perf.instructions += 1;
+        self.perf.uops += 1;
+
+        // redirects
+        if d.trapped {
+            self.perf.exception_flushes += 1;
+            self.fetch_cycle = self.fetch_cycle.max(complete + self.cfg.flush_penalty);
+            self.fetch_bytes = 0;
+            self.cur_fetch_line = u64::MAX;
+        } else {
+            match fo.redirect {
+                Redirect::None => {}
+                Redirect::TakenAtIf => {
+                    self.fetch_cycle += 1;
+                    self.fetch_bytes = 0;
+                    self.issue_bw.break_group();
+                }
+                Redirect::TakenAtIp => {
+                    self.fetch_cycle += 1 + self.cfg.ip_jump_bubble;
+                    self.fetch_bytes = 0;
+                    self.issue_bw.break_group();
+                }
+                Redirect::Mispredict => {
+                    self.fetch_cycle = self.fetch_cycle.max(complete + self.cfg.mispredict_penalty);
+                    self.fetch_bytes = 0;
+                    self.cur_fetch_line = u64::MAX;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_asm::Asm;
+    use xt_isa::reg::Gpr;
+
+    fn run(cfg: CoreConfig, build: impl FnOnce(&mut Asm)) -> RunReport {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.halt();
+        let p = a.finish().unwrap();
+        crate::run_inorder(&p, &cfg, 10_000_000)
+    }
+
+    #[test]
+    fn dual_issue_caps_at_two() {
+        let r = run(CoreConfig::u74_like(), |a| {
+            a.li(Gpr::S0, 1000);
+            let top = a.here();
+            a.addi(Gpr::A1, Gpr::A1, 1);
+            a.addi(Gpr::A2, Gpr::A2, 1);
+            a.addi(Gpr::A3, Gpr::A3, 1);
+            a.addi(Gpr::A4, Gpr::A4, 1);
+            a.addi(Gpr::A5, Gpr::A5, 1);
+            a.addi(Gpr::S0, Gpr::S0, -1);
+            a.bnez(Gpr::S0, top);
+        });
+        let ipc = r.perf.ipc();
+        assert!(ipc <= 2.05, "dual issue bound: {ipc}");
+        assert!(ipc > 1.2, "independent ops should dual-issue: {ipc}");
+    }
+
+    #[test]
+    fn inorder_slower_than_ooo_on_ilp_code() {
+        let build = |a: &mut Asm| {
+            // loads hide under OoO but stall an in-order pipe
+            let buf = a.data_zeros("buf", 4096);
+            a.la(Gpr::S0, buf);
+            a.li(Gpr::A3, 500);
+            let top = a.here();
+            a.ld(Gpr::T0, Gpr::S0, 0);
+            a.addi(Gpr::T0, Gpr::T0, 1);
+            a.ld(Gpr::T1, Gpr::S0, 8);
+            a.addi(Gpr::T1, Gpr::T1, 1);
+            a.add(Gpr::A1, Gpr::T0, Gpr::T1);
+            a.addi(Gpr::A3, Gpr::A3, -1);
+            a.bnez(Gpr::A3, top);
+        };
+        let mut a1 = Asm::new();
+        build(&mut a1);
+        a1.halt();
+        let p = a1.finish().unwrap();
+        let ooo = crate::run_ooo(&p, &CoreConfig::xt910(), 10_000_000);
+        let ino = crate::run_inorder(&p, &CoreConfig::u74_like(), 10_000_000);
+        assert!(
+            ooo.perf.cycles < ino.perf.cycles,
+            "OoO {} vs in-order {}",
+            ooo.perf.cycles,
+            ino.perf.cycles
+        );
+    }
+}

@@ -1,0 +1,662 @@
+//! The XT-910 out-of-order pipeline timing model.
+//!
+//! Replays the committed trace through the 12-stage structure. Constant
+//! pipeline depth shifts every instruction equally and cancels out of
+//! IPC, so stages are modeled as bandwidth/occupancy constraints plus the
+//! *differential* penalties the paper describes: taken-branch bubbles by
+//! redirect source (§III-B), ≥7-cycle mispredict correction at the
+//! branch-jump unit (§III-A), loop-buffer streaming (§III-C), rename and
+//! ROB/issue-queue occupancy (§IV), the dual-issue LSU with pseudo
+//! double stores and ordering-violation flushes (§V), and vector-unit
+//! latencies (§VII).
+
+use crate::config::CoreConfig;
+use crate::ifu::{FrontEnd, Redirect};
+use crate::lsu::Lsu;
+use crate::perf::{PerfCounters, RunReport};
+use crate::resources::{Bandwidth, PipeGroup, SlotLimiter, Window};
+use xt_emu::{DynInst, TraceSource};
+use xt_isa::{ExecClass, Op, RegFile};
+use xt_mem::MemSystem;
+
+/// The out-of-order core.
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: CoreConfig,
+    core_id: usize,
+    fe: FrontEnd,
+    lsu: Lsu,
+    // front-end fetch state
+    fetch_cycle: u64,
+    fetch_bytes: u64,
+    cur_fetch_line: u64,
+    // stage bandwidth
+    decode_bw: Bandwidth,
+    rename_bw: Bandwidth,
+    retire_bw: Bandwidth,
+    issue_slots: SlotLimiter,
+    // windows
+    rob: Window,
+    iq: Window,
+    phys: [Window; 3],
+    // execution pipes
+    alu: PipeGroup,
+    bju: PipeGroup,
+    mdu: PipeGroup,
+    fpvec: PipeGroup,
+    // scoreboard: cycle each architectural register's value is ready
+    reg_ready: [[u64; 32]; 3],
+    serialize_point: u64,
+    max_complete: u64,
+    last_retire: u64,
+    vec_cfg: xt_vector::VectorConfig,
+    last_vset_imm: Option<i64>,
+    /// vsetvl speculation failures (§VII).
+    pub vset_spec_fails: u64,
+    perf: PerfCounters,
+}
+
+impl OooCore {
+    /// Creates a core with id `core_id` (its index in the cluster memory
+    /// system).
+    pub fn new(cfg: CoreConfig, core_id: usize) -> Self {
+        OooCore {
+            fe: FrontEnd::new(&cfg),
+            lsu: Lsu::new(&cfg),
+            fetch_cycle: 0,
+            fetch_bytes: 0,
+            cur_fetch_line: u64::MAX,
+            decode_bw: Bandwidth::new(cfg.decode_width),
+            rename_bw: Bandwidth::new(cfg.rename_width),
+            retire_bw: Bandwidth::new(cfg.retire_width),
+            issue_slots: SlotLimiter::new(cfg.issue_width as u32),
+            rob: Window::new(cfg.rob_entries),
+            iq: Window::new(cfg.iq_entries),
+            phys: [
+                Window::new(cfg.phys_int),
+                Window::new(cfg.phys_fp),
+                Window::new(cfg.phys_vec),
+            ],
+            alu: PipeGroup::new(cfg.alu_pipes),
+            bju: PipeGroup::new(1),
+            mdu: PipeGroup::new(1),
+            fpvec: PipeGroup::new(cfg.fp_pipes.max(cfg.vec_pipes)),
+            reg_ready: [[0; 32]; 3],
+            serialize_point: 0,
+            max_complete: 0,
+            last_retire: 0,
+            vec_cfg: xt_vector::VectorConfig::default(),
+            last_vset_imm: None,
+            vset_spec_fails: 0,
+            perf: PerfCounters::default(),
+            core_id,
+            cfg,
+        }
+    }
+
+    /// Consumes the whole trace and produces the report.
+    pub fn run_to_end(&mut self, mut trace: TraceSource, mem: &mut MemSystem) -> RunReport {
+        for d in trace.by_ref() {
+            self.step(&d, mem);
+        }
+        self.perf.cycles = self.last_retire.max(self.max_complete);
+        RunReport {
+            machine: self.cfg.name,
+            perf: self.perf.clone(),
+            mem: mem.stats(),
+            exit_code: trace.exit_code,
+        }
+    }
+
+    /// Current cycle count (for incremental use).
+    pub fn cycles(&self) -> u64 {
+        self.last_retire.max(self.max_complete)
+    }
+
+    /// Performance counters (for incremental use).
+    pub fn perf(&self) -> &PerfCounters {
+        &self.perf
+    }
+
+    fn src_file_index(rf: RegFile) -> usize {
+        match rf {
+            RegFile::Int => 0,
+            RegFile::Fp => 1,
+            RegFile::Vec => 2,
+            RegFile::None => 0,
+        }
+    }
+
+    /// Advances the model by one committed instruction.
+    pub fn step(&mut self, d: &DynInst, mem: &mut MemSystem) {
+        let cfg = &self.cfg;
+        let class = d.inst.op.exec_class();
+        let fo = self.fe.observe(d, &mut self.perf);
+
+        // ---- IF/IP/IB: fetch bandwidth, I-cache, IBUF ----
+        if !fo.from_lbuf {
+            let line = d.fetch_pa >> 6;
+            if line != self.cur_fetch_line {
+                let t = mem.icache_fetch(self.core_id, self.fetch_cycle, d.fetch_pa);
+                if t > self.fetch_cycle {
+                    self.fetch_cycle = t;
+                    self.fetch_bytes = 0;
+                }
+                self.cur_fetch_line = line;
+            }
+            if self.fetch_bytes + d.inst.len as u64 > cfg.fetch_bytes {
+                self.fetch_cycle += 1;
+                self.fetch_bytes = 0;
+            }
+            self.fetch_bytes += d.inst.len as u64;
+        }
+        let fetched = self.fetch_cycle;
+
+        // ---- ID: decode (3/cycle) ----
+        let dec = self.decode_bw.take(fetched + 1);
+        // IBUF back-pressure: fetch cannot run more than the buffer depth
+        // ahead of decode.
+        let ibuf_cycles = (cfg.ibuf_entries as u64 / cfg.decode_width).max(1);
+        if dec > self.fetch_cycle + ibuf_cycles {
+            self.fetch_cycle = dec - ibuf_cycles;
+            self.fetch_bytes = 0;
+        }
+
+        // ---- IR: rename (4 µops/cycle) + physical registers ----
+        let uops = if class == ExecClass::Store && cfg.split_stores {
+            2
+        } else {
+            1
+        };
+        self.perf.uops += uops;
+        let mut ren = self.rename_bw.take_n(dec + 1, uops);
+        if let Some((rf, _)) = d.inst.dest() {
+            ren = self.phys[Self::src_file_index(rf)].alloc(ren);
+        }
+
+        // ---- IS: dispatch into ROB + issue queue ----
+        let rob_at = self.rob.alloc(ren + 1);
+        self.perf.rob_stall_cycles += rob_at - (ren + 1);
+        let iq_at = self.iq.alloc(rob_at);
+        self.perf.iq_stall_cycles += iq_at - rob_at;
+        let disp = iq_at;
+
+        // ---- RF/EX: operands, issue slots, pipes ----
+        let mut ready = disp + 1;
+        for (rf, idx) in d.inst.sources() {
+            ready = ready.max(self.reg_ready[Self::src_file_index(rf)][idx as usize]);
+        }
+        ready = ready.max(self.serialize_point);
+
+        let lat = cfg.lat;
+        let mut violation = false;
+        let complete = match class {
+            ExecClass::Alu => {
+                let start = self.alu.issue(self.issue_slots.take(ready), 1);
+                start + lat.alu
+            }
+            ExecClass::Mul => {
+                // multiplier shares the ALU pipe pair (§II)
+                let start = self.alu.issue(self.issue_slots.take(ready), 1);
+                start + lat.mul
+            }
+            ExecClass::Div => {
+                // divider shares the multi-cycle pipe, unpipelined
+                let start = self.mdu.issue(self.issue_slots.take(ready), lat.div);
+                start + lat.div
+            }
+            ExecClass::Branch | ExecClass::Jump | ExecClass::JumpInd => {
+                let start = self.bju.issue(self.issue_slots.take(ready), 1);
+                start + lat.alu
+            }
+            ExecClass::Load => {
+                let mem_info = d.mem.expect("load has a memory access");
+                let r = self.lsu.load(
+                    self.core_id,
+                    d.pc,
+                    mem_info.vaddr,
+                    mem_info.paddr,
+                    mem_info.size as u64,
+                    self.issue_slots.take(ready),
+                    mem,
+                );
+                violation = r.violation;
+                if r.forwarded {
+                    self.perf.store_forwards += 1;
+                }
+                r.complete
+            }
+            ExecClass::Store => {
+                let mem_info = d.mem.expect("store has a memory access");
+                // base register gates st.addr; the data register (rs2 for
+                // scalar stores) gates st.data
+                let base_rdy = self.reg_ready[0][d.inst.rs1 as usize].max(disp + 1);
+                let data_rdy = ready; // includes all sources
+                let s = self.lsu.store(
+                    mem_info.paddr,
+                    mem_info.size as u64,
+                    self.issue_slots.take(disp + 1),
+                    base_rdy,
+                    data_rdy,
+                );
+                // the write-allocate / ownership request launches as soon
+                // as the address resolves (pseudo double store, Fig. 10);
+                // the write buffer absorbs the fill latency off the
+                // retirement critical path
+                let _ = mem.dstore(self.core_id, s.addr_ready, mem_info.vaddr, mem_info.paddr);
+                s.complete
+            }
+            ExecClass::Amo => {
+                let start = self.issue_slots.take(ready);
+                // an AMO is a read-modify-write: it needs the line in a
+                // writable state, so it takes the store coherence path
+                let done = match d.mem {
+                    Some(m) => mem
+                        .dstore(self.core_id, start, m.vaddr, m.paddr)
+                        .max(start + 4),
+                    None => start + 4,
+                };
+                self.serialize_point = done; // acquire/release ordering
+                done
+            }
+            ExecClass::Fence => {
+                let done = ready.max(self.max_complete);
+                self.serialize_point = done;
+                done
+            }
+            ExecClass::Csr => {
+                let done = ready.max(self.max_complete) + lat.csr;
+                self.serialize_point = done;
+                done
+            }
+            ExecClass::System => {
+                let done = ready.max(self.max_complete) + lat.csr;
+                self.serialize_point = done;
+                done
+            }
+            ExecClass::CacheOp => {
+                if d.inst.op == Op::XDcacheCall {
+                    mem.dcache_flush_all(self.core_id);
+                }
+                let done = ready.max(self.max_complete) + 8;
+                self.serialize_point = done;
+                done
+            }
+            ExecClass::VSet => {
+                // §VII: vector parameters are predicted and vector ops
+                // execute speculatively; failure only when vl changes.
+                let start = self.alu.issue(self.issue_slots.take(ready), 1);
+                let imm = d.inst.imm;
+                let fail =
+                    d.inst.op == Op::Vsetvl || self.last_vset_imm.is_some_and(|p| p != imm);
+                self.last_vset_imm = Some(imm);
+                if fail {
+                    // speculation failure: vector ops issued under the
+                    // stale parameters re-execute — serialize behind the
+                    // corrected configuration (§VII)
+                    self.vset_spec_fails += 1;
+                    let done = start + 4;
+                    self.serialize_point = self.serialize_point.max(done);
+                    done
+                } else {
+                    start + lat.alu
+                }
+            }
+            ExecClass::FpAdd => {
+                let start = self.fpvec.issue(self.issue_slots.take(ready), 1);
+                start + lat.fadd
+            }
+            ExecClass::FpMul => {
+                let start = self.fpvec.issue(self.issue_slots.take(ready), 1);
+                start + lat.fmul
+            }
+            ExecClass::FpDiv => {
+                let start = self.fpvec.issue(self.issue_slots.take(ready), lat.fdiv);
+                start + lat.fdiv
+            }
+            ExecClass::FpCvt => {
+                let start = self.fpvec.issue(self.issue_slots.take(ready), 1);
+                start + lat.fcvt
+            }
+            ExecClass::VecAlu | ExecClass::VecFAdd | ExecClass::VecMul | ExecClass::VecDiv
+            | ExecClass::VecPerm => {
+                // latency and slice occupancy from the xt-vector model
+                let sew = xt_isa::vector::Sew::decode(
+                    (d.sew_bits.max(8) as u32).trailing_zeros().saturating_sub(3),
+                )
+                .unwrap_or(xt_isa::vector::Sew::E64);
+                let vlat = xt_vector::latency(d.inst.op, sew);
+                let occ = xt_vector::occupancy(&self.vec_cfg, d.inst.op, d.vl as u64, sew);
+                let occ = if class == ExecClass::VecDiv { vlat } else { occ };
+                let start = self.fpvec.issue(self.issue_slots.take(ready), occ);
+                start + vlat
+            }
+            ExecClass::VecLoad => {
+                let mem_info = d.mem.expect("vector load accesses memory");
+                let bytes = mem_info.size as u64;
+                // the LSU moves 128 bits per cycle (§VII)
+                let beats = bytes.div_ceil(16).max(1);
+                let r = self.lsu.load(
+                    self.core_id,
+                    d.pc,
+                    mem_info.vaddr,
+                    mem_info.paddr,
+                    bytes,
+                    self.issue_slots.take(ready),
+                    mem,
+                );
+                violation = r.violation;
+                // extra lines beyond the first
+                let line = 64;
+                let first_line = mem_info.paddr & !(line - 1);
+                let last_line = (mem_info.paddr + bytes.max(1) - 1) & !(line - 1);
+                let mut done = r.complete;
+                let mut extra = 1;
+                let mut pa = first_line + line;
+                while pa <= last_line {
+                    let t = mem.dload(
+                        self.core_id,
+                        r.complete.min(self.max_complete.max(ready)) + extra,
+                        mem_info.vaddr + (pa - mem_info.paddr.min(pa)).min(bytes),
+                        pa,
+                    );
+                    done = done.max(t);
+                    extra += 1;
+                    pa += line;
+                }
+                done + beats - 1
+            }
+            ExecClass::VecStore => {
+                let mem_info = d.mem.expect("vector store accesses memory");
+                let bytes = mem_info.size as u64;
+                let beats = bytes.div_ceil(16).max(1);
+                let base_rdy = self.reg_ready[0][d.inst.rs1 as usize].max(disp + 1);
+                let s = self.lsu.store(
+                    mem_info.paddr,
+                    bytes,
+                    self.issue_slots.take(disp + 1),
+                    base_rdy,
+                    ready,
+                );
+                let _ = mem.dstore(self.core_id, s.addr_ready, mem_info.vaddr, mem_info.paddr);
+                s.complete + beats - 1
+            }
+        };
+
+        // ---- writeback ----
+        if let Some((rf, idx)) = d.inst.dest() {
+            self.reg_ready[Self::src_file_index(rf)][idx as usize] = complete;
+        }
+        self.max_complete = self.max_complete.max(complete);
+
+        // ---- RT1/RT2: in-order retirement ----
+        let ret = self.retire_bw.take((complete + 1).max(self.last_retire));
+        self.last_retire = ret;
+        self.perf.instructions += 1;
+        self.rob.commit(ret);
+        self.iq.commit(complete);
+        if let Some((rf, _)) = d.inst.dest() {
+            self.phys[Self::src_file_index(rf)].commit(ret);
+        }
+        match class {
+            ExecClass::Load | ExecClass::VecLoad => self.lsu.lq.commit(ret),
+            ExecClass::Store | ExecClass::VecStore => {
+                self.lsu.sq.commit(ret + 1);
+                self.lsu.drain_before(ret);
+            }
+            _ => {}
+        }
+
+        // ---- redirects ----
+        if d.trapped {
+            // Fig. 8: exception flushes the younger speculative work
+            self.perf.exception_flushes += 1;
+            self.redirect_fetch(complete + cfg.flush_penalty);
+        } else if violation {
+            self.perf.mem_order_flushes += 1;
+            self.redirect_fetch(complete + cfg.flush_penalty);
+        } else {
+            match fo.redirect {
+                Redirect::None => {}
+                Redirect::TakenAtIf => {
+                    if !fo.from_lbuf {
+                        self.new_fetch_group(0);
+                        // a taken branch ends the decode group; only the
+                        // loop buffer can issue the loop-back edge
+                        // together with the next iteration (SIII-C)
+                        self.decode_bw.break_group();
+                    }
+                }
+                Redirect::TakenAtIp => {
+                    self.new_fetch_group(self.cfg.ip_jump_bubble);
+                    self.decode_bw.break_group();
+                }
+                Redirect::Mispredict => {
+                    self.redirect_fetch(complete + self.cfg.mispredict_penalty)
+                }
+            }
+        }
+    }
+
+    fn new_fetch_group(&mut self, bubble: u64) {
+        self.fetch_cycle += 1 + bubble;
+        self.fetch_bytes = 0;
+    }
+
+    fn redirect_fetch(&mut self, at: u64) {
+        self.fetch_cycle = self.fetch_cycle.max(at);
+        self.fetch_bytes = 0;
+        self.cur_fetch_line = u64::MAX;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_asm::Asm;
+    use xt_emu::Emulator;
+    use xt_isa::reg::Gpr;
+    use xt_mem::{MemConfig, PrefetchConfig};
+
+    fn report(cfg: CoreConfig, build: impl FnOnce(&mut Asm)) -> RunReport {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.halt();
+        let p = a.finish().unwrap();
+        crate::run_ooo(&p, &cfg, 10_000_000)
+    }
+
+    #[test]
+    fn independent_alu_ops_superscalar() {
+        // warm loop of independent adds: IPC should approach the
+        // narrower of decode width (3) and ALU+branch pipe supply
+        let r = report(CoreConfig::xt910(), |a| {
+            a.li(Gpr::S0, 2000);
+            let top = a.here();
+            a.addi(Gpr::A1, Gpr::A1, 1);
+            a.addi(Gpr::A2, Gpr::A2, 1);
+            a.addi(Gpr::A3, Gpr::A3, 1);
+            a.addi(Gpr::A4, Gpr::A4, 1);
+            a.addi(Gpr::A5, Gpr::A5, 1);
+            a.addi(Gpr::A6, Gpr::A6, 1);
+            a.addi(Gpr::S0, Gpr::S0, -1);
+            a.bnez(Gpr::S0, top);
+        });
+        let ipc = r.perf.ipc();
+        assert!(ipc > 1.8, "superscalar ALU loop, got IPC {ipc}");
+    }
+
+    #[test]
+    fn dependent_chain_is_serial() {
+        // a loop whose body is one long dependent chain: bounded by the
+        // chain, not the 3-wide front end
+        let r = report(CoreConfig::xt910(), |a| {
+            a.li(Gpr::S0, 500);
+            let top = a.here();
+            for _ in 0..16 {
+                a.addi(Gpr::A1, Gpr::A1, 1);
+            }
+            a.addi(Gpr::S0, Gpr::S0, -1);
+            a.bnez(Gpr::S0, top);
+        });
+        let ipc = r.perf.ipc();
+        assert!(ipc < 1.35, "dependent chain bounds IPC near 1, got {ipc}");
+        assert!(ipc > 0.8, "but should sustain ~1, got {ipc}");
+    }
+
+    #[test]
+    fn mispredicts_cost_cycles() {
+        // data-dependent unpredictable branches (LCG parity)
+        let build = |a: &mut Asm| {
+            a.li(Gpr::S0, 12345);
+            a.li(Gpr::S1, 1103515245);
+            a.li(Gpr::S2, 12345);
+            a.li(Gpr::A2, 0);
+            a.li(Gpr::A3, 2000);
+            let top = a.new_label();
+            a.bind(top).unwrap();
+            a.mul(Gpr::S0, Gpr::S0, Gpr::S1);
+            a.add(Gpr::S0, Gpr::S0, Gpr::S2);
+            a.srli(Gpr::T0, Gpr::S0, 17);
+            a.andi(Gpr::T0, Gpr::T0, 1);
+            let skip = a.new_label();
+            a.beqz(Gpr::T0, skip);
+            a.addi(Gpr::A2, Gpr::A2, 1);
+            a.bind(skip).unwrap();
+            a.addi(Gpr::A3, Gpr::A3, -1);
+            a.bnez(Gpr::A3, top);
+        };
+        let r = report(CoreConfig::xt910(), build);
+        assert!(
+            r.perf.branch_accuracy() < 0.95,
+            "random branch not predictable: {}",
+            r.perf.branch_accuracy()
+        );
+        // the same loop with a predictable branch is much faster
+        let r2 = report(CoreConfig::xt910(), |a| {
+            a.li(Gpr::A3, 2000);
+            let top = a.here();
+            a.addi(Gpr::A2, Gpr::A2, 1);
+            a.addi(Gpr::A2, Gpr::A2, 1);
+            a.addi(Gpr::A2, Gpr::A2, 1);
+            a.addi(Gpr::A3, Gpr::A3, -1);
+            a.bnez(Gpr::A3, top);
+        });
+        assert!(r2.perf.branch_accuracy() > 0.99);
+    }
+
+    #[test]
+    fn loop_buffer_feeds_small_loops() {
+        let r = report(CoreConfig::xt910(), |a| {
+            a.li(Gpr::A3, 3000);
+            let top = a.here();
+            a.addi(Gpr::A1, Gpr::A1, 1);
+            a.addi(Gpr::A2, Gpr::A2, 2);
+            a.addi(Gpr::A3, Gpr::A3, -1);
+            a.bnez(Gpr::A3, top);
+        });
+        assert!(
+            r.perf.lbuf_insts > 8000,
+            "loop streamed from LBUF: {}",
+            r.perf.lbuf_insts
+        );
+        let mut no_lbuf = CoreConfig::xt910();
+        no_lbuf.loop_buffer = false;
+        let r2 = report(no_lbuf, |a| {
+            a.li(Gpr::A3, 3000);
+            let top = a.here();
+            a.addi(Gpr::A1, Gpr::A1, 1);
+            a.addi(Gpr::A2, Gpr::A2, 2);
+            a.addi(Gpr::A3, Gpr::A3, -1);
+            a.bnez(Gpr::A3, top);
+        });
+        assert!(
+            r.perf.cycles <= r2.perf.cycles,
+            "LBUF never slower: {} vs {}",
+            r.perf.cycles,
+            r2.perf.cycles
+        );
+    }
+
+    #[test]
+    fn cache_misses_visible_in_pointer_chase() {
+        // build a pointer chain with 4 KiB hops (every load misses L1)
+        let r = report(CoreConfig::xt910(), |a| {
+            // first symbol lands exactly at the data base (8-aligned)
+            let n = 512u64;
+            let base_addr = xt_asm::DEFAULT_DATA_BASE;
+            let mut chain = vec![0u64; n as usize * 512];
+            for k in 0..n {
+                let next_idx = ((k + 1) % n) * 512;
+                chain[(k * 512) as usize] = base_addr + next_idx * 8;
+            }
+            let base = a.data_u64("chain", &chain);
+            assert_eq!(base, base_addr);
+            a.la(Gpr::A1, base);
+            a.li(Gpr::A3, 2000);
+            let top = a.here();
+            a.ld(Gpr::A1, Gpr::A1, 0);
+            a.addi(Gpr::A3, Gpr::A3, -1);
+            a.bnez(Gpr::A3, top);
+        });
+        let cpi = r.perf.cpi();
+        assert!(cpi > 5.0, "memory-bound chase should be slow: CPI {cpi}");
+    }
+
+    #[test]
+    fn store_forwarding_counted() {
+        let r = report(CoreConfig::xt910(), |a| {
+            let buf = a.data_zeros("buf", 64);
+            a.la(Gpr::A1, buf);
+            a.li(Gpr::A3, 1000);
+            let top = a.here();
+            a.sd(Gpr::A3, Gpr::A1, 0);
+            a.ld(Gpr::A2, Gpr::A1, 0); // immediately reload
+            a.addi(Gpr::A3, Gpr::A3, -1);
+            a.bnez(Gpr::A3, top);
+        });
+        assert!(
+            r.perf.store_forwards > 900,
+            "store->load forwards: {}",
+            r.perf.store_forwards
+        );
+    }
+
+    #[test]
+    fn prefetch_accelerates_streaming_in_core() {
+        let stream = |pf: PrefetchConfig| {
+            let mut a = Asm::new();
+            let buf = a.data_zeros("buf", 512 * 1024);
+            a.la(Gpr::A1, buf);
+            a.li(Gpr::A2, 64 * 1024 / 8);
+            let top = a.here();
+            a.ld(Gpr::A4, Gpr::A1, 0);
+            a.addi(Gpr::A1, Gpr::A1, 8);
+            a.addi(Gpr::A2, Gpr::A2, -1);
+            a.bnez(Gpr::A2, top);
+            a.halt();
+            let p = a.finish().unwrap();
+            let mem_cfg = MemConfig {
+                prefetch: pf,
+                ..MemConfig::default()
+            };
+            crate::run_ooo_with_mem(&p, &CoreConfig::xt910(), mem_cfg, 10_000_000)
+        };
+        let off = stream(PrefetchConfig::off());
+        let on = stream(PrefetchConfig::all_large());
+        assert!(
+            on.perf.cycles * 2 < off.perf.cycles,
+            "prefetch >2x on stream: {} vs {}",
+            on.perf.cycles,
+            off.perf.cycles
+        );
+    }
+
+    #[test]
+    fn exit_code_propagates() {
+        let r = report(CoreConfig::xt910(), |a| {
+            a.li(Gpr::A0, 55);
+        });
+        assert_eq!(r.exit_code, Some(55));
+    }
+}

@@ -1,0 +1,127 @@
+//! Performance counters and run reports.
+
+use xt_mem::MemStats;
+
+/// Hardware-style performance counters maintained by the timing models.
+#[derive(Clone, Debug, Default)]
+pub struct PerfCounters {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// µops dispatched (stores split into st.addr/st.data count as 2).
+    pub uops: u64,
+    /// Conditional branches seen.
+    pub branches: u64,
+    /// Conditional-branch direction mispredictions.
+    pub branch_mispredicts: u64,
+    /// Taken control transfers whose target came from the L0 BTB
+    /// (zero-bubble IF-stage jumps).
+    pub l0_btb_jumps: u64,
+    /// Taken control transfers redirected at the IP stage (1-bubble).
+    pub ip_jumps: u64,
+    /// Indirect-target / RAS mispredictions.
+    pub target_mispredicts: u64,
+    /// Instructions delivered from the loop buffer (no I$ access).
+    pub lbuf_insts: u64,
+    /// Memory-order violations (load before conflicting older store).
+    pub mem_order_flushes: u64,
+    /// Loads that received forwarded store data.
+    pub store_forwards: u64,
+    /// Pipeline flushes due to exceptions/traps.
+    pub exception_flushes: u64,
+    /// Cycles lost waiting on a full ROB.
+    pub rob_stall_cycles: u64,
+    /// Cycles lost waiting on issue-queue space.
+    pub iq_stall_cycles: u64,
+}
+
+impl PerfCounters {
+    /// Retired instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.instructions as f64
+        }
+    }
+
+    /// Conditional-branch misprediction rate.
+    pub fn branch_mpki(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.branch_mispredicts as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+
+    /// Direction-prediction accuracy over conditional branches.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.branches == 0 {
+            1.0
+        } else {
+            1.0 - self.branch_mispredicts as f64 / self.branches as f64
+        }
+    }
+}
+
+/// Result of running one program on one core model.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Machine name (from the configuration).
+    pub machine: &'static str,
+    /// Core counters.
+    pub perf: PerfCounters,
+    /// Memory-hierarchy counters.
+    pub mem: MemStats,
+    /// Guest exit code, if the program halted.
+    pub exit_code: Option<u64>,
+}
+
+impl RunReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} insts, {} cycles, IPC {:.3}, br-acc {:.2}%, L1D-miss {}",
+            self.machine,
+            self.perf.instructions,
+            self.perf.cycles,
+            self.perf.ipc(),
+            self.perf.branch_accuracy() * 100.0,
+            self.mem.l1d.first().map(|(_, m)| *m).unwrap_or(0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero() {
+        let p = PerfCounters::default();
+        assert_eq!(p.ipc(), 0.0);
+        assert_eq!(p.cpi(), 0.0);
+        assert_eq!(p.branch_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let p = PerfCounters {
+            cycles: 100,
+            instructions: 250,
+            ..Default::default()
+        };
+        assert!((p.ipc() - 2.5).abs() < 1e-9);
+        assert!((p.cpi() - 0.4).abs() < 1e-9);
+    }
+}

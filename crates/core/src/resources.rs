@@ -1,0 +1,248 @@
+//! Structural-resource primitives shared by the timing models:
+//! capacity-limited windows (ROB, queues, physical registers),
+//! per-cycle bandwidth limiters (decode/rename/retire), and execution
+//! pipes.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// A capacity-limited window (ROB, LQ, SQ, issue queue, physical-register
+/// pool). `alloc` returns the earliest cycle at or after `want` when a
+/// slot is free; `commit` records when the allocated slot releases.
+#[derive(Clone, Debug)]
+pub struct Window {
+    cap: usize,
+    releases: BinaryHeap<Reverse<u64>>,
+    /// Total cycles callers were delayed waiting for a slot.
+    pub stall_cycles: u64,
+}
+
+impl Window {
+    /// Creates a window with `cap` entries.
+    pub fn new(cap: usize) -> Self {
+        Window {
+            cap,
+            releases: BinaryHeap::new(),
+            stall_cycles: 0,
+        }
+    }
+
+    /// Earliest cycle ≥ `want` with a free slot.
+    pub fn alloc(&mut self, want: u64) -> u64 {
+        let mut t = want;
+        // drop entries that have already released
+        while self.releases.peek().is_some_and(|&Reverse(r)| r <= t) {
+            self.releases.pop();
+        }
+        // still at capacity: wait for the earliest releases
+        while self.releases.len() >= self.cap {
+            let Reverse(r) = self.releases.pop().expect("non-empty at capacity");
+            t = t.max(r);
+        }
+        self.stall_cycles += t - want;
+        t
+    }
+
+    /// Records the release cycle of the slot just allocated.
+    pub fn commit(&mut self, release: u64) {
+        self.releases.push(Reverse(release));
+    }
+
+    /// Current occupancy.
+    pub fn occupancy(&self) -> usize {
+        self.releases.len()
+    }
+}
+
+/// A per-cycle bandwidth limiter for in-order stages (decode, rename,
+/// retire). Requests must arrive with non-decreasing `min_cycle`.
+#[derive(Clone, Copy, Debug)]
+pub struct Bandwidth {
+    width: u64,
+    cycle: u64,
+    used: u64,
+}
+
+impl Bandwidth {
+    /// Creates a limiter of `width` slots per cycle.
+    pub fn new(width: u64) -> Self {
+        Bandwidth {
+            width,
+            cycle: 0,
+            used: 0,
+        }
+    }
+
+    /// Takes one slot at the earliest cycle ≥ `min_cycle`.
+    pub fn take(&mut self, min_cycle: u64) -> u64 {
+        self.take_n(min_cycle, 1)
+    }
+
+    /// Ends the current group: the remaining slots of this cycle are
+    /// discarded (decode-group fragmentation at a taken branch).
+    pub fn break_group(&mut self) {
+        self.used = self.width;
+    }
+
+    /// Takes `n` slots (they may spill into following cycles); returns
+    /// the cycle of the first slot.
+    pub fn take_n(&mut self, min_cycle: u64, n: u64) -> u64 {
+        if min_cycle > self.cycle {
+            self.cycle = min_cycle;
+            self.used = 0;
+        }
+        if self.used >= self.width {
+            self.cycle += 1 + (self.used - self.width) / self.width;
+            self.used %= self.width;
+            if self.used >= self.width {
+                self.used = 0;
+            }
+        }
+        let first = self.cycle;
+        self.used += n;
+        first
+    }
+}
+
+/// A group of identical execution pipes. Pipelined units accept one µop
+/// per cycle per pipe; unpipelined units (dividers) block the pipe for
+/// the full occupancy.
+#[derive(Clone, Debug)]
+pub struct PipeGroup {
+    next_free: Vec<u64>,
+}
+
+impl PipeGroup {
+    /// Creates `n` pipes.
+    pub fn new(n: usize) -> Self {
+        PipeGroup {
+            next_free: vec![0; n.max(1)],
+        }
+    }
+
+    /// Issues a µop that becomes ready at `ready`; the pipe is then busy
+    /// for `occupancy` cycles (1 for fully-pipelined units). Returns the
+    /// actual issue cycle.
+    pub fn issue(&mut self, ready: u64, occupancy: u64) -> u64 {
+        let slot = self
+            .next_free
+            .iter_mut()
+            .min()
+            .expect("at least one pipe");
+        let start = (*slot).max(ready);
+        *slot = start + occupancy.max(1);
+        start
+    }
+}
+
+/// An out-of-order per-cycle slot limiter (global issue width): unlike
+/// [`Bandwidth`], requests arrive in any cycle order.
+#[derive(Clone, Debug)]
+pub struct SlotLimiter {
+    width: u32,
+    // (cycle, used) ring of recent cycles
+    recent: VecDeque<(u64, u32)>,
+}
+
+impl SlotLimiter {
+    /// Creates a limiter of `width` slots per cycle.
+    pub fn new(width: u32) -> Self {
+        SlotLimiter {
+            width,
+            recent: VecDeque::new(),
+        }
+    }
+
+    /// Takes a slot at the first cycle ≥ `want` with spare width.
+    pub fn take(&mut self, want: u64) -> u64 {
+        let mut t = want;
+        loop {
+            match self.recent.iter_mut().find(|(c, _)| *c == t) {
+                Some((_, used)) if *used < self.width => {
+                    *used += 1;
+                    break;
+                }
+                Some(_) => t += 1,
+                None => {
+                    self.recent.push_back((t, 1));
+                    if self.recent.len() > 64 {
+                        self.recent.pop_front();
+                    }
+                    break;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_stalls_when_full() {
+        let mut w = Window::new(2);
+        assert_eq!(w.alloc(10), 10);
+        w.commit(20);
+        assert_eq!(w.alloc(10), 10);
+        w.commit(30);
+        // full: next alloc waits for the earliest release (20)
+        assert_eq!(w.alloc(12), 20);
+        w.commit(40);
+        assert!(w.stall_cycles >= 8);
+    }
+
+    #[test]
+    fn window_free_slot_no_stall() {
+        let mut w = Window::new(4);
+        for k in 0..4 {
+            assert_eq!(w.alloc(k), k);
+            w.commit(k + 100);
+        }
+        // released entries free slots for later allocs
+        assert_eq!(w.alloc(100), 100);
+    }
+
+    #[test]
+    fn bandwidth_packs_width_per_cycle() {
+        let mut b = Bandwidth::new(3);
+        assert_eq!(b.take(5), 5);
+        assert_eq!(b.take(5), 5);
+        assert_eq!(b.take(5), 5);
+        assert_eq!(b.take(5), 6, "fourth spills to the next cycle");
+        assert_eq!(b.take(10), 10);
+    }
+
+    #[test]
+    fn bandwidth_take_n() {
+        let mut b = Bandwidth::new(4);
+        assert_eq!(b.take_n(0, 2), 0);
+        assert_eq!(b.take_n(0, 2), 0);
+        assert_eq!(b.take(0), 1);
+    }
+
+    #[test]
+    fn pipes_pick_least_busy() {
+        let mut p = PipeGroup::new(2);
+        assert_eq!(p.issue(0, 1), 0);
+        assert_eq!(p.issue(0, 1), 0, "second pipe");
+        assert_eq!(p.issue(0, 1), 1, "both busy");
+    }
+
+    #[test]
+    fn unpipelined_divider_blocks() {
+        let mut p = PipeGroup::new(1);
+        assert_eq!(p.issue(0, 20), 0);
+        assert_eq!(p.issue(1, 20), 20, "divider busy");
+    }
+
+    #[test]
+    fn slot_limiter_out_of_order() {
+        let mut s = SlotLimiter::new(2);
+        assert_eq!(s.take(10), 10);
+        assert_eq!(s.take(5), 5);
+        assert_eq!(s.take(10), 10);
+        assert_eq!(s.take(10), 11, "cycle 10 full");
+    }
+}

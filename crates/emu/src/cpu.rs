@@ -1,0 +1,234 @@
+//! Architectural CPU state: register files, CSRs, privilege mode.
+
+use std::collections::HashMap;
+use xt_isa::csr;
+use xt_isa::vector::VType;
+
+/// Privilege mode (paper Fig. 1: U/S/M).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PrivMode {
+    /// User mode.
+    User = 0,
+    /// Supervisor mode.
+    Supervisor = 1,
+    /// Machine mode.
+    Machine = 3,
+}
+
+/// Default vector register length in bits (two 64-bit slices, §VII).
+pub const DEFAULT_VLEN: u32 = 128;
+
+/// Complete architectural state of one hart.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// Program counter.
+    pub pc: u64,
+    /// Integer registers (`x[0]` reads as 0; writes are discarded by the
+    /// accessors).
+    pub x: [u64; 32],
+    /// Floating-point registers (raw bits; doubles stored directly,
+    /// singles NaN-boxed in the low 32 bits).
+    pub f: [u64; 32],
+    /// Vector registers, `vlen_bits/8` bytes each.
+    pub v: Vec<Vec<u8>>,
+    /// Vector length register.
+    pub vl: u64,
+    /// Decoded vector type register.
+    pub vtype: VType,
+    /// Vector register length in bits (configuration, default 128).
+    pub vlen_bits: u32,
+    /// Current privilege mode.
+    pub mode: PrivMode,
+    /// CSR file (sparse).
+    pub csrs: HashMap<u16, u64>,
+    /// Retired instruction count.
+    pub instret: u64,
+    /// Reservation address for LR/SC, if any.
+    pub reservation: Option<u64>,
+    /// Hart id.
+    pub hart_id: u64,
+}
+
+impl Default for Cpu {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Cpu {
+    /// Creates a hart in machine mode with the default 128-bit VLEN.
+    pub fn new(hart_id: u64) -> Self {
+        Cpu {
+            pc: 0,
+            x: [0; 32],
+            f: [0; 32],
+            v: vec![vec![0u8; (DEFAULT_VLEN / 8) as usize]; 32],
+            vl: 0,
+            vtype: VType::default(),
+            vlen_bits: DEFAULT_VLEN,
+            mode: PrivMode::Machine,
+            csrs: HashMap::new(),
+            instret: 0,
+            reservation: None,
+            hart_id,
+        }
+    }
+
+    /// Reconfigures VLEN (64..=1024 per §VII). Clears vector state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vlen_bits` is not a power of two in `64..=1024`.
+    pub fn set_vlen(&mut self, vlen_bits: u32) {
+        assert!(
+            (64..=1024).contains(&vlen_bits) && vlen_bits.is_power_of_two(),
+            "VLEN must be a power of two in 64..=1024"
+        );
+        self.vlen_bits = vlen_bits;
+        self.v = vec![vec![0u8; (vlen_bits / 8) as usize]; 32];
+        self.vl = 0;
+    }
+
+    /// Reads integer register `r` (x0 reads 0).
+    #[inline]
+    pub fn rx(&self, r: u8) -> u64 {
+        if r == 0 {
+            0
+        } else {
+            self.x[r as usize]
+        }
+    }
+
+    /// Writes integer register `r` (writes to x0 discarded).
+    #[inline]
+    pub fn wx(&mut self, r: u8, v: u64) {
+        if r != 0 {
+            self.x[r as usize] = v;
+        }
+    }
+
+    /// Reads FP register bits.
+    #[inline]
+    pub fn rf(&self, r: u8) -> u64 {
+        self.f[r as usize]
+    }
+
+    /// Writes FP register bits.
+    #[inline]
+    pub fn wf(&mut self, r: u8, v: u64) {
+        self.f[r as usize] = v;
+    }
+
+    /// Reads an FP register as f64.
+    #[inline]
+    pub fn rf_d(&self, r: u8) -> f64 {
+        f64::from_bits(self.f[r as usize])
+    }
+
+    /// Writes an FP register as f64.
+    #[inline]
+    pub fn wf_d(&mut self, r: u8, v: f64) {
+        self.f[r as usize] = v.to_bits();
+    }
+
+    /// Reads an FP register as f32 (NaN-boxed low bits).
+    #[inline]
+    pub fn rf_s(&self, r: u8) -> f32 {
+        f32::from_bits(self.f[r as usize] as u32)
+    }
+
+    /// Writes an FP register as f32 with NaN boxing.
+    #[inline]
+    pub fn wf_s(&mut self, r: u8, v: f32) {
+        self.f[r as usize] = 0xffff_ffff_0000_0000 | v.to_bits() as u64;
+    }
+
+    /// Reads a CSR, synthesizing the live counters and vector CSRs.
+    pub fn read_csr(&self, addr: u16) -> u64 {
+        match addr {
+            csr::INSTRET => self.instret,
+            csr::CYCLE | csr::TIME => self.instret, // functional model: 1 IPC
+            csr::VL => self.vl,
+            csr::VTYPE => self.vtype.to_bits(),
+            csr::MHARTID => self.hart_id,
+            _ => self.csrs.get(&addr).copied().unwrap_or(0),
+        }
+    }
+
+    /// Writes a CSR (read-only counters are ignored).
+    pub fn write_csr(&mut self, addr: u16, val: u64) {
+        match addr {
+            csr::INSTRET | csr::CYCLE | csr::TIME | csr::VL | csr::VTYPE | csr::MHARTID => {}
+            _ => {
+                self.csrs.insert(addr, val);
+            }
+        }
+    }
+
+    /// Current SV39 configuration from `satp` (mode, asid, root PPN).
+    pub fn satp(&self) -> u64 {
+        self.read_csr(csr::SATP)
+    }
+
+    /// True when address translation is active for data accesses.
+    pub fn translation_on(&self) -> bool {
+        csr::satp::mode(self.satp()) == csr::satp::MODE_SV39 && self.mode != PrivMode::Machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x0_hardwired() {
+        let mut c = Cpu::new(0);
+        c.wx(0, 123);
+        assert_eq!(c.rx(0), 0);
+        c.wx(5, 7);
+        assert_eq!(c.rx(5), 7);
+    }
+
+    #[test]
+    fn f32_nan_boxing() {
+        let mut c = Cpu::new(0);
+        c.wf_s(1, 1.5);
+        assert_eq!(c.rf_s(1), 1.5);
+        assert_eq!(c.rf(1) >> 32, 0xffff_ffff);
+    }
+
+    #[test]
+    fn csr_counters_read_only() {
+        let mut c = Cpu::new(3);
+        c.write_csr(xt_isa::csr::MHARTID, 99);
+        assert_eq!(c.read_csr(xt_isa::csr::MHARTID), 3);
+        c.instret = 17;
+        assert_eq!(c.read_csr(xt_isa::csr::INSTRET), 17);
+    }
+
+    #[test]
+    fn vlen_reconfig() {
+        let mut c = Cpu::new(0);
+        c.set_vlen(256);
+        assert_eq!(c.v[0].len(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_vlen_panics() {
+        Cpu::new(0).set_vlen(100);
+    }
+
+    #[test]
+    fn translation_requires_satp_and_priv() {
+        let mut c = Cpu::new(0);
+        assert!(!c.translation_on());
+        c.write_csr(
+            xt_isa::csr::SATP,
+            xt_isa::csr::satp::pack(xt_isa::csr::satp::MODE_SV39, 1, 0x1000),
+        );
+        assert!(!c.translation_on(), "still machine mode");
+        c.mode = PrivMode::Supervisor;
+        assert!(c.translation_on());
+    }
+}

@@ -1,0 +1,133 @@
+//! Minimal IEEE-754 binary16 (half-precision) support.
+//!
+//! The XT-910's vector unit supports half-precision operations — a
+//! capability the paper highlights against the Cortex-A73's NEON, which
+//! lacks f16 arithmetic (§X). Rust has no native `f16`, so vector f16
+//! lanes are computed by converting through `f32`, which is exact for
+//! every representable f16 and applies correct rounding on the way back.
+
+/// Converts half-precision bits to `f32` (exact).
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = (bits >> 15) as u32;
+    let exp = ((bits >> 10) & 0x1f) as u32;
+    let frac = (bits & 0x3ff) as u32;
+    let out = match (exp, frac) {
+        (0, 0) => sign << 31,
+        (0, f) => {
+            // subnormal: renormalize. With the MSB of `f` at bit `9-k`,
+            // the value is (1.rest) * 2^(-15-k), k = shift-1.
+            let shift = f.leading_zeros() - 21; // k+1, for f < 2^10
+            let exp32 = 127 - 14 - shift;
+            let frac32 = (f << shift) & 0x3ff;
+            (sign << 31) | (exp32 << 23) | (frac32 << 13)
+        }
+        (0x1f, 0) => (sign << 31) | 0x7f80_0000,
+        (0x1f, f) => (sign << 31) | 0x7f80_0000 | (f << 13) | (1 << 22),
+        (e, f) => (sign << 31) | ((e + 127 - 15) << 23) | (f << 13),
+    };
+    f32::from_bits(out)
+}
+
+/// Converts `f32` to half-precision bits with round-to-nearest-even.
+pub fn f32_to_f16(v: f32) -> u16 {
+    let bits = v.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let frac = bits & 0x7f_ffff;
+
+    if exp == 0xff {
+        // inf / nan
+        return if frac == 0 {
+            sign | 0x7c00
+        } else {
+            sign | 0x7e00
+        };
+    }
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7c00; // overflow -> inf
+    }
+    if unbiased >= -14 {
+        // normal range: round mantissa from 23 to 10 bits
+        let mant = frac >> 13;
+        let rest = frac & 0x1fff;
+        let mut h = sign | (((unbiased + 15) as u16) << 10) | mant as u16;
+        if rest > 0x1000 || (rest == 0x1000 && (mant & 1) == 1) {
+            h = h.wrapping_add(1); // may carry into exponent: correct behaviour
+        }
+        return h;
+    }
+    if unbiased >= -24 {
+        // subnormal
+        let shift = (-14 - unbiased) as u32;
+        let full = frac | 0x80_0000;
+        let mant = full >> (13 + shift);
+        let rest_bits = 13 + shift;
+        let rest = full & ((1 << rest_bits) - 1);
+        let half = 1u32 << (rest_bits - 1);
+        let mut h = sign | mant as u16;
+        if rest > half || (rest == half && (mant & 1) == 1) {
+            h = h.wrapping_add(1);
+        }
+        return h;
+    }
+    sign // underflow to zero
+}
+
+/// Half-precision add (round via f32).
+pub fn f16_add(a: u16, b: u16) -> u16 {
+    f32_to_f16(f16_to_f32(a) + f16_to_f32(b))
+}
+
+/// Half-precision multiply.
+pub fn f16_mul(a: u16, b: u16) -> u16 {
+    f32_to_f16(f16_to_f32(a) * f16_to_f32(b))
+}
+
+/// Half-precision fused multiply-add `a*b + c` (fused in f32, then rounded).
+pub fn f16_fma(a: u16, b: u16, c: u16) -> u16 {
+    f32_to_f16(f16_to_f32(a).mul_add(f16_to_f32(b), f16_to_f32(c)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_values() {
+        assert_eq!(f16_to_f32(0x3c00), 1.0);
+        assert_eq!(f16_to_f32(0xc000), -2.0);
+        assert_eq!(f16_to_f32(0x7c00), f32::INFINITY);
+        assert_eq!(f32_to_f16(1.0), 0x3c00);
+        assert_eq!(f32_to_f16(-2.0), 0xc000);
+        assert_eq!(f32_to_f16(65536.0), 0x7c00, "overflow to inf");
+    }
+
+    #[test]
+    fn roundtrip_all_finite_f16() {
+        for bits in 0u16..=0xffff {
+            let exp = (bits >> 10) & 0x1f;
+            if exp == 0x1f {
+                continue; // inf/nan
+            }
+            let f = f16_to_f32(bits);
+            let back = f32_to_f16(f);
+            assert_eq!(back, bits, "bits {bits:#06x} -> {f} -> {back:#06x}");
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let one = f32_to_f16(1.0);
+        let two = f32_to_f16(2.0);
+        assert_eq!(f16_to_f32(f16_add(one, one)), 2.0);
+        assert_eq!(f16_to_f32(f16_mul(two, two)), 4.0);
+        assert_eq!(f16_to_f32(f16_fma(two, two, one)), 5.0);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        let nan = f32_to_f16(f32::NAN);
+        assert!(f16_to_f32(nan).is_nan());
+    }
+}

@@ -1,0 +1,144 @@
+//! Sparse guest physical memory.
+
+use std::collections::HashMap;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse, page-granular guest physical memory supporting unaligned
+/// accesses (the XT-910 LSU supports unaligned data access, paper §II).
+#[derive(Default)]
+pub struct GuestMem {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl std::fmt::Debug for GuestMem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuestMem")
+            .field("resident_pages", &self.pages.len())
+            .finish()
+    }
+}
+
+impl GuestMem {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of resident (allocated) 4 KiB pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_mut(&mut self, addr: u64) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0; PAGE_SIZE]))
+    }
+
+    /// Reads one byte (unmapped memory reads as zero).
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr & (PAGE_SIZE as u64 - 1)) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte, allocating the page on demand.
+    pub fn write_u8(&mut self, addr: u64, val: u8) {
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        self.page_mut(addr)[off] = val;
+    }
+
+    /// Reads `N <= 8` bytes little-endian (may straddle pages).
+    pub fn read_bytes(&self, addr: u64, n: usize) -> u64 {
+        debug_assert!(n <= 8);
+        let mut v = 0u64;
+        for k in 0..n {
+            v |= (self.read_u8(addr + k as u64) as u64) << (8 * k);
+        }
+        v
+    }
+
+    /// Writes `n <= 8` bytes little-endian (may straddle pages).
+    pub fn write_bytes(&mut self, addr: u64, val: u64, n: usize) {
+        debug_assert!(n <= 8);
+        for k in 0..n {
+            self.write_u8(addr + k as u64, (val >> (8 * k)) as u8);
+        }
+    }
+
+    /// Reads a u16.
+    pub fn read_u16(&self, addr: u64) -> u16 {
+        self.read_bytes(addr, 2) as u16
+    }
+
+    /// Reads a u32.
+    pub fn read_u32(&self, addr: u64) -> u32 {
+        self.read_bytes(addr, 4) as u32
+    }
+
+    /// Reads a u64.
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        self.read_bytes(addr, 8)
+    }
+
+    /// Writes a u32.
+    pub fn write_u32(&mut self, addr: u64, val: u32) {
+        self.write_bytes(addr, val as u64, 4)
+    }
+
+    /// Writes a u64.
+    pub fn write_u64(&mut self, addr: u64, val: u64) {
+        self.write_bytes(addr, val, 8)
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_slice(&mut self, addr: u64, bytes: &[u8]) {
+        for (k, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + k as u64, *b);
+        }
+    }
+
+    /// Copies `len` bytes out of memory into a fresh vector.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|k| self.read_u8(addr + k as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let m = GuestMem::new();
+        assert_eq!(m.read_u64(0xdead_beef), 0);
+    }
+
+    #[test]
+    fn rw_roundtrip_unaligned_cross_page() {
+        let mut m = GuestMem::new();
+        // straddles a 4 KiB boundary
+        let addr = 0x1_0000 - 3;
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn slice_roundtrip() {
+        let mut m = GuestMem::new();
+        m.write_slice(100, b"hello world");
+        assert_eq!(m.read_vec(100, 11), b"hello world");
+    }
+
+    #[test]
+    fn partial_widths() {
+        let mut m = GuestMem::new();
+        m.write_bytes(8, 0xAABBCCDD, 4);
+        assert_eq!(m.read_u16(8), 0xCCDD);
+        assert_eq!(m.read_u8(11), 0xAA);
+    }
+}

@@ -1,0 +1,160 @@
+//! Differential property tests: random arithmetic programs executed by
+//! the emulator must match the same computation done in host Rust.
+
+use proptest::prelude::*;
+use xt_asm::Asm;
+use xt_emu::Emulator;
+use xt_isa::reg::Gpr;
+
+fn exec_binop(op: &str, a: i64, b: i64) -> u64 {
+    let mut asm = Asm::new();
+    asm.li(Gpr::A1, a);
+    asm.li(Gpr::A2, b);
+    match op {
+        "add" => asm.add(Gpr::A0, Gpr::A1, Gpr::A2),
+        "sub" => asm.sub(Gpr::A0, Gpr::A1, Gpr::A2),
+        "mul" => asm.mul(Gpr::A0, Gpr::A1, Gpr::A2),
+        "mulh" => asm.mulh(Gpr::A0, Gpr::A1, Gpr::A2),
+        "div" => asm.div(Gpr::A0, Gpr::A1, Gpr::A2),
+        "rem" => asm.rem(Gpr::A0, Gpr::A1, Gpr::A2),
+        "and" => asm.and_(Gpr::A0, Gpr::A1, Gpr::A2),
+        "or" => asm.or_(Gpr::A0, Gpr::A1, Gpr::A2),
+        "xor" => asm.xor_(Gpr::A0, Gpr::A1, Gpr::A2),
+        "sltu" => asm.sltu(Gpr::A0, Gpr::A1, Gpr::A2),
+        "addw" => asm.addw(Gpr::A0, Gpr::A1, Gpr::A2),
+        "subw" => asm.subw(Gpr::A0, Gpr::A1, Gpr::A2),
+        "mulw" => asm.mulw(Gpr::A0, Gpr::A1, Gpr::A2),
+        _ => unreachable!(),
+    };
+    asm.halt();
+    let p = asm.finish().unwrap();
+    let mut emu = Emulator::new();
+    emu.load(&p);
+    emu.run(1000).unwrap()
+}
+
+fn host_binop(op: &str, a: i64, b: i64) -> u64 {
+    let (ua, ub) = (a as u64, b as u64);
+    match op {
+        "add" => ua.wrapping_add(ub),
+        "sub" => ua.wrapping_sub(ub),
+        "mul" => ua.wrapping_mul(ub),
+        "mulh" => (((a as i128) * (b as i128)) >> 64) as u64,
+        "div" => {
+            if b == 0 {
+                u64::MAX
+            } else if a == i64::MIN && b == -1 {
+                i64::MIN as u64
+            } else {
+                (a / b) as u64
+            }
+        }
+        "rem" => {
+            if b == 0 {
+                a as u64
+            } else if a == i64::MIN && b == -1 {
+                0
+            } else {
+                (a % b) as u64
+            }
+        }
+        "and" => ua & ub,
+        "or" => ua | ub,
+        "xor" => ua ^ ub,
+        "sltu" => (ua < ub) as u64,
+        "addw" => ua.wrapping_add(ub) as u32 as i32 as i64 as u64,
+        "subw" => ua.wrapping_sub(ub) as u32 as i32 as i64 as u64,
+        "mulw" => ua.wrapping_mul(ub) as u32 as i32 as i64 as u64,
+        _ => unreachable!(),
+    }
+}
+
+const OPS: &[&str] = &[
+    "add", "sub", "mul", "mulh", "div", "rem", "and", "or", "xor", "sltu", "addw", "subw", "mulw",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binop_matches_host(opi in 0..OPS.len(), a in any::<i64>(), b in any::<i64>()) {
+        let op = OPS[opi];
+        prop_assert_eq!(exec_binop(op, a, b), host_binop(op, a, b), "op {}", op);
+    }
+
+    #[test]
+    fn binop_edge_cases(opi in 0..OPS.len()) {
+        let op = OPS[opi];
+        for a in [0i64, 1, -1, i64::MIN, i64::MAX, 0x8000_0000] {
+            for b in [0i64, 1, -1, i64::MIN, i64::MAX, -0x8000_0000] {
+                prop_assert_eq!(exec_binop(op, a, b), host_binop(op, a, b),
+                    "op {} a {} b {}", op, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn li_materializes_exactly(v in any::<i64>()) {
+        let mut asm = Asm::new();
+        asm.li(Gpr::A0, v);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut emu = Emulator::new();
+        emu.load(&p);
+        prop_assert_eq!(emu.run(1000).unwrap(), v as u64);
+    }
+
+    #[test]
+    fn shifts_match_host(a in any::<i64>(), sh in 0i64..64) {
+        let mut asm = Asm::new();
+        asm.li(Gpr::A1, a);
+        asm.slli(Gpr::A2, Gpr::A1, sh);
+        asm.srli(Gpr::A3, Gpr::A1, sh);
+        asm.srai(Gpr::A4, Gpr::A1, sh);
+        asm.xor_(Gpr::A0, Gpr::A2, Gpr::A3);
+        asm.xor_(Gpr::A0, Gpr::A0, Gpr::A4);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut emu = Emulator::new();
+        emu.load(&p);
+        let expect = ((a as u64) << sh) ^ ((a as u64) >> sh) ^ ((a >> sh) as u64);
+        prop_assert_eq!(emu.run(1000).unwrap(), expect);
+    }
+
+    #[test]
+    fn memory_byte_halfword_sign_extension(v in any::<i64>()) {
+        let mut asm = Asm::new();
+        let buf = asm.data_zeros("buf", 16);
+        asm.la(Gpr::A1, buf);
+        asm.li(Gpr::A2, v);
+        asm.sd(Gpr::A2, Gpr::A1, 0);
+        asm.lb(Gpr::A3, Gpr::A1, 0);
+        asm.lhu(Gpr::A4, Gpr::A1, 0);
+        asm.lw(Gpr::A5, Gpr::A1, 0);
+        asm.add(Gpr::A0, Gpr::A3, Gpr::A4);
+        asm.add(Gpr::A0, Gpr::A0, Gpr::A5);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut emu = Emulator::new();
+        emu.load(&p);
+        let expect = ((v as i8 as i64 as u64)
+            .wrapping_add(v as u16 as u64))
+            .wrapping_add(v as i32 as i64 as u64);
+        prop_assert_eq!(emu.run(1000).unwrap(), expect);
+    }
+
+    #[test]
+    fn custom_ext_matches_manual_shift_mask(v in any::<u64>(), msb in 0u32..64, lsb in 0u32..64) {
+        let (hi, lo) = (msb.max(lsb), msb.min(lsb));
+        let mut asm = Asm::new();
+        asm.li(Gpr::A1, v as i64);
+        asm.xextu(Gpr::A0, Gpr::A1, hi, lo);
+        asm.halt();
+        let p = asm.finish().unwrap();
+        let mut emu = Emulator::new();
+        emu.load(&p);
+        let width = hi - lo + 1;
+        let mask = if width >= 64 { u64::MAX } else { (1u64 << width) - 1 };
+        prop_assert_eq!(emu.run(1000).unwrap(), (v >> lo) & mask);
+    }
+}

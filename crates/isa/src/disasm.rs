@@ -1,0 +1,200 @@
+//! Textual disassembly of decoded instructions.
+
+use crate::inst::Inst;
+use crate::op::{ExecClass, Op, RegFile};
+use crate::reg::{FPR_ABI_NAMES, GPR_ABI_NAMES};
+use std::fmt;
+
+fn reg_name(rf: RegFile, idx: u8) -> String {
+    match rf {
+        RegFile::Int => GPR_ABI_NAMES[idx as usize].to_string(),
+        RegFile::Fp => FPR_ABI_NAMES[idx as usize].to_string(),
+        RegFile::Vec => format!("v{idx}"),
+        RegFile::None => String::new(),
+    }
+}
+
+/// Formats `inst` in a conventional `mnemonic rd, rs1, rs2/imm` style.
+pub fn fmt_inst(inst: &Inst, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let t = inst.op.traits_of();
+    let m = inst.op.mnemonic();
+    let class = inst.op.exec_class();
+    match class {
+        ExecClass::Load | ExecClass::VecLoad if !inst.op.is_custom() => {
+            if matches!(inst.op, Op::Vlse | Op::Vsse) {
+                write!(
+                    f,
+                    "{m} {}, ({}), {}",
+                    reg_name(t.rd, inst.rd),
+                    reg_name(t.rs1, inst.rs1),
+                    reg_name(t.rs2, inst.rs2)
+                )
+            } else if class == ExecClass::VecLoad {
+                write!(
+                    f,
+                    "{m} {}, ({})",
+                    reg_name(t.rd, inst.rd),
+                    reg_name(t.rs1, inst.rs1)
+                )
+            } else {
+                write!(
+                    f,
+                    "{m} {}, {}({})",
+                    reg_name(t.rd, inst.rd),
+                    inst.imm,
+                    reg_name(t.rs1, inst.rs1)
+                )
+            }
+        }
+        ExecClass::Store | ExecClass::VecStore if !inst.op.is_custom() => {
+            if class == ExecClass::VecStore {
+                write!(
+                    f,
+                    "{m} {}, ({})",
+                    reg_name(RegFile::Vec, inst.rs3),
+                    reg_name(t.rs1, inst.rs1)
+                )
+            } else {
+                write!(
+                    f,
+                    "{m} {}, {}({})",
+                    reg_name(t.rs2, inst.rs2),
+                    inst.imm,
+                    reg_name(t.rs1, inst.rs1)
+                )
+            }
+        }
+        ExecClass::Branch => write!(
+            f,
+            "{m} {}, {}, {}",
+            reg_name(t.rs1, inst.rs1),
+            reg_name(t.rs2, inst.rs2),
+            inst.imm
+        ),
+        ExecClass::Jump => write!(f, "{m} {}, {}", reg_name(t.rd, inst.rd), inst.imm),
+        ExecClass::JumpInd => write!(
+            f,
+            "{m} {}, {}({})",
+            reg_name(t.rd, inst.rd),
+            inst.imm,
+            reg_name(t.rs1, inst.rs1)
+        ),
+        ExecClass::Csr => {
+            let csr = crate::csr::name(inst.imm as u16)
+                .map(str::to_owned)
+                .unwrap_or_else(|| format!("{:#x}", inst.imm));
+            write!(
+                f,
+                "{m} {}, {csr}, {}",
+                reg_name(t.rd, inst.rd),
+                reg_name(t.rs1, inst.rs1)
+            )
+        }
+        _ => {
+            // Generic: mnemonic then any present operands.
+            write!(f, "{m}")?;
+            let mut sep = " ";
+            if let Some((rf, rd)) = inst.dest() {
+                write!(f, "{sep}{}", reg_name(rf, rd))?;
+                sep = ", ";
+            } else if t.rd != RegFile::None {
+                write!(f, "{sep}zero")?;
+                sep = ", ";
+            }
+            for (rf, idx) in [(t.rs1, inst.rs1), (t.rs2, inst.rs2)] {
+                if rf != RegFile::None {
+                    write!(f, "{sep}{}", reg_name(rf, idx))?;
+                    sep = ", ";
+                }
+            }
+            if uses_imm(inst.op) {
+                write!(f, "{sep}{}", inst.imm)?;
+            }
+            Ok(())
+        }
+    }
+}
+
+fn uses_imm(op: Op) -> bool {
+    use Op::*;
+    matches!(
+        op,
+        Lui | Auipc
+            | Addi
+            | Slti
+            | Sltiu
+            | Xori
+            | Ori
+            | Andi
+            | Slli
+            | Srli
+            | Srai
+            | Addiw
+            | Slliw
+            | Srliw
+            | Sraiw
+            | Vsetvli
+            | VaddVI
+            | VmvVI
+            | XExt
+            | XExtu
+            | XTst
+            | XSrri
+            | XAddsl
+            | XLrb
+            | XLrbu
+            | XLrh
+            | XLrhu
+            | XLrw
+            | XLrwu
+            | XLrd
+            | XLurw
+            | XLurd
+            | XSrb
+            | XSrh
+            | XSrw
+            | XSrd
+    )
+}
+
+/// Disassembles one instruction to a `String`.
+pub fn disasm(inst: &Inst) -> String {
+    inst.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Inst;
+
+    #[test]
+    fn formats_common_shapes() {
+        assert_eq!(
+            Inst::new(Op::Addi).rd(10).rs1(10).imm(1).to_string(),
+            "addi a0, a0, 1"
+        );
+        assert_eq!(
+            Inst::new(Op::Ld).rd(10).rs1(2).imm(8).to_string(),
+            "ld a0, 8(sp)"
+        );
+        assert_eq!(
+            Inst::new(Op::Sd).rs1(2).rs2(10).imm(-16).to_string(),
+            "sd a0, -16(sp)"
+        );
+        assert_eq!(
+            Inst::new(Op::Beq).rs1(5).rs2(6).imm(-8).to_string(),
+            "beq t0, t1, -8"
+        );
+        assert_eq!(
+            Inst::new(Op::VaddVV).rd(1).rs1(2).rs2(3).to_string(),
+            "vadd.vv v1, v2, v3"
+        );
+    }
+
+    #[test]
+    fn nonempty_for_all_ops() {
+        // Debug-representation-never-empty spirit: every op formats.
+        let i = Inst::new(Op::XMula).rd(1).rs1(2).rs2(3).rs3(1);
+        assert!(!i.to_string().is_empty());
+    }
+}

@@ -1,0 +1,155 @@
+//! Architectural register names: integer GPRs, floating-point FPRs and
+//! vector registers, with their RISC-V ABI aliases.
+
+use std::fmt;
+
+/// An integer general-purpose register, `x0`..`x31`.
+///
+/// The wrapped index is guaranteed to be `< 32`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Gpr(u8);
+
+/// A floating-point register, `f0`..`f31`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Fpr(u8);
+
+/// A vector register, `v0`..`v31`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Vr(u8);
+
+macro_rules! reg_common {
+    ($t:ident, $prefix:literal) => {
+        impl $t {
+            /// Creates a register from its index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `idx >= 32`.
+            pub const fn new(idx: u8) -> Self {
+                assert!(idx < 32, "register index out of range");
+                Self(idx)
+            }
+
+            /// The register's index, `0..32`.
+            pub const fn index(self) -> u8 {
+                self.0
+            }
+        }
+
+        impl From<$t> for u8 {
+            fn from(r: $t) -> u8 {
+                r.0
+            }
+        }
+    };
+}
+
+reg_common!(Gpr, "x");
+reg_common!(Fpr, "f");
+reg_common!(Vr, "v");
+
+/// ABI names for the integer registers (`zero`, `ra`, `sp`, ...).
+pub const GPR_ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// ABI names for the floating-point registers (`ft0`, `fa0`, ...).
+pub const FPR_ABI_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+];
+
+impl fmt::Display for Gpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(GPR_ABI_NAMES[self.0 as usize])
+    }
+}
+
+impl fmt::Display for Fpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(FPR_ABI_NAMES[self.0 as usize])
+    }
+}
+
+impl fmt::Display for Vr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl Gpr {
+    /// The hard-wired zero register `x0`.
+    pub const ZERO: Gpr = Gpr(0);
+    /// Return address `x1`.
+    pub const RA: Gpr = Gpr(1);
+    /// Stack pointer `x2`.
+    pub const SP: Gpr = Gpr(2);
+    /// Global pointer `x3`.
+    pub const GP: Gpr = Gpr(3);
+    /// Thread pointer `x4`.
+    pub const TP: Gpr = Gpr(4);
+    /// Temporaries `t0`-`t2` (`x5`-`x7`).
+    pub const T0: Gpr = Gpr(5);
+    pub const T1: Gpr = Gpr(6);
+    pub const T2: Gpr = Gpr(7);
+    /// Saved/frame pointer `s0`/`fp` (`x8`).
+    pub const S0: Gpr = Gpr(8);
+    pub const S1: Gpr = Gpr(9);
+    /// Argument/return registers `a0`-`a7` (`x10`-`x17`).
+    pub const A0: Gpr = Gpr(10);
+    pub const A1: Gpr = Gpr(11);
+    pub const A2: Gpr = Gpr(12);
+    pub const A3: Gpr = Gpr(13);
+    pub const A4: Gpr = Gpr(14);
+    pub const A5: Gpr = Gpr(15);
+    pub const A6: Gpr = Gpr(16);
+    pub const A7: Gpr = Gpr(17);
+    pub const S2: Gpr = Gpr(18);
+    pub const S3: Gpr = Gpr(19);
+    pub const S4: Gpr = Gpr(20);
+    pub const S5: Gpr = Gpr(21);
+    pub const S6: Gpr = Gpr(22);
+    pub const S7: Gpr = Gpr(23);
+    pub const S8: Gpr = Gpr(24);
+    pub const S9: Gpr = Gpr(25);
+    pub const S10: Gpr = Gpr(26);
+    pub const S11: Gpr = Gpr(27);
+    pub const T3: Gpr = Gpr(28);
+    pub const T4: Gpr = Gpr(29);
+    pub const T5: Gpr = Gpr(30);
+    pub const T6: Gpr = Gpr(31);
+
+    /// Whether writes to this register are discarded (`x0`).
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abi_display() {
+        assert_eq!(Gpr::new(0).to_string(), "zero");
+        assert_eq!(Gpr::new(2).to_string(), "sp");
+        assert_eq!(Gpr::A0.to_string(), "a0");
+        assert_eq!(Fpr::new(10).to_string(), "fa0");
+        assert_eq!(Vr::new(7).to_string(), "v7");
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let _ = Gpr::new(32);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Gpr::ZERO.is_zero());
+        assert!(!Gpr::RA.is_zero());
+    }
+}

@@ -1,0 +1,54 @@
+//! Robustness properties: the decoders are total functions (they never
+//! panic on arbitrary bits) and every decodable instruction has a
+//! non-empty disassembly.
+
+use proptest::prelude::*;
+use xt_isa::{decode, decode_compressed};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn decode_never_panics(w in any::<u32>()) {
+        // decoding arbitrary bits must cleanly return Ok or Err
+        let _ = decode(w);
+    }
+
+    #[test]
+    fn compressed_decode_never_panics(h in any::<u16>()) {
+        let _ = decode_compressed(h);
+    }
+
+    #[test]
+    fn every_decoded_instruction_disassembles(w in any::<u32>()) {
+        if let Ok(inst) = decode(w) {
+            let text = inst.to_string();
+            prop_assert!(!text.is_empty());
+            prop_assert!(text.starts_with(inst.op.mnemonic().chars().next().unwrap()));
+        }
+    }
+
+    #[test]
+    fn decoded_operands_in_range(w in any::<u32>()) {
+        if let Ok(inst) = decode(w) {
+            prop_assert!(inst.rd < 32);
+            prop_assert!(inst.rs1 < 32);
+            prop_assert!(inst.rs2 < 32);
+            prop_assert!(inst.rs3 < 32);
+            prop_assert!(inst.len == 2 || inst.len == 4);
+        }
+    }
+
+    #[test]
+    fn reencoding_decoded_words_is_stable(w in any::<u32>()) {
+        // decode -> encode -> decode must be a fixed point (the encoder
+        // may canonicalize, but the second decode must agree with the
+        // first)
+        if let Ok(i1) = decode(w) {
+            if let Ok(w2) = xt_isa::encode::encode(&i1) {
+                let i2 = decode(w2).expect("re-encoded word decodes");
+                prop_assert_eq!(i1, i2);
+            }
+        }
+    }
+}

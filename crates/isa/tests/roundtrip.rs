@@ -1,0 +1,302 @@
+//! Property tests: every encodable instruction decodes back to itself.
+
+use proptest::prelude::*;
+use xt_isa::encode::{encode, encode_compressed};
+use xt_isa::{decode, decode_compressed, Inst, Op};
+
+/// Ops with plain R-type operand shapes (rd, rs1, rs2).
+const R_OPS: &[Op] = &[
+    Op::Add,
+    Op::Sub,
+    Op::Sll,
+    Op::Slt,
+    Op::Sltu,
+    Op::Xor,
+    Op::Srl,
+    Op::Sra,
+    Op::Or,
+    Op::And,
+    Op::Addw,
+    Op::Subw,
+    Op::Sllw,
+    Op::Srlw,
+    Op::Sraw,
+    Op::Mul,
+    Op::Mulh,
+    Op::Mulhsu,
+    Op::Mulhu,
+    Op::Div,
+    Op::Divu,
+    Op::Rem,
+    Op::Remu,
+    Op::Mulw,
+    Op::Divw,
+    Op::Divuw,
+    Op::Remw,
+    Op::Remuw,
+    Op::ScW,
+    Op::ScD,
+    Op::AmoSwapW,
+    Op::AmoAddW,
+    Op::AmoXorW,
+    Op::AmoAndW,
+    Op::AmoOrW,
+    Op::AmoMinW,
+    Op::AmoMaxW,
+    Op::AmoMinuW,
+    Op::AmoMaxuW,
+    Op::AmoSwapD,
+    Op::AmoAddD,
+    Op::AmoXorD,
+    Op::AmoAndD,
+    Op::AmoOrD,
+    Op::AmoMinD,
+    Op::AmoMaxD,
+    Op::AmoMinuD,
+    Op::AmoMaxuD,
+    Op::FaddS,
+    Op::FsubS,
+    Op::FmulS,
+    Op::FdivS,
+    Op::FsgnjS,
+    Op::FsgnjnS,
+    Op::FsgnjxS,
+    Op::FminS,
+    Op::FmaxS,
+    Op::FeqS,
+    Op::FltS,
+    Op::FleS,
+    Op::FaddD,
+    Op::FsubD,
+    Op::FmulD,
+    Op::FdivD,
+    Op::FsgnjD,
+    Op::FsgnjnD,
+    Op::FsgnjxD,
+    Op::FminD,
+    Op::FmaxD,
+    Op::FeqD,
+    Op::FltD,
+    Op::FleD,
+    Op::XAdduw,
+    Op::XMula,
+    Op::XMuls,
+    Op::XMulaw,
+    Op::XMulsw,
+    Op::XMulah,
+    Op::XMulsh,
+    Op::XMveqz,
+    Op::XMvnez,
+];
+
+/// Ops shaped rd, rs1, imm12.
+const I_OPS: &[Op] = &[
+    Op::Jalr,
+    Op::Lb,
+    Op::Lh,
+    Op::Lw,
+    Op::Ld,
+    Op::Lbu,
+    Op::Lhu,
+    Op::Lwu,
+    Op::Addi,
+    Op::Slti,
+    Op::Sltiu,
+    Op::Xori,
+    Op::Ori,
+    Op::Andi,
+    Op::Addiw,
+    Op::Flw,
+    Op::Fld,
+];
+
+const S_OPS: &[Op] = &[Op::Sb, Op::Sh, Op::Sw, Op::Sd, Op::Fsw, Op::Fsd];
+
+const B_OPS: &[Op] = &[Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu, Op::Bgeu];
+
+const VEC_VV: &[Op] = &[
+    Op::VaddVV,
+    Op::VsubVV,
+    Op::VandVV,
+    Op::VorVV,
+    Op::VxorVV,
+    Op::VsllVV,
+    Op::VsrlVV,
+    Op::VsraVV,
+    Op::VminVV,
+    Op::VminuVV,
+    Op::VmaxVV,
+    Op::VmaxuVV,
+    Op::VmulVV,
+    Op::VmulhVV,
+    Op::VdivVV,
+    Op::VdivuVV,
+    Op::VremVV,
+    Op::VwmulVV,
+    Op::VwmuluVV,
+    Op::VredsumVS,
+    Op::VredmaxVS,
+    Op::VfaddVV,
+    Op::VfsubVV,
+    Op::VfmulVV,
+    Op::VfdivVV,
+    Op::VfminVV,
+    Op::VfmaxVV,
+    Op::VfredsumVS,
+];
+
+fn sel<T: Copy + std::fmt::Debug + 'static>(table: &'static [T]) -> impl Strategy<Value = T> {
+    (0..table.len()).prop_map(move |i| table[i])
+}
+
+proptest! {
+    #[test]
+    fn r_type_roundtrip(op in sel(R_OPS), rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32) {
+        let mut i = Inst::new(op).rd(rd).rs1(rs1).rs2(rs2);
+        // custom read-modify-write ops expose rd as rs3 after decode
+        if matches!(op, Op::XMula | Op::XMuls | Op::XMulaw | Op::XMulsw | Op::XMulah
+            | Op::XMulsh | Op::XMveqz | Op::XMvnez) {
+            i = i.rs3(rd);
+        }
+        let w = encode(&i).unwrap();
+        prop_assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn i_type_roundtrip(op in sel(I_OPS), rd in 0u8..32, rs1 in 0u8..32, imm in -2048i64..2048) {
+        let i = Inst::new(op).rd(rd).rs1(rs1).imm(imm);
+        let w = encode(&i).unwrap();
+        prop_assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn s_type_roundtrip(op in sel(S_OPS), rs1 in 0u8..32, rs2 in 0u8..32, imm in -2048i64..2048) {
+        let i = Inst::new(op).rs1(rs1).rs2(rs2).imm(imm);
+        let w = encode(&i).unwrap();
+        prop_assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn b_type_roundtrip(op in sel(B_OPS), rs1 in 0u8..32, rs2 in 0u8..32, off in -2048i64..2047) {
+        let i = Inst::new(op).rs1(rs1).rs2(rs2).imm(off * 2);
+        let w = encode(&i).unwrap();
+        prop_assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn u_type_roundtrip(rd in 0u8..32, hi in -(1i64<<19)..(1i64<<19)) {
+        for op in [Op::Lui, Op::Auipc] {
+            let i = Inst::new(op).rd(rd).imm(hi << 12);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn j_type_roundtrip(rd in 0u8..32, off in -(1i64<<19)..(1i64<<19)) {
+        let i = Inst::new(Op::Jal).rd(rd).imm(off * 2);
+        let w = encode(&i).unwrap();
+        prop_assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn shift_roundtrip(rd in 0u8..32, rs1 in 0u8..32, sh in 0i64..64) {
+        for op in [Op::Slli, Op::Srli, Op::Srai] {
+            let i = Inst::new(op).rd(rd).rs1(rs1).imm(sh);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+        for op in [Op::Slliw, Op::Srliw, Op::Sraiw] {
+            let i = Inst::new(op).rd(rd).rs1(rs1).imm(sh % 32);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn fma_roundtrip(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32, rs3 in 0u8..32) {
+        for op in [Op::FmaddS, Op::FmsubS, Op::FnmsubS, Op::FnmaddS,
+                   Op::FmaddD, Op::FmsubD, Op::FnmsubD, Op::FnmaddD] {
+            let i = Inst::new(op).rd(rd).rs1(rs1).rs2(rs2).rs3(rs3);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn csr_roundtrip(rd in 0u8..32, rs1 in 0u8..32, addr in 0i64..4096) {
+        for op in [Op::Csrrw, Op::Csrrs, Op::Csrrc, Op::Csrrwi, Op::Csrrsi, Op::Csrrci] {
+            let i = Inst::new(op).rd(rd).rs1(rs1).imm(addr);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn vec_vv_roundtrip(op in sel(VEC_VV), vd in 0u8..32, vs2 in 0u8..32, vs1 in 0u8..32) {
+        let i = Inst::new(op).rd(vd).rs1(vs2).rs2(vs1);
+        let w = encode(&i).unwrap();
+        prop_assert_eq!(decode(w).unwrap(), i);
+    }
+
+    #[test]
+    fn vec_mac_roundtrip(vd in 0u8..32, vs2 in 0u8..32, vs1 in 0u8..32) {
+        for op in [Op::VmaccVV, Op::VnmsacVV, Op::VwmaccVV, Op::VwmaccuVV,
+                   Op::VfmaccVV, Op::VfnmsacVV] {
+            let i = Inst::new(op).rd(vd).rs1(vs2).rs2(vs1).rs3(vd);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn indexed_mem_roundtrip(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32, sh in 0i64..4) {
+        for op in [Op::XLrb, Op::XLrbu, Op::XLrh, Op::XLrhu, Op::XLrw, Op::XLrwu,
+                   Op::XLrd, Op::XLurw, Op::XLurd] {
+            let i = Inst::new(op).rd(rd).rs1(rs1).rs2(rs2).imm(sh);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+        for op in [Op::XSrb, Op::XSrh, Op::XSrw, Op::XSrd] {
+            let i = Inst::new(op).rs1(rs1).rs2(rs2).rs3(rd).imm(sh);
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn bitfield_roundtrip(rd in 0u8..32, rs1 in 0u8..32, msb in 0u32..64, lsb in 0u32..64) {
+        for op in [Op::XExt, Op::XExtu] {
+            let i = Inst::new(op).rd(rd).rs1(rs1).imm(Inst::pack_ext_bounds(msb, lsb));
+            let w = encode(&i).unwrap();
+            prop_assert_eq!(decode(w).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn compressed_expansion_matches(
+        rd in 8u8..16, rs1 in 8u8..16, imm in -32i64..32,
+    ) {
+        // Any instruction the compressor accepts must expand back to the
+        // identical wide instruction.
+        let candidates = [
+            Inst::new(Op::Addi).rd(rd).rs1(rd).imm(imm),
+            Inst::new(Op::Andi).rd(rd).rs1(rd).imm(imm),
+            Inst::new(Op::Sub).rd(rd).rs1(rd).rs2(rs1),
+            Inst::new(Op::Xor).rd(rd).rs1(rd).rs2(rs1),
+            Inst::new(Op::Or).rd(rd).rs1(rd).rs2(rs1),
+            Inst::new(Op::And).rd(rd).rs1(rd).rs2(rs1),
+            Inst::new(Op::Addw).rd(rd).rs1(rd).rs2(rs1),
+            Inst::new(Op::Subw).rd(rd).rs1(rd).rs2(rs1),
+            Inst::new(Op::Lw).rd(rd).rs1(rs1).imm((imm.rem_euclid(32)) * 4),
+            Inst::new(Op::Ld).rd(rd).rs1(rs1).imm((imm.rem_euclid(32)) * 8),
+            Inst::new(Op::Beq).rs1(rs1).rs2(0).imm(imm * 2),
+        ];
+        for c in candidates {
+            if let Some(h) = encode_compressed(&c) {
+                let d = decode_compressed(h).unwrap();
+                prop_assert_eq!(d.with_len(4), c);
+            }
+        }
+    }
+}

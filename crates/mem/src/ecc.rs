@@ -1,0 +1,211 @@
+//! L2 data-integrity codes (paper §II: the L2 "supports both ECC and
+//! parity check").
+//!
+//! Implements the standard SEC-DED Hamming(72,64) code used by cache
+//! SRAMs — single-error correction, double-error detection over each
+//! 64-bit word — plus the cheaper even-parity check.
+
+/// Outcome of an ECC decode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EccResult {
+    /// No error detected.
+    Clean(u64),
+    /// A single-bit error was corrected at the given bit position
+    /// (0..64 data bits, 64..72 check bits).
+    Corrected {
+        /// The corrected data word.
+        data: u64,
+        /// Flipped bit position in the 72-bit codeword.
+        bit: u32,
+    },
+    /// An uncorrectable (double-bit) error was detected.
+    Uncorrectable,
+}
+
+/// Positions of the 8 parity groups: check bit `i` covers data bits
+/// whose (position+1) expanded into the 72-bit H-matrix has bit `i`
+/// set. We use the classic Hsiao-style construction via bit masks.
+fn syndrome_masks() -> [u64; 7] {
+    // For data bit d (0..64), its codeword position p = d+1 mapped past
+    // powers of two. Precompute which data bits each of the 7 Hamming
+    // parity bits covers (the 8th bit is overall parity for DED).
+    let mut masks = [0u64; 7];
+    let mut pos = 1u32; // codeword positions start at 1
+    for d in 0..64 {
+        // advance past power-of-two positions (parity slots)
+        pos += 1;
+        while pos.is_power_of_two() {
+            pos += 1;
+        }
+        for (i, m) in masks.iter_mut().enumerate() {
+            if pos & (1 << i) != 0 {
+                *m |= 1u64 << d;
+            }
+        }
+    }
+    masks
+}
+
+fn data_position(d: u32) -> u32 {
+    // codeword position of data bit d (skipping power-of-two slots)
+    let mut pos = 1u32;
+    for _ in 0..=d {
+        pos += 1;
+        while pos.is_power_of_two() {
+            pos += 1;
+        }
+    }
+    pos
+}
+
+/// Encodes `data` into its 8 check bits (7 Hamming + 1 overall parity).
+pub fn ecc_encode(data: u64) -> u8 {
+    let masks = syndrome_masks();
+    let mut check = 0u8;
+    for (i, m) in masks.iter().enumerate() {
+        if ((data & m).count_ones() & 1) == 1 {
+            check |= 1 << i;
+        }
+    }
+    // overall parity over data + 7 check bits
+    let total = data.count_ones() + u32::from(check).count_ones();
+    if total & 1 == 1 {
+        check |= 0x80;
+    }
+    check
+}
+
+/// Decodes a (data, check) pair, correcting single-bit errors.
+///
+/// The overall parity is evaluated over the *received* codeword (data
+/// plus stored check bits): even total flips clear it, odd set it —
+/// the standard SEC-DED discriminator.
+pub fn ecc_decode(data: u64, check: u8) -> EccResult {
+    let expect7 = ecc_encode(data) & 0x7f;
+    let syndrome = (check & 0x7f) ^ expect7;
+    // encode always leaves the full codeword with even parity
+    let overall = (data.count_ones()
+        + (check as u32 & 0x7f).count_ones()
+        + (check as u32 >> 7))
+        & 1;
+    match (syndrome, overall) {
+        (0, 0) => EccResult::Clean(data),
+        (0, 1) => EccResult::Corrected {
+            data,
+            bit: 71, // the overall parity bit itself flipped
+        },
+        (s, 1) => {
+            if (s as u32).is_power_of_two() {
+                // one of the Hamming check bits flipped
+                return EccResult::Corrected { data, bit: 64 };
+            }
+            for d in 0..64u32 {
+                if data_position(d) == s as u32 {
+                    return EccResult::Corrected {
+                        data: data ^ (1u64 << d),
+                        bit: d,
+                    };
+                }
+            }
+            EccResult::Uncorrectable
+        }
+        (_, _) => EccResult::Uncorrectable,
+    }
+}
+
+/// Even parity bit over a 64-bit word (the cheap check mode).
+pub fn parity(data: u64) -> bool {
+    data.count_ones() & 1 == 1
+}
+
+/// Checks a word against its stored parity bit.
+pub fn parity_ok(data: u64, stored: bool) -> bool {
+    parity(data) == stored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn clean_roundtrip() {
+        for d in [0u64, u64::MAX, 0xDEAD_BEEF_0BAD_F00D, 1, 1 << 63] {
+            let c = ecc_encode(d);
+            assert_eq!(ecc_decode(d, c), EccResult::Clean(d));
+        }
+    }
+
+    #[test]
+    fn single_bit_corrected_every_position() {
+        let d = 0xA5A5_5A5A_0F0F_F0F0u64;
+        let c = ecc_encode(d);
+        for b in 0..64 {
+            let corrupted = d ^ (1u64 << b);
+            match ecc_decode(corrupted, c) {
+                EccResult::Corrected { data, bit } => {
+                    assert_eq!(data, d, "bit {b} corrected");
+                    assert_eq!(bit, b);
+                }
+                other => panic!("bit {b}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn check_bit_errors_corrected() {
+        let d = 0x0123_4567_89AB_CDEFu64;
+        let c = ecc_encode(d);
+        for cb in 0..8 {
+            let corrupted_check = c ^ (1 << cb);
+            match ecc_decode(d, corrupted_check) {
+                EccResult::Clean(_) => panic!("check-bit flip must be seen"),
+                EccResult::Corrected { data, .. } => assert_eq!(data, d),
+                EccResult::Uncorrectable => panic!("single flip correctable"),
+            }
+        }
+    }
+
+    #[test]
+    fn double_bit_detected() {
+        let d = 0xFFFF_0000_1234_5678u64;
+        let c = ecc_encode(d);
+        // flip two data bits
+        let corrupted = d ^ 0b11;
+        assert_eq!(ecc_decode(corrupted, c), EccResult::Uncorrectable);
+        let corrupted = d ^ (1 << 5) ^ (1 << 40);
+        assert_eq!(ecc_decode(corrupted, c), EccResult::Uncorrectable);
+    }
+
+    #[test]
+    fn parity_detects_single_flip() {
+        let d = 0x1122_3344_5566_7788u64;
+        let p = parity(d);
+        assert!(parity_ok(d, p));
+        assert!(!parity_ok(d ^ (1 << 17), p));
+        // but parity misses double flips (why the L2 offers ECC too)
+        assert!(parity_ok(d ^ 0b11, p));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_any_single_flip_corrected(d in any::<u64>(), bit in 0u32..64) {
+            let c = ecc_encode(d);
+            let res = ecc_decode(d ^ (1u64 << bit), c);
+            prop_assert_eq!(res, EccResult::Corrected { data: d, bit });
+        }
+
+        #[test]
+        fn prop_any_double_flip_detected(d in any::<u64>(), b1 in 0u32..64, b2 in 0u32..64) {
+            prop_assume!(b1 != b2);
+            let c = ecc_encode(d);
+            let res = ecc_decode(d ^ (1u64 << b1) ^ (1u64 << b2), c);
+            prop_assert_eq!(res, EccResult::Uncorrectable);
+        }
+
+        #[test]
+        fn prop_clean_words_stay_clean(d in any::<u64>()) {
+            prop_assert_eq!(ecc_decode(d, ecc_encode(d)), EccResult::Clean(d));
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Aggregated memory-system statistics, reported by the bench harness.
+
+/// A snapshot of every counter in the memory system.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MemStats {
+    /// Per-core L1I (hits, misses).
+    pub l1i: Vec<(u64, u64)>,
+    /// Per-core L1D (hits, misses).
+    pub l1d: Vec<(u64, u64)>,
+    /// Shared L2 (hits, misses).
+    pub l2: (u64, u64),
+    /// Per-core µTLB hits.
+    pub tlb_micro_hits: Vec<u64>,
+    /// Per-core jTLB hits.
+    pub tlb_joint_hits: Vec<u64>,
+    /// Per-core page walks.
+    pub tlb_walks: Vec<u64>,
+    /// Per-core TLB full flushes.
+    pub tlb_flushes: Vec<u64>,
+    /// Per-core prefetch requests issued.
+    pub prefetches_issued: Vec<u64>,
+    /// Per-core useful prefetches (L1 demand hits on prefetched lines).
+    pub prefetches_useful: Vec<u64>,
+    /// DRAM line requests.
+    pub dram_requests: u64,
+    /// DRAM requests that queued behind the channel.
+    pub dram_queued: u64,
+    /// Coherence: snoop probes avoided by the snoop filter.
+    pub snoops_filtered: u64,
+    /// Coherence: snoop probes actually sent to other cores.
+    pub snoops_sent: u64,
+    /// Cache-to-cache transfers.
+    pub c2c_transfers: u64,
+    /// Total cycles spent in page walks.
+    pub walk_cycles: u64,
+}
+
+impl MemStats {
+    /// L1D hit rate of core `c`.
+    pub fn l1d_hit_rate(&self, c: usize) -> f64 {
+        let (h, m) = self.l1d[c];
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+
+    /// Total page walks across cores.
+    pub fn total_walks(&self) -> u64 {
+        self.tlb_walks.iter().sum()
+    }
+}

@@ -1,0 +1,685 @@
+//! The assembled cluster memory system: per-core L1s/TLBs/prefetchers, a
+//! shared inclusive MOSEI L2 with snoop filter, and one DRAM channel.
+
+use crate::cache::{Cache, LineState, ProbeResult};
+use crate::config::MemConfig;
+use crate::dram::Dram;
+use crate::prefetch::Prefetcher;
+use crate::stats::MemStats;
+use crate::tlb::{Mapping, PageSize, Tlb, TlbResult};
+use std::collections::HashMap;
+
+/// Synthetic physical region where page-table entries live, so that walk
+/// accesses go through the cache hierarchy and exhibit locality (one
+/// 64-byte line covers 8 adjacent PTEs).
+const PTE_REGION: u64 = 0x40_0000_0000;
+
+/// The cluster memory hierarchy (paper Fig. 2: up to 4 cores sharing an
+/// inclusive L2).
+///
+/// All methods take the current `cycle` and return the cycle at which the
+/// access completes; internal state (cache contents, stream tables, TLB
+/// entries, channel occupancy) advances as a side effect.
+#[derive(Debug)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    l1i: Vec<Cache>,
+    l1d: Vec<Cache>,
+    tlbs: Vec<Tlb>,
+    pfs: Vec<Prefetcher>,
+    l2: Cache,
+    /// Snoop filter: L2 line address -> presence bitmask over cores' L1D.
+    dir: HashMap<u64, u16>,
+    dram: Dram,
+    /// Prefetches still in flight: PA line address -> ready cycle.
+    inflight: HashMap<u64, u64>,
+    /// Coherence stats.
+    snoops_filtered: u64,
+    snoops_sent: u64,
+    c2c_transfers: u64,
+    walk_cycles: u64,
+    line_bytes: u64,
+}
+
+impl MemSystem {
+    /// Builds the hierarchy from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`MemConfig::validate`]).
+    pub fn new(cfg: MemConfig) -> Self {
+        cfg.validate().expect("invalid memory configuration");
+        let cores = cfg.cores;
+        MemSystem {
+            l1i: (0..cores)
+                .map(|_| Cache::new("L1I", cfg.l1i_kib, cfg.l1_ways, cfg.line_bytes))
+                .collect(),
+            l1d: (0..cores)
+                .map(|_| Cache::new("L1D", cfg.l1d_kib, cfg.l1_ways, cfg.line_bytes))
+                .collect(),
+            tlbs: (0..cores)
+                .map(|_| Tlb::new(cfg.utlb_entries, cfg.jtlb_sets))
+                .collect(),
+            pfs: (0..cores)
+                .map(|_| Prefetcher::new(cfg.prefetch, cfg.line_bytes))
+                .collect(),
+            l2: Cache::new("L2", cfg.l2_kib, cfg.l2_ways, cfg.line_bytes),
+            dir: HashMap::new(),
+            dram: Dram::new(cfg.dram_latency, cfg.dram_transfer),
+            inflight: HashMap::new(),
+            snoops_filtered: 0,
+            snoops_sent: 0,
+            c2c_transfers: 0,
+            walk_cycles: 0,
+            line_bytes: cfg.line_bytes as u64,
+            cfg,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    fn line_of(&self, pa: u64) -> u64 {
+        pa & !(self.line_bytes - 1)
+    }
+
+    /// Other cores currently holding the line in L1D (via the snoop
+    /// filter, then verified against the actual caches).
+    fn sharers(&mut self, core: usize, line: u64) -> Vec<usize> {
+        let mask = self.dir.get(&line).copied().unwrap_or(0) & !(1u16 << core);
+        if mask == 0 {
+            self.snoops_filtered += 1;
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for c in 0..self.cfg.cores {
+            if mask & (1 << c) != 0 && self.l1d[c].contains(line) {
+                out.push(c);
+            }
+        }
+        self.snoops_sent += out.len() as u64;
+        out
+    }
+
+    /// Brings a line into the L2 (if absent), returning the ready cycle.
+    /// Handles inclusive back-invalidation on L2 eviction.
+    fn l2_fill_path(&mut self, cycle: u64, pa: u64, prefetched: bool) -> u64 {
+        let line = self.line_of(pa);
+        match self.l2.access(pa, false) {
+            ProbeResult::Hit { .. } => cycle + self.cfg.l2_hit,
+            _ => {
+                // merge with an in-flight prefetch if present
+                if let Some(&ready) = self.inflight.get(&line) {
+                    if ready > cycle {
+                        return ready;
+                    }
+                    self.inflight.remove(&line);
+                }
+                let done = self.dram.access(cycle + self.cfg.l2_hit);
+                if let Some(victim) = self.l2.fill(pa, LineState::Exclusive, prefetched) {
+                    self.back_invalidate(victim.addr);
+                    if victim.state.is_dirty() {
+                        // writeback occupies the channel
+                        let _ = self.dram.access(cycle);
+                    }
+                }
+                done
+            }
+        }
+    }
+
+    /// Inclusive property: an L2 eviction removes the line from all L1s.
+    fn back_invalidate(&mut self, line_addr: u64) {
+        let line = self.line_of(line_addr);
+        if let Some(mask) = self.dir.remove(&line) {
+            for c in 0..self.cfg.cores {
+                if mask & (1 << c) != 0 {
+                    self.l1d[c].set_state(line, LineState::Invalid);
+                }
+            }
+        }
+        for c in 0..self.cfg.cores {
+            self.l1i[c].set_state(line, LineState::Invalid);
+        }
+    }
+
+    fn note_l1d_fill(&mut self, core: usize, pa: u64) {
+        let line = self.line_of(pa);
+        *self.dir.entry(line).or_insert(0) |= 1 << core;
+    }
+
+    fn note_l1d_evict(&mut self, core: usize, line_addr: u64) {
+        let line = self.line_of(line_addr);
+        if let Some(mask) = self.dir.get_mut(&line) {
+            *mask &= !(1u16 << core);
+            if *mask == 0 {
+                self.dir.remove(&line);
+            }
+        }
+    }
+
+    // ---- public access paths ----
+
+    /// Instruction fetch of the line containing `pa`. Returns the ready
+    /// cycle (L1I hit = `cycle`, so sequential fetch is free). The IFU
+    /// prefetches the next lines sequentially (IBUF fetch-ahead, §III),
+    /// so straight-line code does not pay DRAM latency per line.
+    pub fn icache_fetch(&mut self, core: usize, cycle: u64, pa: u64) -> u64 {
+        let line = self.line_of(pa);
+        let done = match self.l1i[core].access(pa, false) {
+            ProbeResult::Hit { .. } => match self.inflight.get(&line) {
+                Some(&ready) if ready > cycle => ready,
+                _ => {
+                    self.inflight.remove(&line);
+                    cycle
+                }
+            },
+            _ => {
+                let done = self.l2_fill_path(cycle, pa, false);
+                let _ = self.l1i[core].fill(pa, LineState::Shared, false);
+                done
+            }
+        };
+        // sequential instruction-line prefetch into L1I
+        for k in 1..=2u64 {
+            let npa = pa.wrapping_add(k * self.line_bytes);
+            let nline = self.line_of(npa);
+            if self.l1i[core].contains(npa) || self.inflight.contains_key(&nline) {
+                continue;
+            }
+            let ready = if self.l2.contains(npa) {
+                cycle + self.cfg.l2_hit
+            } else {
+                let r = self.dram.access(cycle);
+                if let Some(victim) = self.l2.fill(npa, LineState::Exclusive, true) {
+                    self.back_invalidate(victim.addr);
+                }
+                r
+            };
+            let _ = self.l1i[core].fill(npa, LineState::Shared, true);
+            self.inflight.insert(nline, ready);
+        }
+        done
+    }
+
+    /// Translates `va` on core `core`, charging µTLB/jTLB/walk costs.
+    /// `pa` is the known physical target (from the functional trace); on
+    /// a miss the mapping is installed so later accesses hit.
+    /// Returns the cycle when translation is available.
+    pub fn translate(&mut self, core: usize, cycle: u64, va: u64, pa: u64) -> u64 {
+        match self.tlbs[core].lookup(va) {
+            TlbResult::MicroHit { .. } => cycle + self.cfg.utlb_hit,
+            TlbResult::JointHit { probes, .. } => cycle + self.cfg.jtlb_hit * probes as u64,
+            TlbResult::Miss => {
+                let start = cycle + self.cfg.jtlb_hit * 3;
+                let done = self.walk(core, start, va);
+                let asid = self.tlbs[core].asid;
+                self.tlbs[core].install(Mapping {
+                    va,
+                    pa,
+                    size: PageSize::P4K,
+                    asid,
+                    global: false,
+                });
+                self.walk_cycles += done - cycle;
+                done
+            }
+        }
+    }
+
+    /// Hardware page walk: three dependent PTE reads through the cache
+    /// hierarchy (so PTE lines cache in L2 and later walks are cheap).
+    fn walk(&mut self, core: usize, cycle: u64, va: u64) -> u64 {
+        let mut t = cycle;
+        for level in 0..3u64 {
+            let pte_pa = self.pte_addr(va, level);
+            t = self.pte_read(core, t, pte_pa);
+        }
+        t
+    }
+
+    /// Synthetic PTE address: adjacent virtual pages share leaf PTE lines
+    /// (8 PTEs per 64-byte line), like a real radix table.
+    fn pte_addr(&self, va: u64, level: u64) -> u64 {
+        let vpn = va >> 12;
+        match level {
+            0 => PTE_REGION + 0x4000_0000 + (vpn >> 18) * 8,
+            1 => PTE_REGION + 0x2000_0000 + (vpn >> 9) * 8,
+            _ => PTE_REGION + vpn * 8,
+        }
+    }
+
+    /// A PTE read: the hardware walker fetches from the L2 (PTE lines
+    /// are not installed in the L1D, as in most real walkers), so later
+    /// walks to nearby pages hit the L2.
+    fn pte_read(&mut self, core: usize, cycle: u64, pa: u64) -> u64 {
+        let _ = core;
+        self.l2_fill_path(cycle, pa, false)
+    }
+
+    /// Data load at (`va`, `pa`). Returns the completion cycle.
+    pub fn dload(&mut self, core: usize, cycle: u64, va: u64, pa: u64) -> u64 {
+        let after_tlb = self.translate(core, cycle, va, pa);
+        self.run_prefetcher(core, after_tlb, va, pa);
+        self.data_path(core, after_tlb, pa, false)
+    }
+
+    /// Data store at (`va`, `pa`). Returns the completion cycle (store
+    /// commit into the cache).
+    pub fn dstore(&mut self, core: usize, cycle: u64, va: u64, pa: u64) -> u64 {
+        let after_tlb = self.translate(core, cycle, va, pa);
+        self.run_prefetcher(core, after_tlb, va, pa);
+        self.data_path(core, after_tlb, pa, true)
+    }
+
+    fn data_path(&mut self, core: usize, cycle: u64, pa: u64, is_store: bool) -> u64 {
+        let line = self.line_of(pa);
+        match self.l1d[core].access(pa, is_store) {
+            ProbeResult::Hit { .. } => {
+                // if the line is an in-flight prefetch, wait for it
+                if let Some(&ready) = self.inflight.get(&line) {
+                    if ready > cycle {
+                        return ready.max(cycle + self.cfg.l1_hit);
+                    }
+                    self.inflight.remove(&line);
+                }
+                cycle + self.cfg.l1_hit
+            }
+            ProbeResult::UpgradeNeeded => {
+                // invalidate other sharers through the snoop filter
+                let sharers = self.sharers(core, line);
+                let mut extra = self.cfg.l2_hit; // upgrade round-trip
+                for c in sharers {
+                    if self.l1d[c].state_of(line).is_dirty() {
+                        extra += self.cfg.c2c_penalty;
+                        self.c2c_transfers += 1;
+                    }
+                    self.l1d[c].set_state(line, LineState::Invalid);
+                    self.note_l1d_evict(c, line);
+                }
+                self.l1d[core].set_state(line, LineState::Modified);
+                cycle + self.cfg.l1_hit + extra
+            }
+            ProbeResult::Miss => {
+                let sharers = self.sharers(core, line);
+                let mut c2c = 0;
+                let mut fill_state = if is_store {
+                    LineState::Modified
+                } else if sharers.is_empty() {
+                    LineState::Exclusive
+                } else {
+                    LineState::Shared
+                };
+                for c in &sharers {
+                    let st = self.l1d[*c].state_of(line);
+                    if is_store {
+                        if st.is_dirty() {
+                            c2c = self.cfg.c2c_penalty;
+                            self.c2c_transfers += 1;
+                        }
+                        self.l1d[*c].set_state(line, LineState::Invalid);
+                        self.note_l1d_evict(*c, line);
+                    } else if st == LineState::Modified {
+                        // dirty sharing: supplier keeps an Owned copy
+                        self.l1d[*c].set_state(line, LineState::Owned);
+                        c2c = self.cfg.c2c_penalty;
+                        self.c2c_transfers += 1;
+                        fill_state = LineState::Shared;
+                    } else if st == LineState::Exclusive {
+                        self.l1d[*c].set_state(line, LineState::Shared);
+                        fill_state = LineState::Shared;
+                    }
+                }
+                let done = self.l2_fill_path(cycle + self.cfg.l1_hit, pa, false);
+                if let Some(v) = self.l1d[core].fill(pa, fill_state, false) {
+                    self.note_l1d_evict(core, v.addr);
+                    if v.state.is_dirty() {
+                        self.l2.set_state(v.addr, LineState::Modified);
+                    }
+                }
+                self.note_l1d_fill(core, pa);
+                // MSHR merge: later accesses to this line wait for the fill
+                let done = done + c2c;
+                if done > cycle + self.cfg.l1_hit {
+                    self.inflight.insert(line, done);
+                }
+                done
+            }
+        }
+    }
+
+    /// Feeds the prefetch engine and issues its requests.
+    fn run_prefetcher(&mut self, core: usize, cycle: u64, va: u64, pa: u64) {
+        let pf_cfg = *self.pfs[core].config();
+        if !pf_cfg.enabled() {
+            return;
+        }
+        let reqs = self.pfs[core].on_access(va);
+        if reqs.is_empty() {
+            return;
+        }
+        // L1 prefetch reaches `distance` lines; with the L2 prefetcher on,
+        // a second engine runs the same stream further ahead into L2 only.
+        let l1_reach = pf_cfg.distance.lines() * self.line_bytes;
+        let l2_extra = if pf_cfg.l2 { 2 } else { 1 };
+        for req in reqs {
+            let delta = req.va.wrapping_sub(va);
+            // cross-page handling
+            if (req.va >> 12) != (va >> 12)
+                && pf_cfg.tlb {
+                    // §V-C: request the next-page translation automatically
+                    let asid = self.tlbs[core].asid;
+                    if !self.tlbs[core].peek(req.va) {
+                        self.tlbs[core].install_prefetch(Mapping {
+                            va: req.va,
+                            pa: pa.wrapping_add(delta),
+                            size: PageSize::P4K,
+                            asid,
+                            global: false,
+                        });
+                    }
+                }
+                // Without TLB prefetch the physical prefetch stream
+                // continues (sequential pages are physically contiguous
+                // here), but the demand access at the new page pays its
+                // own jTLB probes / walk — the small Fig. 21 (d) vs (e)
+                // delta.
+            let req_pa = pa.wrapping_add(delta);
+            let line = self.line_of(req_pa);
+            // skip only if a fill for this line is genuinely in flight;
+            // drop entries that completed long ago (earlier phases)
+            match self.inflight.get(&line) {
+                Some(&r) if r > cycle => continue,
+                Some(_) => {
+                    self.inflight.remove(&line);
+                }
+                None => {}
+            }
+            let into_l1 = pf_cfg.l1 && delta <= l1_reach;
+            if into_l1 && self.l1d[core].contains(req_pa) {
+                continue;
+            }
+            if !into_l1 && self.l2.contains(req_pa) {
+                continue;
+            }
+            // issue: DRAM fill unless L2 already has it
+            let ready = if self.l2.contains(req_pa) {
+                cycle + self.cfg.l2_hit
+            } else {
+                let done = self.dram.access(cycle);
+                if let Some(victim) = self.l2.fill(req_pa, LineState::Exclusive, true) {
+                    self.back_invalidate(victim.addr);
+                }
+                done
+            };
+            if into_l1 {
+                if let Some(v) = self.l1d[core].fill(req_pa, LineState::Exclusive, true) {
+                    self.note_l1d_evict(core, v.addr);
+                    if v.state.is_dirty() {
+                        self.l2.set_state(v.addr, LineState::Modified);
+                    }
+                }
+                self.note_l1d_fill(core, req_pa);
+            }
+            self.inflight.insert(line, ready);
+            let _ = l2_extra;
+        }
+    }
+
+    // ---- maintenance operations (custom extensions / OS events) ----
+
+    /// `x.dcache.call`: clean+invalidate the whole L1D of `core`.
+    pub fn dcache_flush_all(&mut self, core: usize) {
+        let _ = self.l1d[core].invalidate_all();
+        // rebuild the snoop filter without this core
+        for mask in self.dir.values_mut() {
+            *mask &= !(1u16 << core);
+        }
+        self.dir.retain(|_, m| *m != 0);
+    }
+
+    /// Context switch on `core` to `asid`. A 16-bit-ASID design just
+    /// retags; a narrow design that overflowed must flush (§V-E).
+    pub fn context_switch(&mut self, core: usize, asid: u16, must_flush: bool) {
+        if must_flush {
+            self.tlbs[core].flush_all();
+        }
+        self.tlbs[core].asid = asid;
+    }
+
+    /// Hardware TLB-maintenance broadcast (§V-E): every core drops the
+    /// mappings for (`va`, `asid`) without IPIs.
+    pub fn tlb_broadcast_invalidate(&mut self, va: u64, asid: u16) {
+        for t in &mut self.tlbs {
+            t.flush_va(va, asid);
+        }
+    }
+
+    /// Direct access to a core's TLB (tests, SoC layer).
+    pub fn tlb_mut(&mut self, core: usize) -> &mut Tlb {
+        &mut self.tlbs[core]
+    }
+
+    /// Direct access to a core's L1D (tests).
+    pub fn l1d(&self, core: usize) -> &Cache {
+        &self.l1d[core]
+    }
+
+    /// Shared L2 (tests).
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Collects a statistics snapshot.
+    pub fn stats(&self) -> MemStats {
+        MemStats {
+            l1i: self.l1i.iter().map(|c| (c.hits, c.misses)).collect(),
+            l1d: self.l1d.iter().map(|c| (c.hits, c.misses)).collect(),
+            l2: (self.l2.hits, self.l2.misses),
+            tlb_micro_hits: self.tlbs.iter().map(|t| t.micro_hits).collect(),
+            tlb_joint_hits: self.tlbs.iter().map(|t| t.joint_hits).collect(),
+            tlb_walks: self.tlbs.iter().map(|t| t.walks).collect(),
+            tlb_flushes: self.tlbs.iter().map(|t| t.flushes).collect(),
+            prefetches_issued: self.pfs.iter().map(|p| p.issued).collect(),
+            prefetches_useful: self.l1d.iter().map(|c| c.useful_prefetches).collect(),
+            dram_requests: self.dram.requests,
+            dram_queued: self.dram.queued,
+            snoops_filtered: self.snoops_filtered,
+            snoops_sent: self.snoops_sent,
+            c2c_transfers: self.c2c_transfers,
+            walk_cycles: self.walk_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PrefetchConfig;
+
+    fn sys(cores: usize, pf: PrefetchConfig) -> MemSystem {
+        let cfg = MemConfig {
+            cores,
+            prefetch: pf,
+            ..MemConfig::default()
+        };
+        MemSystem::new(cfg)
+    }
+
+    #[test]
+    fn load_miss_hits_after_fill() {
+        let mut m = sys(1, PrefetchConfig::off());
+        let t1 = m.dload(0, 0, 0x9000_0000, 0x9000_0000);
+        assert!(t1 >= 200, "cold miss pays DRAM: {t1}");
+        let t2 = m.dload(0, t1, 0x9000_0008, 0x9000_0008);
+        assert_eq!(t2, t1 + m.config().l1_hit, "same line hits in L1");
+    }
+
+    #[test]
+    fn icache_sequential_fetch_free_after_fill() {
+        let mut m = sys(1, PrefetchConfig::off());
+        let t1 = m.icache_fetch(0, 0, 0x8000_0000);
+        assert!(t1 > 0);
+        let t2 = m.icache_fetch(0, t1, 0x8000_0010);
+        assert_eq!(t2, t1, "same line: no extra cost");
+    }
+
+    #[test]
+    fn prefetch_hides_latency_on_stream() {
+        // Walk a long unit-stride stream and compare total time.
+        let run = |pf: PrefetchConfig| -> u64 {
+            let mut m = sys(1, pf);
+            let mut t = 0;
+            for k in 0..4096u64 {
+                let addr = 0x9000_0000 + k * 8;
+                t = m.dload(0, t, addr, addr);
+            }
+            t
+        };
+        let off = run(PrefetchConfig::off());
+        let small = run(PrefetchConfig::l1_small());
+        let large = run(PrefetchConfig::all_large());
+        assert!(
+            small * 2 < off,
+            "L1 prefetch at least 2x on stream: off={off} small={small}"
+        );
+        assert!(large < small, "large distance faster: {large} vs {small}");
+    }
+
+    #[test]
+    fn tlb_walks_disappear_with_tlb_prefetch() {
+        let run = |pf: PrefetchConfig| -> u64 {
+            let mut m = sys(1, pf);
+            let mut t = 0;
+            for k in 0..(16 * 512u64) {
+                // 16 pages of sequential doubles
+                let addr = 0x9000_0000 + k * 8;
+                t = m.dload(0, t, addr, addr);
+            }
+            m.stats().total_walks()
+        };
+        let without = run(PrefetchConfig::no_tlb_large());
+        let with = run(PrefetchConfig::all_large());
+        assert!(
+            with < without,
+            "TLB prefetch removes boundary walks: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn coherence_read_sharing_and_write_invalidate() {
+        let mut m = sys(2, PrefetchConfig::off());
+        let a = 0x9000_0000;
+        // core 0 writes the line -> Modified
+        let t = m.dstore(0, 0, a, a);
+        assert_eq!(m.l1d(0).state_of(a), LineState::Modified);
+        // core 1 reads -> dirty sharing: 0 becomes Owned, 1 Shared
+        let t2 = m.dload(1, t, a, a);
+        assert_eq!(m.l1d(0).state_of(a), LineState::Owned);
+        assert_eq!(m.l1d(1).state_of(a), LineState::Shared);
+        assert!(t2 > t);
+        // core 1 writes -> core 0 invalidated
+        let _ = m.dstore(1, t2, a, a);
+        assert_eq!(m.l1d(0).state_of(a), LineState::Invalid);
+        assert_eq!(m.l1d(1).state_of(a), LineState::Modified);
+        let s = m.stats();
+        assert!(s.c2c_transfers >= 1);
+        assert!(s.snoops_sent >= 1);
+    }
+
+    #[test]
+    fn snoop_filter_blocks_private_traffic() {
+        let mut m = sys(4, PrefetchConfig::off());
+        let mut t = 0;
+        // each core works on a private region
+        for c in 0..4usize {
+            for k in 0..64u64 {
+                let a = 0x9000_0000 + (c as u64) * 0x10_0000 + k * 64;
+                t = m.dload(c, t, a, a);
+            }
+        }
+        let s = m.stats();
+        assert_eq!(s.snoops_sent, 0, "no sharing -> no snoops");
+        assert!(s.snoops_filtered > 0);
+    }
+
+    #[test]
+    fn asid_switch_without_flush_keeps_entries() {
+        let mut m = sys(1, PrefetchConfig::off());
+        let a = 0x9000_0000;
+        let _ = m.dload(0, 0, a, a);
+        assert_eq!(m.stats().total_walks(), 1);
+        // 16-bit ASID: switch and come back without flushing
+        m.context_switch(0, 1, false);
+        m.context_switch(0, 0, false);
+        let _ = m.dload(0, 1000, a, a);
+        assert_eq!(m.stats().total_walks(), 1, "entry survived the switch");
+        // narrow-ASID overflow forces a flush
+        m.context_switch(0, 1, true);
+        m.context_switch(0, 0, true);
+        let _ = m.dload(0, 2000, a, a);
+        assert_eq!(m.stats().total_walks(), 2, "flush forced a re-walk");
+    }
+
+    #[test]
+    fn inclusive_l2_eviction_back_invalidates() {
+        // Tiny L2 so we can force evictions.
+        let cfg = MemConfig {
+            cores: 1,
+            l2_kib: 256,
+            l2_ways: 8,
+            prefetch: PrefetchConfig::off(),
+            ..MemConfig::default()
+        };
+        let mut m = MemSystem::new(cfg);
+        let first = 0x9000_0000u64;
+        let mut t = m.dload(0, 0, first, first);
+        assert!(m.l1d(0).contains(first));
+        // storm the same L2 set: set stride = 256KiB/8 = 32KiB
+        for k in 1..=8u64 {
+            let a = first + k * 32 * 1024;
+            t = m.dload(0, t, a, a);
+        }
+        assert!(
+            !m.l1d(0).contains(first),
+            "L2 eviction back-invalidated the L1 copy"
+        );
+    }
+
+    #[test]
+    fn walk_cost_drops_when_pte_lines_cache() {
+        let mut m = sys(1, PrefetchConfig::off());
+        // touch 8 adjacent pages: their leaf PTEs share one line
+        let mut t = 0;
+        for p in 0..8u64 {
+            let a = 0x9000_0000 + p * 4096;
+            t = m.dload(0, t, a, a);
+        }
+        let s = m.stats();
+        assert_eq!(s.total_walks(), 8);
+        // the first walk pulls the PTE line; later walks hit it in L1D
+        assert!(
+            s.walk_cycles < 8 * (3 * m.config().dram_latency),
+            "walks amortize via cached PTEs: {}",
+            s.walk_cycles
+        );
+    }
+
+    #[test]
+    fn tlb_broadcast_invalidates_all_cores() {
+        let mut m = sys(4, PrefetchConfig::off());
+        let a = 0x9000_0000;
+        for c in 0..4 {
+            let _ = m.dload(c, 0, a, a);
+        }
+        assert_eq!(m.stats().total_walks(), 4);
+        m.tlb_broadcast_invalidate(a, 0);
+        for c in 0..4 {
+            let _ = m.dload(c, 10_000, a, a);
+        }
+        assert_eq!(m.stats().total_walks(), 8, "all cores re-walked");
+    }
+}

@@ -1,0 +1,133 @@
+//! CLINT — the core-local interruptor (software and timer interrupts).
+//!
+//! Standard register map (as in the RISC-V privileged platform):
+//!
+//! * `msip[hart]`    at `0x0000 + 4*hart` — software interrupt pending
+//! * `mtimecmp[hart]` at `0x4000 + 8*hart` — timer compare
+//! * `mtime`         at `0xBFF8` — free-running timer
+
+/// Base offsets within the CLINT region.
+const MSIP_BASE: u64 = 0x0000;
+const MTIMECMP_BASE: u64 = 0x4000;
+const MTIME: u64 = 0xBFF8;
+
+/// The CLINT model for up to `harts` harts.
+#[derive(Clone, Debug)]
+pub struct Clint {
+    msip: Vec<bool>,
+    mtimecmp: Vec<u64>,
+    mtime: u64,
+}
+
+impl Clint {
+    /// Creates a CLINT for `harts` harts with all compares at max.
+    pub fn new(harts: usize) -> Self {
+        Clint {
+            msip: vec![false; harts],
+            mtimecmp: vec![u64::MAX; harts],
+            mtime: 0,
+        }
+    }
+
+    /// Advances the timer by `ticks`.
+    pub fn tick(&mut self, ticks: u64) {
+        self.mtime = self.mtime.wrapping_add(ticks);
+    }
+
+    /// Software-interrupt pending for `hart` (MSIP bit).
+    pub fn software_pending(&self, hart: usize) -> bool {
+        self.msip[hart]
+    }
+
+    /// Timer-interrupt pending for `hart` (`mtime >= mtimecmp`).
+    pub fn timer_pending(&self, hart: usize) -> bool {
+        self.mtime >= self.mtimecmp[hart]
+    }
+
+    /// MMIO read at `offset` within the CLINT region.
+    pub fn read(&self, offset: u64) -> u64 {
+        if offset == MTIME {
+            return self.mtime;
+        }
+        if (MSIP_BASE..MTIMECMP_BASE).contains(&offset) {
+            let hart = ((offset - MSIP_BASE) / 4) as usize;
+            return self.msip.get(hart).map(|b| *b as u64).unwrap_or(0);
+        }
+        if (MTIMECMP_BASE..MTIME).contains(&offset) {
+            let hart = ((offset - MTIMECMP_BASE) / 8) as usize;
+            return self.mtimecmp.get(hart).copied().unwrap_or(u64::MAX);
+        }
+        0
+    }
+
+    /// MMIO write at `offset`.
+    pub fn write(&mut self, offset: u64, value: u64) {
+        if offset == MTIME {
+            self.mtime = value;
+            return;
+        }
+        if (MSIP_BASE..MTIMECMP_BASE).contains(&offset) {
+            let hart = ((offset - MSIP_BASE) / 4) as usize;
+            if let Some(b) = self.msip.get_mut(hart) {
+                *b = value & 1 != 0;
+            }
+            return;
+        }
+        if (MTIMECMP_BASE..MTIME).contains(&offset) {
+            let hart = ((offset - MTIMECMP_BASE) / 8) as usize;
+            if let Some(c) = self.mtimecmp.get_mut(hart) {
+                *c = value;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn software_interrupt_via_msip() {
+        let mut c = Clint::new(4);
+        assert!(!c.software_pending(2));
+        c.write(MSIP_BASE + 8, 1); // hart 2
+        assert!(c.software_pending(2));
+        assert!(!c.software_pending(1));
+        c.write(MSIP_BASE + 8, 0);
+        assert!(!c.software_pending(2));
+    }
+
+    #[test]
+    fn timer_fires_at_compare() {
+        let mut c = Clint::new(1);
+        c.write(MTIMECMP_BASE, 100);
+        assert!(!c.timer_pending(0));
+        c.tick(99);
+        assert!(!c.timer_pending(0));
+        c.tick(1);
+        assert!(c.timer_pending(0));
+        // rearm
+        c.write(MTIMECMP_BASE, 200);
+        assert!(!c.timer_pending(0));
+    }
+
+    #[test]
+    fn mtime_read_write() {
+        let mut c = Clint::new(1);
+        c.write(MTIME, 12345);
+        assert_eq!(c.read(MTIME), 12345);
+        c.tick(5);
+        assert_eq!(c.read(MTIME), 12350);
+    }
+
+    #[test]
+    fn per_hart_compare_registers() {
+        let mut c = Clint::new(2);
+        c.write(MTIMECMP_BASE, 10);
+        c.write(MTIMECMP_BASE + 8, 20);
+        c.tick(15);
+        assert!(c.timer_pending(0));
+        assert!(!c.timer_pending(1));
+        assert_eq!(c.read(MTIMECMP_BASE + 8), 20);
+    }
+}

@@ -1,0 +1,236 @@
+//! Cluster-level simulation: 1-4 cores time-interleaved over one shared
+//! coherent memory system (paper Fig. 2).
+
+use xt_asm::Program;
+use xt_core::{CoreConfig, OooCore, PerfCounters};
+use xt_emu::{Emulator, TraceSource};
+use xt_mem::{MemConfig, MemStats, MemSystem};
+
+/// Result of a cluster run.
+#[derive(Clone, Debug)]
+pub struct ClusterReport {
+    /// Per-core counters.
+    pub cores: Vec<PerfCounters>,
+    /// Shared memory-system statistics.
+    pub mem: MemStats,
+    /// Per-core exit codes.
+    pub exit_codes: Vec<Option<u64>>,
+}
+
+impl ClusterReport {
+    /// Cluster makespan: the slowest core's cycle count.
+    pub fn makespan(&self) -> u64 {
+        self.cores.iter().map(|c| c.cycles).max().unwrap_or(0)
+    }
+
+    /// Aggregate instructions retired.
+    pub fn total_instructions(&self) -> u64 {
+        self.cores.iter().map(|c| c.instructions).sum()
+    }
+
+    /// Aggregate throughput: total instructions over the makespan.
+    pub fn throughput_ipc(&self) -> f64 {
+        let m = self.makespan();
+        if m == 0 {
+            0.0
+        } else {
+            self.total_instructions() as f64 / m as f64
+        }
+    }
+}
+
+/// A cluster of out-of-order cores sharing one [`MemSystem`].
+pub struct ClusterSim {
+    cores: Vec<OooCore>,
+    traces: Vec<TraceSource>,
+    mem: MemSystem,
+    max_insts: u64,
+}
+
+impl ClusterSim {
+    /// Builds a cluster running `programs[i]` on core `i`. The memory
+    /// configuration's `cores` field must equal `programs.len()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counts disagree or the configuration is invalid.
+    pub fn new(programs: &[Program], core_cfg: &CoreConfig, mem_cfg: MemConfig, max_insts: u64) -> Self {
+        assert_eq!(
+            mem_cfg.cores,
+            programs.len(),
+            "mem_cfg.cores must match program count"
+        );
+        let cores = (0..programs.len())
+            .map(|i| OooCore::new(core_cfg.clone(), i))
+            .collect();
+        let traces = programs
+            .iter()
+            .map(|p| {
+                let mut emu = Emulator::new();
+                emu.load(p);
+                TraceSource::new(emu, max_insts)
+            })
+            .collect();
+        ClusterSim {
+            cores,
+            traces,
+            mem: MemSystem::new(mem_cfg),
+            max_insts,
+        }
+    }
+
+    /// Runs all cores to completion, interleaving by simulated time so
+    /// the shared L2/DRAM see a realistic access order.
+    pub fn run(mut self) -> ClusterReport {
+        let n = self.cores.len();
+        let mut done = vec![false; n];
+        let mut steps = vec![0u64; n];
+        loop {
+            // pick the live core that is furthest behind in time
+            let next = (0..n)
+                .filter(|&i| !done[i])
+                .min_by_key(|&i| self.cores[i].cycles());
+            let Some(i) = next else { break };
+            match self.traces[i].next() {
+                Some(d) => {
+                    self.cores[i].step(&d, &mut self.mem);
+                    steps[i] += 1;
+                    if steps[i] >= self.max_insts {
+                        done[i] = true;
+                    }
+                }
+                None => done[i] = true,
+            }
+        }
+        let cores: Vec<PerfCounters> = self
+            .cores
+            .iter_mut()
+            .map(|c| {
+                let mut p = c.perf().clone();
+                p.cycles = c.cycles();
+                p
+            })
+            .collect();
+        ClusterReport {
+            cores,
+            mem: self.mem.stats(),
+            exit_codes: self.traces.iter().map(|t| t.exit_code).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_asm::Asm;
+    use xt_isa::reg::Gpr;
+
+    /// A private-working-set kernel: each core sums its own array.
+    fn private_kernel(id: u64) -> Program {
+        let mut a = Asm::new().with_data_base(0x8100_0000 + id * 0x0010_0000);
+        let buf = a.data_zeros("buf", 64 * 1024);
+        a.la(Gpr::A1, buf);
+        a.li(Gpr::A2, 4096);
+        let top = a.here();
+        a.ld(Gpr::A4, Gpr::A1, 0);
+        a.add(Gpr::A5, Gpr::A5, Gpr::A4);
+        a.addi(Gpr::A1, Gpr::A1, 8);
+        a.addi(Gpr::A2, Gpr::A2, -1);
+        a.bnez(Gpr::A2, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    /// A sharing kernel: all cores hammer the same cache line with an
+    /// atomic counter (the contended pattern that exposes ping-pong).
+    fn sharing_kernel(iters: i64) -> Program {
+        let mut a = Asm::new();
+        let cell = a.data_u64("cell", &[0]);
+        a.la(Gpr::A1, cell);
+        a.li(Gpr::A2, iters);
+        a.li(Gpr::A3, 1);
+        let top = a.here();
+        a.amoadd_d(Gpr::A4, Gpr::A3, Gpr::A1);
+        a.addi(Gpr::A2, Gpr::A2, -1);
+        a.bnez(Gpr::A2, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    /// The same atomic-counter kernel on a private cell.
+    fn private_atomic_kernel(id: u64, iters: i64) -> Program {
+        let mut a = Asm::new().with_data_base(0x8100_0000 + id * 0x0010_0000);
+        let cell = a.data_u64("cell", &[0]);
+        a.la(Gpr::A1, cell);
+        a.li(Gpr::A2, iters);
+        a.li(Gpr::A3, 1);
+        let top = a.here();
+        a.amoadd_d(Gpr::A4, Gpr::A3, Gpr::A1);
+        a.addi(Gpr::A2, Gpr::A2, -1);
+        a.bnez(Gpr::A2, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn four_private_cores_scale() {
+        let mk = |n: usize| {
+            let progs: Vec<Program> = (0..n as u64).map(private_kernel).collect();
+            let mem_cfg = MemConfig {
+                cores: n,
+                ..MemConfig::default()
+            };
+            ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 10_000_000).run()
+        };
+        let one = mk(1);
+        let four = mk(4);
+        assert!(four.total_instructions() > 3 * one.total_instructions());
+        // private working sets: near-linear throughput scaling
+        assert!(
+            four.throughput_ipc() > 2.0 * one.throughput_ipc(),
+            "4-core throughput {:.2} vs 1-core {:.2}",
+            four.throughput_ipc(),
+            one.throughput_ipc()
+        );
+        // the only shared line is the halt mailbox: a handful of snoops
+        assert!(
+            four.mem.snoops_sent <= 8,
+            "private sets should barely snoop: {}",
+            four.mem.snoops_sent
+        );
+    }
+
+    #[test]
+    fn sharing_generates_coherence_traffic() {
+        let progs: Vec<Program> = (0..4).map(|_| sharing_kernel(200)).collect();
+        let mem_cfg = MemConfig {
+            cores: 4,
+            ..MemConfig::default()
+        };
+        let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 1_000_000).run();
+        assert!(r.mem.snoops_sent > 0, "line ping-pong produces snoops");
+        assert!(r.mem.c2c_transfers > 0, "dirty lines move cache-to-cache");
+        for code in &r.exit_codes {
+            assert!(code.is_some(), "all cores halted");
+        }
+    }
+
+    #[test]
+    fn contended_atomic_slower_than_private_atomic() {
+        let share: Vec<Program> = (0..2).map(|_| sharing_kernel(500)).collect();
+        let priv_: Vec<Program> = (0..2u64).map(|i| private_atomic_kernel(i, 500)).collect();
+        let mem2 = || MemConfig {
+            cores: 2,
+            ..MemConfig::default()
+        };
+        let rs = ClusterSim::new(&share, &CoreConfig::xt910(), mem2(), 1_000_000).run();
+        let shared_cpi = rs.makespan() as f64 / rs.total_instructions() as f64;
+        let rp = ClusterSim::new(&priv_, &CoreConfig::xt910(), mem2(), 1_000_000).run();
+        let priv_cpi = rp.makespan() as f64 / rp.total_instructions() as f64;
+        assert!(
+            shared_cpi > priv_cpi * 1.2,
+            "contended CPI {shared_cpi:.2} vs private {priv_cpi:.2}"
+        );
+        assert!(rs.mem.c2c_transfers > rp.mem.c2c_transfers);
+    }
+}

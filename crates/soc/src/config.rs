@@ -1,0 +1,87 @@
+//! SoC-level configuration (paper Table I and §VI).
+
+use xt_mem::MemConfig;
+
+/// Multi-cluster SoC configuration.
+#[derive(Clone, Debug)]
+pub struct SocConfig {
+    /// Number of clusters connected through Ncore (1..=4, §VI).
+    pub clusters: usize,
+    /// Cores per cluster (1, 2 or 4 — Table I).
+    pub cores_per_cluster: usize,
+    /// Per-cluster memory configuration.
+    pub mem: MemConfig,
+    /// Vector extension present (Table I allows yes/no).
+    pub vector: bool,
+}
+
+impl Default for SocConfig {
+    fn default() -> Self {
+        SocConfig {
+            clusters: 1,
+            cores_per_cluster: 4,
+            mem: MemConfig {
+                cores: 4,
+                ..MemConfig::default()
+            },
+            vector: true,
+        }
+    }
+}
+
+impl SocConfig {
+    /// Validates against the supported configuration space.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(1..=4).contains(&self.clusters) {
+            return Err(format!("clusters must be 1..=4 (got {})", self.clusters));
+        }
+        if !matches!(self.cores_per_cluster, 1 | 2 | 4) {
+            return Err(format!(
+                "cores per cluster must be 1, 2 or 4 (got {})",
+                self.cores_per_cluster
+            ));
+        }
+        if self.mem.cores != self.cores_per_cluster {
+            return Err("mem.cores must match cores_per_cluster".into());
+        }
+        self.mem.validate()
+    }
+
+    /// Total cores in the SoC (up to 16: "a 12nm 64-bit RISC-V processor
+    /// with 16 cores", §I).
+    pub fn total_cores(&self) -> usize {
+        self.clusters * self.cores_per_cluster
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_valid() {
+        SocConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn sixteen_core_max() {
+        let mut c = SocConfig::default();
+        c.clusters = 4;
+        assert_eq!(c.total_cores(), 16);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn bad_configs_rejected() {
+        let mut c = SocConfig::default();
+        c.clusters = 5;
+        assert!(c.validate().is_err());
+        c.clusters = 1;
+        c.cores_per_cluster = 3;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! # xt-soc — multi-core cluster and SoC assembly (§II, §VI)
+//!
+//! The XT-910 groups up to 4 cores into a cluster sharing an inclusive
+//! MOSEI L2 with a snoop filter; up to 4 clusters connect through the
+//! Ncore coherent interconnect (Fig. 13). The SoC also carries the
+//! standard CLINT (software/timer interrupts) and PLIC (external
+//! interrupts) blocks.
+//!
+//! This crate provides:
+//!
+//! * [`ClusterSim`] — runs 1-4 core timing models against one shared
+//!   [`xt_mem::MemSystem`], interleaved by simulated time, for the
+//!   multi-core scaling and coherence experiments;
+//! * [`Clint`] and [`Plic`] — functional models of the interrupt
+//!   controllers with their standard register maps;
+//! * [`SocConfig`] — the Table I configuration space.
+//!
+//! Functional note: each core executes its own program image (the
+//! trace-driven methodology keeps architectural state per core); the
+//! *timing* hierarchy — L2, snoop filter, DRAM channel — is shared, so
+//! contention and coherence traffic are modeled cluster-wide. The
+//! multi-cluster (Ncore) level is represented by the [`SocConfig`]
+//! configuration space; inter-cluster coherence timing is out of scope
+//! (DESIGN.md).
+
+pub mod clint;
+pub mod cluster;
+pub mod config;
+pub mod plic;
+
+pub use clint::Clint;
+pub use cluster::{ClusterReport, ClusterSim};
+pub use config::SocConfig;
+pub use plic::Plic;

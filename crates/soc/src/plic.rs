@@ -1,0 +1,172 @@
+//! PLIC — the platform-level interrupt controller, with the XT-910's
+//! permission-control extension hook (§II mentions an interrupt
+//! controller extension "to support permission control").
+
+/// The PLIC model: `sources` interrupt lines fanned out to `contexts`
+/// (hart x privilege) targets.
+#[derive(Clone, Debug)]
+pub struct Plic {
+    priority: Vec<u32>,
+    pending: Vec<bool>,
+    /// enables[context][source]
+    enables: Vec<Vec<bool>>,
+    threshold: Vec<u32>,
+    claimed: Vec<Option<u32>>,
+    /// XT-910 extension: per-context permission mask — a context may only
+    /// claim sources it has been granted (secure-world partitioning).
+    permission: Vec<Vec<bool>>,
+}
+
+impl Plic {
+    /// Creates a PLIC with `sources` lines (1-indexed, 0 reserved) and
+    /// `contexts` targets. All permissions granted by default.
+    pub fn new(sources: usize, contexts: usize) -> Self {
+        Plic {
+            priority: vec![0; sources + 1],
+            pending: vec![false; sources + 1],
+            enables: vec![vec![false; sources + 1]; contexts],
+            threshold: vec![0; contexts],
+            claimed: vec![None; contexts],
+            permission: vec![vec![true; sources + 1]; contexts],
+        }
+    }
+
+    /// Sets the priority of `source` (0 disables it).
+    pub fn set_priority(&mut self, source: u32, prio: u32) {
+        self.priority[source as usize] = prio;
+    }
+
+    /// Enables `source` for `context`.
+    pub fn enable(&mut self, context: usize, source: u32) {
+        self.enables[context][source as usize] = true;
+    }
+
+    /// Sets the claim threshold of `context`.
+    pub fn set_threshold(&mut self, context: usize, t: u32) {
+        self.threshold[context] = t;
+    }
+
+    /// XT-910 extension: revokes `context`'s permission to see `source`.
+    pub fn revoke_permission(&mut self, context: usize, source: u32) {
+        self.permission[context][source as usize] = false;
+    }
+
+    /// Raises an interrupt line.
+    pub fn raise(&mut self, source: u32) {
+        self.pending[source as usize] = true;
+    }
+
+    fn best_for(&self, context: usize) -> Option<u32> {
+        let mut best: Option<(u32, u32)> = None; // (prio, source)
+        for s in 1..self.pending.len() {
+            if !self.pending[s]
+                || !self.enables[context][s]
+                || !self.permission[context][s]
+                || self.priority[s] == 0
+                || self.priority[s] <= self.threshold[context]
+            {
+                continue;
+            }
+            let cand = (self.priority[s], s as u32);
+            // higher priority wins; ties broken by lower source id
+            best = match best {
+                Some((bp, bs)) if bp > cand.0 || (bp == cand.0 && bs < cand.1) => Some((bp, bs)),
+                _ => Some(cand),
+            };
+        }
+        best.map(|(_, s)| s)
+    }
+
+    /// Whether an interrupt is asserted to `context`.
+    pub fn pending_for(&self, context: usize) -> bool {
+        self.best_for(context).is_some()
+    }
+
+    /// Claim: returns and acknowledges the highest-priority pending
+    /// source for `context`, or 0.
+    pub fn claim(&mut self, context: usize) -> u32 {
+        match self.best_for(context) {
+            Some(s) => {
+                self.pending[s as usize] = false;
+                self.claimed[context] = Some(s);
+                s
+            }
+            None => 0,
+        }
+    }
+
+    /// Complete: signals end of handling for `source`.
+    pub fn complete(&mut self, context: usize, source: u32) {
+        if self.claimed[context] == Some(source) {
+            self.claimed[context] = None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plic() -> Plic {
+        let mut p = Plic::new(8, 2);
+        for s in 1..=8 {
+            p.set_priority(s, s); // priority = id
+            p.enable(0, s);
+            p.enable(1, s);
+        }
+        p
+    }
+
+    #[test]
+    fn highest_priority_claimed_first() {
+        let mut p = plic();
+        p.raise(3);
+        p.raise(7);
+        p.raise(5);
+        assert_eq!(p.claim(0), 7);
+        assert_eq!(p.claim(0), 5);
+        assert_eq!(p.claim(0), 3);
+        assert_eq!(p.claim(0), 0, "nothing left");
+    }
+
+    #[test]
+    fn threshold_masks_low_priority() {
+        let mut p = plic();
+        p.set_threshold(0, 5);
+        p.raise(3);
+        assert!(!p.pending_for(0));
+        p.raise(6);
+        assert_eq!(p.claim(0), 6);
+    }
+
+    #[test]
+    fn disabled_context_sees_nothing() {
+        let mut p = Plic::new(4, 2);
+        p.set_priority(1, 1);
+        p.enable(0, 1);
+        p.raise(1);
+        assert!(p.pending_for(0));
+        assert!(!p.pending_for(1), "context 1 never enabled source 1");
+    }
+
+    #[test]
+    fn permission_control_extension() {
+        let mut p = plic();
+        p.revoke_permission(1, 7);
+        p.raise(7);
+        assert!(p.pending_for(0), "context 0 still allowed");
+        assert!(!p.pending_for(1), "context 1 revoked");
+        assert_eq!(p.claim(1), 0);
+        assert_eq!(p.claim(0), 7);
+    }
+
+    #[test]
+    fn claim_complete_cycle() {
+        let mut p = plic();
+        p.raise(2);
+        let s = p.claim(0);
+        assert_eq!(s, 2);
+        p.complete(0, s);
+        assert!(!p.pending_for(0));
+    }
+}

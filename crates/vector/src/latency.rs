@@ -1,0 +1,105 @@
+//! Per-operation vector latencies (§VII):
+//!
+//! > "Most vector operations can be completed within 3-4 clock cycles.
+//! > Multiplying single and double precision floating point vectors
+//! > takes 5 clock cycles. Integer division and floating-point division
+//! > take 6 to 25 clock cycles."
+
+use xt_isa::vector::Sew;
+use xt_isa::Op;
+
+/// Latency class of a vector operation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LatencyClass {
+    /// Simple integer/logic (3 cycles).
+    Simple,
+    /// Integer multiply / MAC and FP add (4 cycles).
+    MulLike,
+    /// FP multiply / FMA (5 cycles).
+    FpMul,
+    /// Iterative divide/sqrt (6-25 cycles by element width).
+    Divide,
+    /// Cross-slice permutation/reduction (4 cycles).
+    Permute,
+    /// Configuration (1 cycle, speculated).
+    Config,
+    /// Memory (latency comes from the cache hierarchy).
+    Memory,
+}
+
+/// Classifies `op`.
+pub fn class_of(op: Op) -> LatencyClass {
+    use Op::*;
+    match op {
+        Vsetvl | Vsetvli => LatencyClass::Config,
+        Vle | Vse | Vlse | Vsse | Vlxe | Vsxe => LatencyClass::Memory,
+        VdivVV | VdivuVV | VremVV | VfdivVV | VfsqrtV => LatencyClass::Divide,
+        VfmulVV | VfmulVF | VfmaccVV | VfmaccVF | VfnmsacVV => LatencyClass::FpMul,
+        VmulVV | VmulVX | VmulhVV | VmaccVV | VmaccVX | VnmsacVV | VwmulVV | VwmuluVV
+        | VwmaccVV | VwmaccuVV | VfaddVV | VfaddVF | VfsubVV | VfminVV | VfmaxVV => {
+            LatencyClass::MulLike
+        }
+        VredsumVS | VredmaxVS | VfredsumVS | VmvXS | VmvSX | Vslidedown | Vslideup => {
+            LatencyClass::Permute
+        }
+        _ => LatencyClass::Simple,
+    }
+}
+
+/// Execution latency in cycles for `op` on elements of width `sew`.
+pub fn latency(op: Op, sew: Sew) -> u64 {
+    match class_of(op) {
+        LatencyClass::Config => 1,
+        LatencyClass::Simple => 3,
+        LatencyClass::MulLike => 4,
+        LatencyClass::FpMul => 5,
+        LatencyClass::Permute => 4,
+        LatencyClass::Memory => 3, // address phase; cache adds the rest
+        LatencyClass::Divide => match sew {
+            // iterative dividers: wider elements take more iterations
+            Sew::E8 => 6,
+            Sew::E16 => 10,
+            Sew::E32 => 16,
+            Sew::E64 => 25,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_latencies() {
+        // most ops 3-4 cycles
+        assert!((3..=4).contains(&latency(Op::VaddVV, Sew::E32)));
+        assert!((3..=4).contains(&latency(Op::VmaccVV, Sew::E16)));
+        assert!((3..=4).contains(&latency(Op::VandVV, Sew::E64)));
+        // FP multiply exactly 5
+        assert_eq!(latency(Op::VfmulVV, Sew::E32), 5);
+        assert_eq!(latency(Op::VfmaccVV, Sew::E64), 5);
+        // divides within 6..=25
+        for sew in [Sew::E8, Sew::E16, Sew::E32, Sew::E64] {
+            let l = latency(Op::VdivVV, sew);
+            assert!((6..=25).contains(&l), "div e{} = {l}", sew.bits());
+            let f = latency(Op::VfdivVV, sew);
+            assert!((6..=25).contains(&f));
+        }
+        // the extremes of the quoted range are hit
+        assert_eq!(latency(Op::VdivVV, Sew::E8), 6);
+        assert_eq!(latency(Op::VdivVV, Sew::E64), 25);
+    }
+
+    #[test]
+    fn wider_divides_slower() {
+        assert!(latency(Op::VdivVV, Sew::E64) > latency(Op::VdivVV, Sew::E16));
+    }
+
+    #[test]
+    fn classes_cover_vector_ops() {
+        assert_eq!(class_of(Op::Vsetvli), LatencyClass::Config);
+        assert_eq!(class_of(Op::Vle), LatencyClass::Memory);
+        assert_eq!(class_of(Op::VredsumVS), LatencyClass::Permute);
+        assert_eq!(class_of(Op::VxorVV), LatencyClass::Simple);
+    }
+}

@@ -1,0 +1,163 @@
+//! Vector slice geometry and occupancy (paper Fig. 14).
+
+use xt_isa::vector::Sew;
+use xt_isa::Op;
+
+/// Geometry of the vector unit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VectorConfig {
+    /// Vector register length in bits (64..=1024, §VII).
+    pub vlen_bits: u32,
+    /// Striping unit; the paper recommends `SLEN = VLEN = 128`.
+    pub slen_bits: u32,
+}
+
+impl Default for VectorConfig {
+    fn default() -> Self {
+        VectorConfig {
+            vlen_bits: 128,
+            slen_bits: 128,
+        }
+    }
+}
+
+impl VectorConfig {
+    /// Creates a configuration, validating the supported range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vlen_bits` is not a power of two in 64..=1024.
+    pub fn new(vlen_bits: u32) -> Self {
+        assert!(
+            (64..=1024).contains(&vlen_bits) && vlen_bits.is_power_of_two(),
+            "VLEN must be a power of two in 64..=1024 (§VII)"
+        );
+        VectorConfig {
+            vlen_bits,
+            slen_bits: vlen_bits.min(128),
+        }
+    }
+
+    /// Number of 64-bit slices.
+    pub fn slices(&self) -> u32 {
+        (self.vlen_bits / 64).max(1)
+    }
+
+    /// Execution pipelines (two per slice).
+    pub fn pipes(&self) -> u32 {
+        self.slices() * 2
+    }
+}
+
+/// Peak result bits produced per cycle: `pipes x 64` (256 for the
+/// two-slice configuration, matching §VII).
+pub fn result_bits_per_cycle(cfg: &VectorConfig) -> u32 {
+    cfg.pipes() * 64
+}
+
+/// Whether `op` must exchange data across slices (widening, reductions,
+/// permutations, scalar moves).
+pub fn crosses_slices(op: Op) -> bool {
+    use Op::*;
+    matches!(
+        op,
+        VwmulVV
+            | VwmuluVV
+            | VwmaccVV
+            | VwmaccuVV
+            | VredsumVS
+            | VredmaxVS
+            | VfredsumVS
+            | VmvXS
+            | VmvSX
+            | Vslidedown
+            | Vslideup
+    )
+}
+
+/// Cycles the slice pipes are occupied by one instruction operating on
+/// `vl` elements of width `sew`: total result bits over the per-cycle
+/// capacity, plus one inter-slice exchange cycle for crossing ops.
+pub fn occupancy(cfg: &VectorConfig, op: Op, vl: u64, sew: Sew) -> u64 {
+    if vl == 0 {
+        return 1;
+    }
+    // widening ops write 2*SEW results
+    let dest_bits = if matches!(op, Op::VwmulVV | Op::VwmuluVV | Op::VwmaccVV | Op::VwmaccuVV) {
+        sew.bits() as u64 * 2
+    } else {
+        sew.bits() as u64
+    };
+    let total = vl * dest_bits;
+    let per_cycle = result_bits_per_cycle(cfg) as u64;
+    let mut cycles = total.div_ceil(per_cycle).max(1);
+    if crosses_slices(op) {
+        cycles += 1;
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_slice_default_produces_256_bits() {
+        let cfg = VectorConfig::default();
+        assert_eq!(cfg.slices(), 2);
+        assert_eq!(cfg.pipes(), 4);
+        assert_eq!(result_bits_per_cycle(&cfg), 256);
+    }
+
+    #[test]
+    fn vlen_range_enforced() {
+        let wide = VectorConfig::new(1024);
+        assert_eq!(wide.slices(), 16);
+        assert_eq!(wide.slen_bits, 128, "SLEN capped at the recommended 128");
+    }
+
+    #[test]
+    #[should_panic]
+    fn vlen_too_small_rejected() {
+        VectorConfig::new(32);
+    }
+
+    #[test]
+    fn full_register_op_single_cycle_occupancy() {
+        // 128-bit of e32 results = 4 elements -> within 256 bits/cycle
+        let cfg = VectorConfig::default();
+        assert_eq!(occupancy(&cfg, Op::VaddVV, 4, Sew::E32), 1);
+        // LMUL=2 (8 x e32 = 256 bits) still one cycle
+        assert_eq!(occupancy(&cfg, Op::VaddVV, 8, Sew::E32), 1);
+        // LMUL=4 takes two
+        assert_eq!(occupancy(&cfg, Op::VaddVV, 16, Sew::E32), 2);
+    }
+
+    #[test]
+    fn widening_mac_doubles_result_width() {
+        let cfg = VectorConfig::default();
+        // 8 x e16 widening MAC -> 8 x 32-bit results = 256 bits, 1 cycle
+        // + 1 cross-slice exchange
+        assert_eq!(occupancy(&cfg, Op::VwmaccVV, 8, Sew::E16), 2);
+        // plain e16 MAC has no crossing
+        assert_eq!(occupancy(&cfg, Op::VmaccVV, 8, Sew::E16), 1);
+    }
+
+    #[test]
+    fn sixteen_macs_per_cycle_at_e16() {
+        // §X: "the computing power of XT-910 is 16X 16-bit MACs".
+        // Per cycle the two slices produce 256 result bits; at 16-bit
+        // that is 16 MAC results.
+        let cfg = VectorConfig::default();
+        let macs_per_cycle = result_bits_per_cycle(&cfg) / 16;
+        assert_eq!(macs_per_cycle, 16);
+    }
+
+    #[test]
+    fn cross_slice_classification() {
+        assert!(crosses_slices(Op::VredsumVS));
+        assert!(crosses_slices(Op::VwmaccVV));
+        assert!(!crosses_slices(Op::VaddVV));
+        assert!(!crosses_slices(Op::VfmaccVV));
+    }
+}

@@ -1,0 +1,170 @@
+//! Blockchain transaction verification kernel (§I).
+//!
+//! The paper's headline deployment runs blockchain-transaction
+//! acceleration on XT-910 FPGA instances, leaning on the custom
+//! bit-manipulation extensions. This kernel is a SHA-256-style
+//! compression loop — rotate/xor/shift message mixing plus modular adds —
+//! in two builds: base RV64 (rotates take 3 instructions) and the
+//! XT-910 extension build (`x.srri` rotate, `x.extu` field extraction).
+
+use crate::{Kernel, XorShift};
+use xt_asm::Asm;
+use xt_isa::reg::Gpr;
+
+/// Number of 16-word message blocks processed.
+pub const BLOCKS: u64 = 24;
+/// Mixing rounds per block.
+pub const ROUNDS: u64 = 48;
+
+/// Host model of the guest kernel (exact same arithmetic).
+fn host_hash(words: &[u64]) -> u64 {
+    let mut h = 0x6a09_e667_f3bc_c908u64;
+    for blk in words.chunks(16) {
+        let mut w = [0u64; 16];
+        w.copy_from_slice(blk);
+        for r in 0..ROUNDS as usize {
+            let x = w[r % 16];
+            let y = w[(r + 9) % 16];
+            let s0 = x.rotate_right(7) ^ x.rotate_right(18) ^ (x >> 3);
+            let s1 = y.rotate_right(17) ^ y.rotate_right(19) ^ (y >> 10);
+            w[r % 16] = x.wrapping_add(s0).wrapping_add(s1).wrapping_add(h);
+            h = h.rotate_right(11).wrapping_add(w[r % 16] ^ ((h >> 16) & 0xffff));
+        }
+    }
+    h & 0x3fff_ffff
+}
+
+/// Builds the kernel; `use_ext` selects the custom-extension build.
+pub fn hash_verify(use_ext: bool) -> Kernel {
+    let mut rng = XorShift::new(404);
+    let words: Vec<u64> = (0..BLOCKS * 16).map(|_| rng.next_u64()).collect();
+    let expected = host_hash(&words);
+
+    let mut asm = Asm::new();
+    let data = asm.data_u64("msg", &words);
+
+    // registers: s2 block ptr, s3 block counter, s4 h, s5 round counter
+    // t0-t4 scratch; w[] kept in memory (16 words reloaded per use)
+    asm.la(Gpr::S2, data);
+    asm.li(Gpr::S3, BLOCKS as i64);
+    asm.li(Gpr::S4, 0x6a09_e667_f3bc_c908u64 as i64);
+
+    // per-round rotate helper
+    let ror = |asm: &mut Asm, dst: Gpr, src: Gpr, amt: i64| {
+        if use_ext {
+            asm.xsrri(dst, src, amt);
+        } else {
+            // dst = (src >> amt) | (src << (64-amt))
+            asm.srli(Gpr::T5, src, amt);
+            asm.slli(dst, src, 64 - amt);
+            asm.or_(dst, dst, Gpr::T5);
+        }
+    };
+
+    let blk_top = asm.here();
+    asm.li(Gpr::S5, ROUNDS as i64);
+    asm.li(Gpr::S6, 0); // round index r
+    let round_top = asm.here();
+    // x = w[r % 16] ; y = w[(r+9) % 16]
+    asm.andi(Gpr::T0, Gpr::S6, 15);
+    asm.slli(Gpr::T0, Gpr::T0, 3);
+    asm.add(Gpr::T0, Gpr::S2, Gpr::T0);
+    asm.ld(Gpr::A2, Gpr::T0, 0); // x (A2), address stays in T0
+    asm.addi(Gpr::T1, Gpr::S6, 9);
+    asm.andi(Gpr::T1, Gpr::T1, 15);
+    asm.slli(Gpr::T1, Gpr::T1, 3);
+    asm.add(Gpr::T1, Gpr::S2, Gpr::T1);
+    asm.ld(Gpr::A3, Gpr::T1, 0); // y
+    // s0 = ror(x,7) ^ ror(x,18) ^ (x >> 3)
+    ror(&mut asm, Gpr::A4, Gpr::A2, 7);
+    ror(&mut asm, Gpr::A5, Gpr::A2, 18);
+    asm.xor_(Gpr::A4, Gpr::A4, Gpr::A5);
+    asm.srli(Gpr::A5, Gpr::A2, 3);
+    asm.xor_(Gpr::A4, Gpr::A4, Gpr::A5); // s0
+    // s1 = ror(y,17) ^ ror(y,19) ^ (y >> 10)
+    ror(&mut asm, Gpr::A6, Gpr::A3, 17);
+    ror(&mut asm, Gpr::A7, Gpr::A3, 19);
+    asm.xor_(Gpr::A6, Gpr::A6, Gpr::A7);
+    asm.srli(Gpr::A7, Gpr::A3, 10);
+    asm.xor_(Gpr::A6, Gpr::A6, Gpr::A7); // s1
+    // w[r%16] = x + s0 + s1 + h
+    asm.add(Gpr::A2, Gpr::A2, Gpr::A4);
+    asm.add(Gpr::A2, Gpr::A2, Gpr::A6);
+    asm.add(Gpr::A2, Gpr::A2, Gpr::S4);
+    asm.sd(Gpr::A2, Gpr::T0, 0);
+    // h = ror(h,11) + (w ^ extract16(h))
+    if use_ext {
+        asm.xextu(Gpr::A5, Gpr::S4, 31, 16);
+    } else {
+        asm.srli(Gpr::A5, Gpr::S4, 16);
+        asm.li(Gpr::A6, 0xffff);
+        asm.and_(Gpr::A5, Gpr::A5, Gpr::A6);
+    }
+    ror(&mut asm, Gpr::S4, Gpr::S4, 11);
+    asm.xor_(Gpr::A5, Gpr::A2, Gpr::A5);
+    asm.add(Gpr::S4, Gpr::S4, Gpr::A5);
+    // next round
+    asm.addi(Gpr::S6, Gpr::S6, 1);
+    asm.addi(Gpr::S5, Gpr::S5, -1);
+    asm.bnez(Gpr::S5, round_top);
+    // next block
+    asm.addi(Gpr::S2, Gpr::S2, 16 * 8);
+    asm.addi(Gpr::S3, Gpr::S3, -1);
+    asm.bnez(Gpr::S3, blk_top);
+    // result
+    asm.li(Gpr::T0, 0x3fff_ffff);
+    asm.and_(Gpr::A0, Gpr::S4, Gpr::T0);
+    asm.halt();
+
+    Kernel {
+        name: if use_ext {
+            "blockchain/ext"
+        } else {
+            "blockchain/base"
+        },
+        program: asm.finish().expect("hash kernel assembles"),
+        expected: Some(expected),
+        work: BLOCKS * ROUNDS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_builds_agree() {
+        let base = hash_verify(false);
+        let ext = hash_verify(true);
+        assert_eq!(base.verify(50_000_000), ext.verify(50_000_000));
+    }
+
+    #[test]
+    fn ext_build_is_denser() {
+        // rotates collapse from 3 instructions to 1
+        let base = hash_verify(false);
+        let ext = hash_verify(true);
+        assert!(
+            ext.program.text_len() < base.program.text_len(),
+            "ext {} vs base {}",
+            ext.program.text_len(),
+            base.program.text_len()
+        );
+    }
+
+    #[test]
+    fn ext_build_executes_fewer_instructions() {
+        let count = |k: &Kernel| {
+            let mut e = xt_emu::Emulator::new();
+            e.load(&k.program);
+            e.run(50_000_000).unwrap();
+            e.cpu.instret
+        };
+        let base = count(&hash_verify(false));
+        let ext = count(&hash_verify(true));
+        assert!(
+            (ext as f64) < base as f64 * 0.85,
+            "extensions cut the hash loop meaningfully: {ext} vs {base}"
+        );
+    }
+}

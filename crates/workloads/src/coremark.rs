@@ -1,0 +1,628 @@
+//! CoreMark-class kernels (Fig. 17): "list processing (find and sort),
+//! matrix manipulation (common matrix operations), state machine
+//! (determine if an input stream contains valid numbers), and CRC".
+//! All four are built from the `xt-compiler` IR so they compile under
+//! both toolchain modes (Fig. 20).
+
+use crate::{Kernel, XorShift};
+use xt_compiler::{CompileOpts, Cond, FuncBuilder, MemWidth, Rval, VReg};
+
+/// Nodes in the linked list (value-sorted traversals are O(n) each).
+pub const LIST_NODES: u64 = 64;
+/// Traversal repetitions.
+pub const LIST_REPS: u64 = 40;
+/// Matrix dimension (N x N).
+pub const MATRIX_N: u64 = 16;
+/// State-machine input length.
+pub const SM_LEN: u64 = 512;
+/// State-machine repetitions.
+pub const SM_REPS: u64 = 8;
+/// CRC input length in bytes.
+pub const CRC_LEN: u64 = 256;
+/// CRC repetitions.
+pub const CRC_REPS: u64 = 8;
+
+/// All four kernels under the given toolchain.
+pub fn all(opts: &CompileOpts) -> Vec<Kernel> {
+    vec![list(opts), matrix(opts), state_machine(opts), crc(opts)]
+}
+
+// Helper: min-update `min = (v < min) ? v : min` via select.
+fn update_min(f: &mut FuncBuilder, min: VReg, v: VReg) {
+    let t = f.vreg();
+    f.slt(t, Rval::Reg(v), Rval::Reg(min)); // t = v < min
+    let tz = f.vreg();
+    f.xor(tz, Rval::Reg(t), Rval::Imm(1)); // tz = !(v < min)
+    f.select_eqz(min, Rval::Reg(v), tz); // min = v when tz == 0
+}
+
+/// List processing: pointer-chase a shuffled linked list, accumulating a
+/// checksum, finding the minimum, and counting values above a threshold.
+pub fn list(opts: &CompileOpts) -> Kernel {
+    // Build the list in data: node = [next_index(u64), value(u64)].
+    // Indices instead of absolute pointers keep the image relocatable;
+    // the kernel converts index -> address with indexed addressing.
+    let mut rng = XorShift::new(42);
+    let n = LIST_NODES;
+    let order: Vec<u64> = {
+        // a random permutation cycle visiting every node
+        let mut idx: Vec<u64> = (1..n).collect();
+        for i in (1..idx.len()).rev() {
+            let j = (rng.below(i as u64 + 1)) as usize;
+            idx.swap(i, j);
+        }
+        idx
+    };
+    let mut nodes = vec![0u64; (n * 2) as usize];
+    let values: Vec<u64> = (0..n).map(|_| rng.below(100_000) + 1).collect();
+    // chain: 0 -> order[0] -> order[1] -> ... -> 0 (sentinel stop)
+    let mut cur = 0u64;
+    for &nx in &order {
+        nodes[(cur * 2) as usize] = nx;
+        cur = nx;
+    }
+    nodes[(cur * 2) as usize] = u64::MAX; // terminator
+    for k in 0..n {
+        nodes[(k * 2 + 1) as usize] = values[k as usize];
+    }
+
+    // host-computed expected result
+    let (mut sum, mut min, mut above) = (0u64, u64::MAX, 0u64);
+    {
+        let mut p = 0u64;
+        for _ in 0..n {
+            let v = nodes[(p * 2 + 1) as usize];
+            sum = sum.wrapping_add(v);
+            if v < min {
+                min = v;
+            }
+            if v > 50_000 {
+                above += 1;
+            }
+            p = nodes[(p * 2) as usize];
+            if p == u64::MAX {
+                break;
+            }
+        }
+    }
+    let expected =
+        (sum.wrapping_mul(LIST_REPS).wrapping_add(min).wrapping_add(above * LIST_REPS))
+            & 0x3fff_ffff;
+
+    let mut f = FuncBuilder::new("cm-list");
+    let sym = f.symbol_u64("nodes", &nodes);
+    let base = f.addr_of(&sym);
+    let (rep, total, vmin, vabove) = (f.vreg(), f.vreg(), f.vreg(), f.vreg());
+    f.li(rep, LIST_REPS as i64);
+    f.li(total, 0);
+    f.li(vmin, i64::MAX);
+    f.li(vabove, 0);
+    let outer = f.new_block();
+    let inner = f.new_block();
+    let advance = f.new_block();
+    let inner_done = f.new_block();
+    let done = f.new_block();
+    let p = f.vreg();
+    f.jmp(outer);
+
+    f.switch_to(outer);
+    f.li(p, 0);
+    f.br(Cond::Ne, Rval::Reg(rep), Rval::Imm(0), inner, done);
+
+    f.switch_to(inner);
+    // node address = base + p*16 : next at +0, value at +8
+    let addr = f.vreg();
+    f.shl(addr, Rval::Reg(p), Rval::Imm(4));
+    f.add(addr, Rval::Reg(base), Rval::Reg(addr));
+    let vv = f.load_u64(addr, 8);
+    f.add(total, Rval::Reg(total), Rval::Reg(vv));
+    update_min(&mut f, vmin, vv);
+    // above-threshold count without a branch
+    let gt = f.vreg();
+    f.li(gt, 50_000);
+    let is_gt = f.vreg();
+    f.slt(is_gt, Rval::Reg(gt), Rval::Reg(vv)); // 50k < v
+    f.add(vabove, Rval::Reg(vabove), Rval::Reg(is_gt));
+    // follow next (u64::MAX terminates)
+    let nx = f.load_u64(addr, 0);
+    f.br(Cond::Eq, Rval::Reg(nx), Rval::Imm(-1), inner_done, advance);
+
+    f.switch_to(advance);
+    f.add(p, Rval::Reg(nx), Rval::Imm(0));
+    f.jmp(inner);
+
+    f.switch_to(inner_done);
+    f.add(rep, Rval::Reg(rep), Rval::Imm(-1));
+    f.jmp(outer);
+
+    f.switch_to(done);
+    // fold: total + vmin + vabove, masked
+    let out = f.vreg();
+    f.add(out, Rval::Reg(total), Rval::Reg(vmin));
+    f.add(out, Rval::Reg(out), Rval::Reg(vabove));
+    let masked = f.vreg();
+    f.li(masked, 0x3fff_ffff);
+    f.and(out, Rval::Reg(out), Rval::Reg(masked));
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "coremark/list",
+        program: f.compile(opts).expect("list kernel compiles"),
+        expected: Some(expected),
+        work: LIST_REPS * n,
+    }
+}
+
+/// Matrix manipulation: C = A x B then a checksum of C (integer).
+pub fn matrix(opts: &CompileOpts) -> Kernel {
+    let n = MATRIX_N;
+    let mut rng = XorShift::new(7);
+    let a_data: Vec<u64> = (0..n * n).map(|_| rng.below(64)).collect();
+    let b_data: Vec<u64> = (0..n * n).map(|_| rng.below(64)).collect();
+
+    // host expected
+    let mut c_host = vec![0u64; (n * n) as usize];
+    for i in 0..n {
+        for j in 0..n {
+            let mut acc = 0u64;
+            for k in 0..n {
+                acc = acc
+                    .wrapping_add(a_data[(i * n + k) as usize] * b_data[(k * n + j) as usize]);
+            }
+            c_host[(i * n + j) as usize] = acc;
+        }
+    }
+    let expected: u64 = c_host
+        .iter()
+        .fold(0u64, |s, &v| s.wrapping_add(v).rotate_left(1))
+        & 0xffff_ffff;
+
+    let mut f = FuncBuilder::new("cm-matrix");
+    let sa = f.symbol_u64("A", &a_data);
+    let sb = f.symbol_u64("B", &b_data);
+    let sc = f.symbol_zeros("C", (n * n * 8) as usize);
+    let ba = f.addr_of(&sa);
+    let bb = f.addr_of(&sb);
+    let bc = f.addr_of(&sc);
+
+    let (i, j, k) = (f.vreg(), f.vreg(), f.vreg());
+    let acc = f.vreg();
+    let ni = Rval::Imm(n as i64);
+
+    let ih = f.new_block(); // i loop head
+    let j_init = f.new_block();
+    let jh = f.new_block();
+    let k_init = f.new_block();
+    let kh = f.new_block();
+    let kb = f.new_block();
+    let jtail = f.new_block();
+    let itail = f.new_block();
+    let sum_pre = f.new_block();
+    let sum_head = f.new_block();
+    let sum_body = f.new_block();
+    let done = f.new_block();
+
+    f.li(i, 0);
+    f.jmp(ih);
+
+    f.switch_to(ih);
+    f.br(Cond::Lt, Rval::Reg(i), ni, j_init, sum_pre);
+
+    f.switch_to(j_init);
+    f.li(j, 0);
+    f.jmp(jh);
+
+    f.switch_to(jh);
+    f.br(Cond::Lt, Rval::Reg(j), ni, k_init, itail);
+
+    f.switch_to(k_init);
+    f.li(k, 0);
+    f.li(acc, 0);
+    f.jmp(kh);
+
+    f.switch_to(kh);
+    f.br(Cond::Lt, Rval::Reg(k), ni, kb, jtail);
+
+    f.switch_to(kb);
+    // acc += A[i*n+k] * B[k*n+j]
+    let ia = f.vreg();
+    f.mul(ia, Rval::Reg(i), ni);
+    f.add(ia, Rval::Reg(ia), Rval::Reg(k));
+    let va = f.load_indexed_u64(ba, ia);
+    let ib = f.vreg();
+    f.mul(ib, Rval::Reg(k), ni);
+    f.add(ib, Rval::Reg(ib), Rval::Reg(j));
+    let vb = f.load_indexed_u64(bb, ib);
+    f.mul_acc(acc, va, vb);
+    f.add(k, Rval::Reg(k), Rval::Imm(1));
+    f.jmp(kh);
+
+    f.switch_to(jtail);
+    // C[i*n+j] = acc
+    let ic = f.vreg();
+    f.mul(ic, Rval::Reg(i), ni);
+    f.add(ic, Rval::Reg(ic), Rval::Reg(j));
+    f.store_indexed(Rval::Reg(acc), bc, ic, MemWidth::B8);
+    f.add(j, Rval::Reg(j), Rval::Imm(1));
+    f.jmp(jh);
+
+    f.switch_to(itail);
+    f.add(i, Rval::Reg(i), Rval::Imm(1));
+    f.jmp(ih);
+
+    // checksum loop
+    f.switch_to(sum_pre);
+    let (si, sum) = (f.vreg(), f.vreg());
+    f.li(si, 0);
+    f.li(sum, 0);
+    f.jmp(sum_head);
+
+    f.switch_to(sum_head);
+    f.br(Cond::Lt, Rval::Reg(si), Rval::Imm((n * n) as i64), sum_body, done);
+
+    f.switch_to(sum_body);
+    let cv = f.load_indexed_u64(bc, si);
+    f.add(sum, Rval::Reg(sum), Rval::Reg(cv));
+    // rotate_left(1) = (sum << 1) | (sum >> 63)
+    let hi = f.vreg();
+    f.shr(hi, Rval::Reg(sum), Rval::Imm(63));
+    f.shl(sum, Rval::Reg(sum), Rval::Imm(1));
+    f.or(sum, Rval::Reg(sum), Rval::Reg(hi));
+    f.add(si, Rval::Reg(si), Rval::Imm(1));
+    f.jmp(sum_head);
+
+    f.switch_to(done);
+    let mask = f.vreg();
+    f.li(mask, 0xffff_ffff);
+    f.and(sum, Rval::Reg(sum), Rval::Reg(mask));
+    f.halt(Rval::Reg(sum));
+
+    Kernel {
+        name: "coremark/matrix",
+        program: f.compile(opts).expect("matrix kernel compiles"),
+        expected: Some(expected),
+        work: n * n * n,
+    }
+}
+
+/// Host-side state machine matching the guest kernel, for the expected
+/// value: classifies a byte stream as number-ish tokens.
+fn sm_host(input: &[u8]) -> u64 {
+    let mut state = 0u64; // 0=start 1=int 2=dot 3=frac 4=exp 5=expd 6=err
+    let mut counts = [0u64; 7];
+    for &c in input {
+        let class = match c {
+            b'0'..=b'9' => 0,
+            b'.' => 1,
+            b'e' | b'E' => 2,
+            b'+' | b'-' => 3,
+            b',' => 4, // separator resets
+            _ => 5,
+        };
+        state = match (state, class) {
+            (0, 0) => 1,
+            (0, 3) => 1,
+            (0, 1) => 2,
+            (1, 0) => 1,
+            (1, 1) => 3,
+            (1, 2) => 4,
+            (2, 0) => 3,
+            (3, 0) => 3,
+            (3, 2) => 4,
+            (4, 0) => 5,
+            (4, 3) => 5,
+            (5, 0) => 5,
+            (_, 4) => 0,
+            _ => 6,
+        };
+        if state == 6 {
+            counts[6] += 1;
+            state = 0;
+        } else {
+            counts[state as usize] += 1;
+        }
+    }
+    counts
+        .iter()
+        .enumerate()
+        .fold(0u64, |s, (k, &c)| s.wrapping_add(c.wrapping_mul(k as u64 + 1)))
+}
+
+/// State machine: tokenize a byte stream of numbers (branch-heavy).
+pub fn state_machine(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(99);
+    let alphabet = b"0123456789.eE+-,xyz ";
+    let input: Vec<u8> = (0..SM_LEN)
+        .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+        .collect();
+    let expected = sm_host(&input).wrapping_mul(SM_REPS) & 0x3fff_ffff;
+
+    let mut f = FuncBuilder::new("cm-sm");
+    let sym = f.symbol_bytes("input", &input);
+    let counts_sym = f.symbol_zeros("counts", 7 * 8);
+    let base = f.addr_of(&sym);
+    let counts = f.addr_of(&counts_sym);
+    let (rep, i, state) = (f.vreg(), f.vreg(), f.vreg());
+    f.li(rep, SM_REPS as i64);
+
+    let outer = f.new_block();
+    let head = f.new_block();
+    let body = f.new_block();
+    let tail_err = f.new_block();
+    let tail_ok = f.new_block();
+    let next_ch = f.new_block();
+    let inner_done = f.new_block();
+    let fold_pre = f.new_block();
+    let fold_head = f.new_block();
+    let fold_body = f.new_block();
+    let done = f.new_block();
+
+    f.jmp(outer);
+    f.switch_to(outer);
+    f.li(i, 0);
+    f.li(state, 0);
+    f.br(Cond::Ne, Rval::Reg(rep), Rval::Imm(0), head, fold_pre);
+
+    f.switch_to(head);
+    f.br(Cond::Lt, Rval::Reg(i), Rval::Imm(SM_LEN as i64), body, inner_done);
+
+    f.switch_to(body);
+    let ch = f.load_indexed(base, i, MemWidth::B1, false);
+    // classify with arithmetic (branch-light): class defaults 5
+    let class = f.vreg();
+    f.li(class, 5);
+    // digit: '0' <= c <= '9'
+    let t1 = f.vreg();
+    let t2 = f.vreg();
+    f.slt(t1, Rval::Reg(ch), Rval::Imm(b'0' as i64)); // c < '0'
+    f.slt(t2, Rval::Imm(b'9' as i64), Rval::Reg(ch)); // '9' < c
+    f.or(t1, Rval::Reg(t1), Rval::Reg(t2));
+    f.select_eqz(class, Rval::Imm(0), t1); // digit
+    // '.' -> 1
+    let d = f.vreg();
+    f.xor(d, Rval::Reg(ch), Rval::Imm(b'.' as i64));
+    f.select_eqz(class, Rval::Imm(1), d);
+    // 'e'/'E' -> 2
+    let e1 = f.vreg();
+    f.xor(e1, Rval::Reg(ch), Rval::Imm(b'e' as i64));
+    f.select_eqz(class, Rval::Imm(2), e1);
+    let e2 = f.vreg();
+    f.xor(e2, Rval::Reg(ch), Rval::Imm(b'E' as i64));
+    f.select_eqz(class, Rval::Imm(2), e2);
+    // '+'/'-' -> 3
+    let p1 = f.vreg();
+    f.xor(p1, Rval::Reg(ch), Rval::Imm(b'+' as i64));
+    f.select_eqz(class, Rval::Imm(3), p1);
+    let p2 = f.vreg();
+    f.xor(p2, Rval::Reg(ch), Rval::Imm(b'-' as i64));
+    f.select_eqz(class, Rval::Imm(3), p2);
+    // ',' -> 4
+    let c1 = f.vreg();
+    f.xor(c1, Rval::Reg(ch), Rval::Imm(b',' as i64));
+    f.select_eqz(class, Rval::Imm(4), c1);
+
+    // transition table lookup: table[state*6 + class]
+    let tbl = build_sm_table(&mut f);
+    let idx = f.vreg();
+    f.mul(idx, Rval::Reg(state), Rval::Imm(6));
+    f.add(idx, Rval::Reg(idx), Rval::Reg(class));
+    let ns = f.load_indexed(tbl, idx, MemWidth::B1, false);
+    f.add(state, Rval::Reg(ns), Rval::Imm(0));
+    // error state check (branchy part)
+    f.br(Cond::Eq, Rval::Reg(state), Rval::Imm(6), tail_err, tail_ok);
+
+    f.switch_to(tail_err);
+    let c6 = f.load_u64(counts, 48);
+    let c6n = f.vreg();
+    f.add(c6n, Rval::Reg(c6), Rval::Imm(1));
+    f.store_u64(Rval::Reg(c6n), counts, 48);
+    f.li(state, 0);
+    f.jmp(next_ch);
+
+    f.switch_to(tail_ok);
+    let cs = f.load_indexed_u64(counts, state);
+    let csn = f.vreg();
+    f.add(csn, Rval::Reg(cs), Rval::Imm(1));
+    f.store_indexed(Rval::Reg(csn), counts, state, MemWidth::B8);
+    f.jmp(next_ch);
+
+    f.switch_to(next_ch);
+    f.add(i, Rval::Reg(i), Rval::Imm(1));
+    f.jmp(head);
+
+    f.switch_to(inner_done);
+    f.add(rep, Rval::Reg(rep), Rval::Imm(-1));
+    f.jmp(outer);
+
+    // fold counts
+    f.switch_to(fold_pre);
+    let (k, acc) = (f.vreg(), f.vreg());
+    f.li(k, 0);
+    f.li(acc, 0);
+    f.jmp(fold_head);
+    f.switch_to(fold_head);
+    f.br(Cond::Lt, Rval::Reg(k), Rval::Imm(7), fold_body, done);
+    f.switch_to(fold_body);
+    let cv = f.load_indexed_u64(counts, k);
+    let w = f.vreg();
+    f.add(w, Rval::Reg(k), Rval::Imm(1));
+    let prod = f.vreg();
+    f.mul(prod, Rval::Reg(cv), Rval::Reg(w));
+    f.add(acc, Rval::Reg(acc), Rval::Reg(prod));
+    f.add(k, Rval::Reg(k), Rval::Imm(1));
+    f.jmp(fold_head);
+
+    f.switch_to(done);
+    let m = f.vreg();
+    f.li(m, 0x3fff_ffff);
+    f.and(acc, Rval::Reg(acc), Rval::Reg(m));
+    f.halt(Rval::Reg(acc));
+
+    Kernel {
+        name: "coremark/state",
+        program: f.compile(opts).expect("state-machine kernel compiles"),
+        expected: Some(expected),
+        work: SM_REPS * SM_LEN,
+    }
+}
+
+fn build_sm_table(f: &mut FuncBuilder) -> VReg {
+    // transition[state][class] mirroring sm_host
+    let mut t = vec![6u8; 6 * 6];
+    let set = |t: &mut Vec<u8>, s: usize, c: usize, v: u8| t[s * 6 + c] = v;
+    set(&mut t, 0, 0, 1);
+    set(&mut t, 0, 3, 1);
+    set(&mut t, 0, 1, 2);
+    set(&mut t, 1, 0, 1);
+    set(&mut t, 1, 1, 3);
+    set(&mut t, 1, 2, 4);
+    set(&mut t, 2, 0, 3);
+    set(&mut t, 3, 0, 3);
+    set(&mut t, 3, 2, 4);
+    set(&mut t, 4, 0, 5);
+    set(&mut t, 4, 3, 5);
+    set(&mut t, 5, 0, 5);
+    for s in 0..6 {
+        set(&mut t, s, 4, 0); // comma resets
+    }
+    let sym = f.symbol_bytes("smtable", &t);
+    f.addr_of(&sym)
+}
+
+/// Host CRC-16/CCITT (bitwise) used for the expected value.
+fn crc16_host(data: &[u8], reps: u64) -> u64 {
+    let mut out = 0u64;
+    for _ in 0..reps {
+        let mut crc: u64 = out & 0xffff;
+        for &b in data {
+            crc ^= (b as u64) << 8;
+            for _ in 0..8 {
+                if crc & 0x8000 != 0 {
+                    crc = ((crc << 1) ^ 0x1021) & 0xffff;
+                } else {
+                    crc = (crc << 1) & 0xffff;
+                }
+            }
+        }
+        out = crc;
+    }
+    out
+}
+
+/// CRC-16/CCITT over a byte buffer, repeated (bit-serial inner loop).
+pub fn crc(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(1234);
+    let data: Vec<u8> = (0..CRC_LEN).map(|_| rng.next_u64() as u8).collect();
+    let expected = crc16_host(&data, CRC_REPS);
+
+    let mut f = FuncBuilder::new("cm-crc");
+    let sym = f.symbol_bytes("data", &data);
+    let base = f.addr_of(&sym);
+    let (rep, i, bit, crcv) = (f.vreg(), f.vreg(), f.vreg(), f.vreg());
+    f.li(rep, CRC_REPS as i64);
+    f.li(crcv, 0);
+
+    let outer = f.new_block();
+    let bytes = f.new_block();
+    let byte_body = f.new_block();
+    let bits = f.new_block();
+    let bit_body = f.new_block();
+    let byte_next = f.new_block();
+    let rep_next = f.new_block();
+    let done = f.new_block();
+
+    f.jmp(outer);
+    f.switch_to(outer);
+    f.li(i, 0);
+    f.br(Cond::Ne, Rval::Reg(rep), Rval::Imm(0), bytes, done);
+
+    f.switch_to(bytes);
+    f.br(Cond::Lt, Rval::Reg(i), Rval::Imm(CRC_LEN as i64), byte_body, rep_next);
+
+    f.switch_to(byte_body);
+    let b = f.load_indexed(base, i, MemWidth::B1, false);
+    let sh = f.vreg();
+    f.shl(sh, Rval::Reg(b), Rval::Imm(8));
+    f.xor(crcv, Rval::Reg(crcv), Rval::Reg(sh));
+    f.li(bit, 8);
+    f.jmp(bits);
+
+    f.switch_to(bits);
+    f.br(Cond::Ne, Rval::Reg(bit), Rval::Imm(0), bit_body, byte_next);
+
+    f.switch_to(bit_body);
+    // branchless polynomial step:
+    // top = (crc >> 15) & 1; crc = ((crc << 1) ^ (top ? 0x1021 : 0)) & 0xffff
+    let top = f.vreg();
+    f.shr(top, Rval::Reg(crcv), Rval::Imm(15));
+    f.and(top, Rval::Reg(top), Rval::Imm(1));
+    let poly = f.vreg();
+    f.li(poly, 0);
+    let topz = f.vreg();
+    f.xor(topz, Rval::Reg(top), Rval::Imm(1));
+    f.select_eqz(poly, Rval::Imm(0x1021), topz); // poly = 0x1021 if top
+    f.shl(crcv, Rval::Reg(crcv), Rval::Imm(1));
+    f.xor(crcv, Rval::Reg(crcv), Rval::Reg(poly));
+    f.and(crcv, Rval::Reg(crcv), Rval::Imm(0xffff));
+    f.add(bit, Rval::Reg(bit), Rval::Imm(-1));
+    f.jmp(bits);
+
+    f.switch_to(byte_next);
+    f.add(i, Rval::Reg(i), Rval::Imm(1));
+    f.jmp(bytes);
+
+    f.switch_to(rep_next);
+    f.add(rep, Rval::Reg(rep), Rval::Imm(-1));
+    f.jmp(outer);
+
+    f.switch_to(done);
+    f.halt(Rval::Reg(crcv));
+
+    Kernel {
+        name: "coremark/crc",
+        program: f.compile(opts).expect("crc kernel compiles"),
+        expected: Some(expected),
+        work: CRC_REPS * CRC_LEN * 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_self_check_native() {
+        for k in all(&CompileOpts::native()) {
+            k.verify(50_000_000);
+        }
+    }
+
+    #[test]
+    fn all_kernels_self_check_optimized() {
+        for k in all(&CompileOpts::optimized()) {
+            k.verify(50_000_000);
+        }
+    }
+
+    #[test]
+    fn optimized_mode_retires_fewer_instructions() {
+        // the Fig. 20 effect, functionally: dynamic instruction count
+        let count = |opts: &CompileOpts| -> u64 {
+            all(opts)
+                .iter()
+                .map(|k| {
+                    let mut e = xt_emu::Emulator::new();
+                    e.load(&k.program);
+                    e.run(50_000_000).unwrap();
+                    e.cpu.instret
+                })
+                .sum()
+        };
+        let native = count(&CompileOpts::native());
+        let optimized = count(&CompileOpts::optimized());
+        assert!(
+            optimized < native,
+            "ext+opt executes fewer instructions: {optimized} vs {native}"
+        );
+    }
+}

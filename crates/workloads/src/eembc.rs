@@ -1,0 +1,416 @@
+//! EEMBC-class embedded kernels (Fig. 18): the algorithm families of the
+//! EEMBC automotive/telecom/consumer suites — autocorrelation (`autcor`),
+//! convolutional encoder (`conven`), Viterbi add-compare-select
+//! (`viterb`), RGB→CMYK conversion (`rgbcmyk`), and a FIR filter
+//! (`aifirf`). All built from the IR so they sweep both toolchain modes.
+//! (The suites' frequency-domain member is covered by
+//! `nbench::fourier`.)
+
+use crate::{Kernel, XorShift};
+use xt_compiler::{CompileOpts, Cond, FuncBuilder, MemWidth, Rval, VReg};
+
+/// Samples in the autocorrelation input.
+pub const AUTCOR_N: u64 = 256;
+/// Lags computed.
+pub const AUTCOR_LAGS: u64 = 16;
+/// Bits encoded by the convolutional encoder.
+pub const CONVEN_BITS: u64 = 512;
+/// Trellis steps for the Viterbi kernel.
+pub const VITERB_STEPS: u64 = 128;
+/// Pixels converted by rgbcmyk.
+pub const RGB_PIXELS: u64 = 512;
+/// FIR output samples.
+pub const FIR_N: u64 = 256;
+/// FIR taps.
+pub const FIR_TAPS: u64 = 16;
+
+/// All EEMBC-class kernels under the given toolchain.
+pub fn all(opts: &CompileOpts) -> Vec<Kernel> {
+    vec![
+        autcor(opts),
+        conven(opts),
+        viterb(opts),
+        rgbcmyk(opts),
+        fir(opts),
+    ]
+}
+
+/// Standard two-level counted loop: returns (head, body, tail, exit);
+/// caller fills the body and must jump to `tail`, which increments `i`.
+fn counted_loop(
+    f: &mut FuncBuilder,
+    i: VReg,
+    n: i64,
+) -> (
+    xt_compiler::BlockId,
+    xt_compiler::BlockId,
+    xt_compiler::BlockId,
+    xt_compiler::BlockId,
+) {
+    let head = f.new_block();
+    let body = f.new_block();
+    let tail = f.new_block();
+    let exit = f.new_block();
+    f.li(i, 0);
+    f.jmp(head);
+    f.switch_to(head);
+    f.br(Cond::Lt, Rval::Reg(i), Rval::Imm(n), body, exit);
+    f.switch_to(tail);
+    f.add(i, Rval::Reg(i), Rval::Imm(1));
+    f.jmp(head);
+    f.switch_to(body);
+    (head, body, tail, exit)
+}
+
+/// Autocorrelation: `r[k] = Σ_i x[i] * x[i+k]`, folded into a checksum.
+pub fn autcor(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(11);
+    let x: Vec<u64> = (0..AUTCOR_N + AUTCOR_LAGS)
+        .map(|_| rng.below(1 << 12))
+        .collect();
+    // host
+    let mut expected = 0u64;
+    for k in 0..AUTCOR_LAGS {
+        let mut acc = 0u64;
+        for i in 0..AUTCOR_N {
+            acc = acc.wrapping_add(x[i as usize] * x[(i + k) as usize]);
+        }
+        expected = expected.wrapping_add(acc).rotate_left(3);
+    }
+    expected &= 0x3fff_ffff;
+
+    let mut f = FuncBuilder::new("autcor");
+    let sym = f.symbol_u64("x", &x);
+    let base = f.addr_of(&sym);
+    let (k, out) = (f.vreg(), f.vreg());
+    f.li(out, 0);
+    let (_, _kbody, ktail, kexit) = counted_loop(&mut f, k, AUTCOR_LAGS as i64);
+    // inner loop over i
+    let (i, acc) = (f.vreg(), f.vreg());
+    f.li(acc, 0);
+    let (_, _ibody, itail, iexit) = counted_loop(&mut f, i, AUTCOR_N as i64);
+    let a = f.load_indexed_u64(base, i);
+    let ik = f.vreg();
+    f.add(ik, Rval::Reg(i), Rval::Reg(k));
+    let b = f.load_indexed_u64(base, ik);
+    f.mul_acc(acc, a, b);
+    f.jmp(itail);
+    // after inner loop: fold into out, continue outer
+    f.switch_to(iexit);
+    f.add(out, Rval::Reg(out), Rval::Reg(acc));
+    // rotate_left(3)
+    let hi = f.vreg();
+    f.shr(hi, Rval::Reg(out), Rval::Imm(61));
+    f.shl(out, Rval::Reg(out), Rval::Imm(3));
+    f.or(out, Rval::Reg(out), Rval::Reg(hi));
+    f.jmp(ktail);
+    f.switch_to(kexit);
+    let m = f.vreg();
+    f.li(m, 0x3fff_ffff);
+    f.and(out, Rval::Reg(out), Rval::Reg(m));
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "eembc/autcor",
+        program: f.compile(opts).expect("autcor compiles"),
+        expected: Some(expected),
+        work: AUTCOR_LAGS * AUTCOR_N,
+    }
+}
+
+/// Convolutional encoder (K=7, rate 1/2): shift register + parity.
+pub fn conven(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(22);
+    let bits: Vec<u8> = (0..CONVEN_BITS).map(|_| (rng.next_u64() & 1) as u8).collect();
+    const G0: u64 = 0o171; // generator polynomials
+    const G1: u64 = 0o133;
+    let parity = |v: u64| -> u64 {
+        let mut p = v;
+        p ^= p >> 4;
+        p ^= p >> 2;
+        p ^= p >> 1;
+        p & 1
+    };
+    // host
+    let mut sr = 0u64;
+    let mut expected = 0u64;
+    for &b in &bits {
+        sr = ((sr << 1) | b as u64) & 0x7f;
+        let o0 = parity(sr & G0);
+        let o1 = parity(sr & G1);
+        expected = expected.wrapping_mul(3).wrapping_add(o0 * 2 + o1) & 0x3fff_ffff;
+    }
+
+    let mut f = FuncBuilder::new("conven");
+    let sym = f.symbol_bytes("bits", &bits);
+    let base = f.addr_of(&sym);
+    let (i, sr_v, out) = (f.vreg(), f.vreg(), f.vreg());
+    f.li(sr_v, 0);
+    f.li(out, 0);
+    let (_, _body, tail, exit) = counted_loop(&mut f, i, CONVEN_BITS as i64);
+    let b = f.load_indexed(base, i, MemWidth::B1, false);
+    f.shl(sr_v, Rval::Reg(sr_v), Rval::Imm(1));
+    f.or(sr_v, Rval::Reg(sr_v), Rval::Reg(b));
+    f.and(sr_v, Rval::Reg(sr_v), Rval::Imm(0x7f));
+    // o0 = parity(sr & G0)
+    let emit_parity = |f: &mut FuncBuilder, src: VReg, mask: i64| -> VReg {
+        let p = f.vreg();
+        f.and(p, Rval::Reg(src), Rval::Imm(mask));
+        let t = f.vreg();
+        f.shr(t, Rval::Reg(p), Rval::Imm(4));
+        f.xor(p, Rval::Reg(p), Rval::Reg(t));
+        f.shr(t, Rval::Reg(p), Rval::Imm(2));
+        f.xor(p, Rval::Reg(p), Rval::Reg(t));
+        f.shr(t, Rval::Reg(p), Rval::Imm(1));
+        f.xor(p, Rval::Reg(p), Rval::Reg(t));
+        f.and(p, Rval::Reg(p), Rval::Imm(1));
+        p
+    };
+    let o0 = emit_parity(&mut f, sr_v, G0 as i64);
+    let o1 = emit_parity(&mut f, sr_v, G1 as i64);
+    // out = out*3 + o0*2 + o1, masked
+    let t3 = f.vreg();
+    f.mul(t3, Rval::Reg(out), Rval::Imm(3));
+    let t2 = f.vreg();
+    f.shl(t2, Rval::Reg(o0), Rval::Imm(1));
+    f.add(t3, Rval::Reg(t3), Rval::Reg(t2));
+    f.add(t3, Rval::Reg(t3), Rval::Reg(o1));
+    f.and(out, Rval::Reg(t3), Rval::Imm(0x3fff_ffff));
+    f.jmp(tail);
+    f.switch_to(exit);
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "eembc/conven",
+        program: f.compile(opts).expect("conven compiles"),
+        expected: Some(expected),
+        work: CONVEN_BITS,
+    }
+}
+
+/// Viterbi-style add-compare-select over a 4-state trellis.
+pub fn viterb(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(33);
+    let obs: Vec<u8> = (0..VITERB_STEPS).map(|_| (rng.next_u64() & 3) as u8).collect();
+    // host: 4 states; metric update with fixed branch costs
+    let cost = |s: u64, o: u64| -> u64 { ((s ^ o) & 3) + 1 };
+    let mut pm = [0u64; 4];
+    for &o in &obs {
+        let mut next = [u64::MAX; 4];
+        for s in 0..4u64 {
+            for prev in [s >> 1, (s >> 1) + 2] {
+                let cand = pm[prev as usize] + cost(s, o as u64);
+                if cand < next[s as usize] {
+                    next[s as usize] = cand;
+                }
+            }
+        }
+        pm = next;
+    }
+    let expected = pm.iter().fold(0u64, |a, &v| a.wrapping_add(v)) & 0x3fff_ffff;
+
+    let mut f = FuncBuilder::new("viterb");
+    let sym = f.symbol_bytes("obs", &obs);
+    let pm_sym = f.symbol_u64("pm", &[0, 0, 0, 0]);
+    let nx_sym = f.symbol_u64("nx", &[0, 0, 0, 0]);
+    let base = f.addr_of(&sym);
+    let pm_b = f.addr_of(&pm_sym);
+    let nx_b = f.addr_of(&nx_sym);
+    let t = f.vreg();
+    let (_, _body, tail, exit) = counted_loop(&mut f, t, VITERB_STEPS as i64);
+    let o = f.load_indexed(base, t, MemWidth::B1, false);
+    // fully unrolled 4-state ACS (how real implementations write it)
+    for s in 0..4u64 {
+        let p0 = (s >> 1) as i64;
+        let p1 = p0 + 2;
+        let m0 = f.load_u64(pm_b, p0 * 8);
+        let m1 = f.load_u64(pm_b, p1 * 8);
+        // cost = ((s ^ o) & 3) + 1
+        let c = f.vreg();
+        f.xor(c, Rval::Reg(o), Rval::Imm(s as i64));
+        f.and(c, Rval::Reg(c), Rval::Imm(3));
+        f.add(c, Rval::Reg(c), Rval::Imm(1));
+        let c0 = f.vreg();
+        f.add(c0, Rval::Reg(m0), Rval::Reg(c));
+        let c1 = f.vreg();
+        f.add(c1, Rval::Reg(m1), Rval::Reg(c));
+        // select min: best = c0; if c1 < c0 best = c1
+        let lt = f.vreg();
+        f.slt(lt, Rval::Reg(c1), Rval::Reg(c0));
+        let ltz = f.vreg();
+        f.xor(ltz, Rval::Reg(lt), Rval::Imm(1));
+        let best = f.vreg();
+        f.add(best, Rval::Reg(c0), Rval::Imm(0));
+        f.select_eqz(best, Rval::Reg(c1), ltz);
+        f.store_u64(Rval::Reg(best), nx_b, s as i64 * 8);
+    }
+    // pm <- nx
+    for s in 0..4i64 {
+        let v = f.load_u64(nx_b, s * 8);
+        f.store_u64(Rval::Reg(v), pm_b, s * 8);
+    }
+    f.jmp(tail);
+    f.switch_to(exit);
+    let out = f.vreg();
+    f.li(out, 0);
+    for s in 0..4i64 {
+        let v = f.load_u64(pm_b, s * 8);
+        f.add(out, Rval::Reg(out), Rval::Reg(v));
+    }
+    f.and(out, Rval::Reg(out), Rval::Imm(0x3fff_ffff));
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "eembc/viterb",
+        program: f.compile(opts).expect("viterb compiles"),
+        expected: Some(expected),
+        work: VITERB_STEPS * 8,
+    }
+}
+
+/// RGB → CMYK conversion with per-pixel min and subtract.
+pub fn rgbcmyk(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(44);
+    let rgb: Vec<u8> = (0..RGB_PIXELS * 3).map(|_| rng.next_u64() as u8).collect();
+    // host
+    let mut expected = 0u64;
+    for p in 0..RGB_PIXELS as usize {
+        let (r, g, b) = (rgb[p * 3], rgb[p * 3 + 1], rgb[p * 3 + 2]);
+        let c = 255 - r as u64;
+        let m = 255 - g as u64;
+        let y = 255 - b as u64;
+        let k = c.min(m).min(y);
+        expected = expected
+            .wrapping_add(c - k)
+            .wrapping_add((m - k) << 1)
+            .wrapping_add((y - k) << 2)
+            .wrapping_add(k << 3)
+            & 0x3fff_ffff;
+    }
+
+    let mut f = FuncBuilder::new("rgbcmyk");
+    let sym = f.symbol_bytes("rgb", &rgb);
+    let base = f.addr_of(&sym);
+    let (p, out) = (f.vreg(), f.vreg());
+    f.li(out, 0);
+    let (_, _body, tail, exit) = counted_loop(&mut f, p, RGB_PIXELS as i64);
+    let off = f.vreg();
+    f.mul(off, Rval::Reg(p), Rval::Imm(3));
+    let addr = f.vreg();
+    f.add(addr, Rval::Reg(base), Rval::Reg(off));
+    let r = f.load(addr, 0, MemWidth::B1, false);
+    let g = f.load(addr, 1, MemWidth::B1, false);
+    let b = f.load(addr, 2, MemWidth::B1, false);
+    let mk_inv = |f: &mut FuncBuilder, x: VReg| -> VReg {
+        let v = f.vreg();
+        f.sub(v, Rval::Imm(255), Rval::Reg(x));
+        v
+    };
+    let c = mk_inv(&mut f, r);
+    let m = mk_inv(&mut f, g);
+    let y = mk_inv(&mut f, b);
+    // k = min(c, m, y) via selects
+    let k = f.vreg();
+    f.add(k, Rval::Reg(c), Rval::Imm(0));
+    for other in [m, y] {
+        let lt = f.vreg();
+        f.slt(lt, Rval::Reg(other), Rval::Reg(k));
+        let ltz = f.vreg();
+        f.xor(ltz, Rval::Reg(lt), Rval::Imm(1));
+        f.select_eqz(k, Rval::Reg(other), ltz);
+    }
+    // out += (c-k) + ((m-k)<<1) + ((y-k)<<2) + (k<<3)
+    let acc = f.vreg();
+    f.sub(acc, Rval::Reg(c), Rval::Reg(k));
+    let t = f.vreg();
+    f.sub(t, Rval::Reg(m), Rval::Reg(k));
+    f.shl(t, Rval::Reg(t), Rval::Imm(1));
+    f.add(acc, Rval::Reg(acc), Rval::Reg(t));
+    f.sub(t, Rval::Reg(y), Rval::Reg(k));
+    f.shl(t, Rval::Reg(t), Rval::Imm(2));
+    f.add(acc, Rval::Reg(acc), Rval::Reg(t));
+    f.shl(t, Rval::Reg(k), Rval::Imm(3));
+    f.add(acc, Rval::Reg(acc), Rval::Reg(t));
+    f.add(out, Rval::Reg(out), Rval::Reg(acc));
+    f.and(out, Rval::Reg(out), Rval::Imm(0x3fff_ffff));
+    f.jmp(tail);
+    f.switch_to(exit);
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "eembc/rgbcmyk",
+        program: f.compile(opts).expect("rgbcmyk compiles"),
+        expected: Some(expected),
+        work: RGB_PIXELS,
+    }
+}
+
+/// 16-tap integer FIR filter.
+pub fn fir(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(55);
+    let x: Vec<u64> = (0..FIR_N + FIR_TAPS).map(|_| rng.below(1 << 10)).collect();
+    let h: Vec<u64> = (0..FIR_TAPS).map(|_| rng.below(1 << 6)).collect();
+    // host
+    let mut expected = 0u64;
+    for i in 0..FIR_N {
+        let mut acc = 0u64;
+        for t in 0..FIR_TAPS {
+            acc = acc.wrapping_add(x[(i + t) as usize] * h[t as usize]);
+        }
+        expected = expected.wrapping_add(acc).rotate_left(1) & 0x3fff_ffff;
+    }
+
+    let mut f = FuncBuilder::new("fir");
+    let sx = f.symbol_u64("x", &x);
+    let sh = f.symbol_u64("h", &h);
+    let bx = f.addr_of(&sx);
+    let bh = f.addr_of(&sh);
+    let (i, out) = (f.vreg(), f.vreg());
+    f.li(out, 0);
+    let (_, _b1, tail, exit) = counted_loop(&mut f, i, FIR_N as i64);
+    let (t, acc) = (f.vreg(), f.vreg());
+    f.li(acc, 0);
+    let (_, _b2, ttail, texit) = counted_loop(&mut f, t, FIR_TAPS as i64);
+    let it = f.vreg();
+    f.add(it, Rval::Reg(i), Rval::Reg(t));
+    let xv = f.load_indexed_u64(bx, it);
+    let hv = f.load_indexed_u64(bh, t);
+    f.mul_acc(acc, xv, hv);
+    f.jmp(ttail);
+    f.switch_to(texit);
+    f.add(out, Rval::Reg(out), Rval::Reg(acc));
+    let hi = f.vreg();
+    f.shr(hi, Rval::Reg(out), Rval::Imm(63));
+    f.shl(out, Rval::Reg(out), Rval::Imm(1));
+    f.or(out, Rval::Reg(out), Rval::Reg(hi));
+    f.and(out, Rval::Reg(out), Rval::Imm(0x3fff_ffff));
+    f.jmp(tail);
+    f.switch_to(exit);
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "eembc/fir",
+        program: f.compile(opts).expect("fir compiles"),
+        expected: Some(expected),
+        work: FIR_N * FIR_TAPS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_self_check_native() {
+        for k in all(&CompileOpts::native()) {
+            k.verify(100_000_000);
+        }
+    }
+
+    #[test]
+    fn all_self_check_optimized() {
+        for k in all(&CompileOpts::optimized()) {
+            k.verify(100_000_000);
+        }
+    }
+}

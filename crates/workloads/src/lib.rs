@@ -1,0 +1,96 @@
+//! # xt-workloads — benchmark kernels for the XT-910 evaluation (§X)
+//!
+//! From-scratch implementations of the algorithmic content of every
+//! benchmark suite the paper evaluates:
+//!
+//! * [`coremark`] — the four CoreMark kernels: linked-list processing,
+//!   matrix manipulation, state machine, CRC (Fig. 17),
+//! * [`eembc`] — EEMBC-class embedded kernels: autocorrelation,
+//!   convolutional encoder, Viterbi decoder, RGB conversion, FIR filter
+//!   (Fig. 18),
+//! * [`nbench`] — NBench-class kernels: numeric sort, string sort,
+//!   bitfield, Fourier series, LU decomposition, IDEA-class cipher,
+//!   neural-net dot products (Fig. 19),
+//! * [`stream`] — STREAM copy/scale/add/triad for the prefetch study
+//!   (Fig. 21),
+//! * [`blockchain`] — a hash-verification kernel standing in for the
+//!   Alibaba Cloud blockchain-transaction acceleration (§I),
+//! * [`ai`] — int16/f16 multiply-accumulate kernels for the vector-MAC
+//!   comparison (§X),
+//! * [`spec_like`] — a large-footprint, L2-miss-heavy macro mix for the
+//!   SPECInt-per-GHz-style system metric.
+//!
+//! Every kernel is self-checking: [`Kernel::expected`] holds the value
+//! the guest must produce, and the crate's tests run each kernel through
+//! the functional emulator. Kernels built from the IR compile under both
+//! toolchain modes ([`xt_compiler::CompileOpts`]), which is what the
+//! Fig. 20 experiment sweeps.
+
+pub mod ai;
+pub mod blockchain;
+pub mod coremark;
+pub mod eembc;
+pub mod nbench;
+pub mod spec_like;
+pub mod stream;
+
+use xt_asm::Program;
+
+/// A runnable, self-checking benchmark kernel.
+#[derive(Clone, Debug)]
+pub struct Kernel {
+    /// Kernel name (used in reports and figures).
+    pub name: &'static str,
+    /// The guest program.
+    pub program: Program,
+    /// Expected exit code (self-check).
+    pub expected: Option<u64>,
+    /// Abstract work units completed (for /MHz-style score scaling).
+    pub work: u64,
+}
+
+impl Kernel {
+    /// Runs the kernel functionally and verifies the self-check.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the guest fails, exceeds `fuel`, or produces the wrong
+    /// answer — used by tests and the bench harness preflight.
+    pub fn verify(&self, fuel: u64) -> u64 {
+        let mut emu = xt_emu::Emulator::new();
+        emu.load(&self.program);
+        let got = emu
+            .run(fuel)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name));
+        if let Some(want) = self.expected {
+            assert_eq!(got, want, "{}: wrong result", self.name);
+        }
+        got
+    }
+}
+
+/// Deterministic xorshift PRNG for reproducible workload data.
+#[derive(Clone, Debug)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeded generator (seed must be non-zero).
+    pub fn new(seed: u64) -> Self {
+        XorShift(if seed == 0 { 0x9E3779B97F4A7C15 } else { seed })
+    }
+
+    /// Next pseudo-random u64.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Next value in `0..bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}

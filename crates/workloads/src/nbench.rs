@@ -1,0 +1,781 @@
+//! NBench-class kernels (Fig. 19): the algorithm families of the BYTE
+//! NBench suite — numeric sort (heapsort), string sort (insertion sort
+//! over lexicographic keys), bitfield manipulation, an IDEA-class block
+//! cipher (XTEA rounds), a neural-net forward pass, plus floating-point
+//! Fourier series and LU decomposition written in assembly (the IR is
+//! integer-only; see DESIGN.md).
+
+use crate::{Kernel, XorShift};
+use xt_asm::Asm;
+use xt_compiler::{BlockId, CompileOpts, Cond, FuncBuilder, Rval, VReg};
+use xt_isa::reg::{Fpr, Gpr};
+
+/// Elements sorted by the numeric-sort kernel.
+pub const NUMSORT_N: u64 = 256;
+/// Keys sorted by the string-sort kernel.
+pub const STRSORT_N: u64 = 96;
+/// Words in the bitfield array.
+pub const BITFIELD_WORDS: u64 = 64;
+/// Bitfield operations performed.
+pub const BITFIELD_OPS: u64 = 256;
+/// Blocks enciphered by the XTEA kernel.
+pub const XTEA_BLOCKS: u64 = 32;
+/// Input / hidden / output sizes of the neural kernel.
+pub const NEURAL_IN: u64 = 32;
+/// Hidden neurons.
+pub const NEURAL_HID: u64 = 16;
+/// Fourier coefficients computed.
+pub const FOURIER_TERMS: u64 = 24;
+/// LU matrix dimension.
+pub const LU_N: u64 = 10;
+
+/// All NBench-class kernels (IR kernels honor `opts`; the two FP
+/// kernels are fixed assembly).
+pub fn all(opts: &CompileOpts) -> Vec<Kernel> {
+    vec![
+        numsort(opts),
+        strsort(opts),
+        bitfield(opts),
+        xtea(opts),
+        neural(opts),
+        fourier(),
+        lu(),
+    ]
+}
+
+fn counted_loop(f: &mut FuncBuilder, i: VReg, n: i64) -> (BlockId, BlockId, BlockId, BlockId) {
+    let head = f.new_block();
+    let body = f.new_block();
+    let tail = f.new_block();
+    let exit = f.new_block();
+    f.li(i, 0);
+    f.jmp(head);
+    f.switch_to(head);
+    f.br(Cond::Lt, Rval::Reg(i), Rval::Imm(n), body, exit);
+    f.switch_to(tail);
+    f.add(i, Rval::Reg(i), Rval::Imm(1));
+    f.jmp(head);
+    f.switch_to(body);
+    (head, body, tail, exit)
+}
+
+/// Emits an inlined heapsort sift-down loop: `root` and `end` are live
+/// registers; `base` points at the u64 array. Control continues at the
+/// returned block.
+fn emit_sift(f: &mut FuncBuilder, base: VReg, root: VReg, end: VReg) -> BlockId {
+    let head = f.new_block();
+    let have_child = f.new_block();
+    let use_right = f.new_block();
+    let cmp_root = f.new_block();
+    let do_swap = f.new_block();
+    let out = f.new_block();
+    let child = f.vreg();
+    f.jmp(head);
+
+    f.switch_to(head);
+    // child = 2*root + 1; if child > end: done
+    f.shl(child, Rval::Reg(root), Rval::Imm(1));
+    f.add(child, Rval::Reg(child), Rval::Imm(1));
+    let gt = f.vreg();
+    f.slt(gt, Rval::Reg(end), Rval::Reg(child)); // end < child
+    f.br(Cond::Ne, Rval::Reg(gt), Rval::Imm(0), out, have_child);
+
+    f.switch_to(have_child);
+    // if child+1 <= end && a[child] < a[child+1]: child++
+    let c1 = f.vreg();
+    f.add(c1, Rval::Reg(child), Rval::Imm(1));
+    let absent = f.vreg();
+    f.slt(absent, Rval::Reg(end), Rval::Reg(c1)); // end < child+1 -> right absent
+    let vl = f.load_indexed_u64(base, child);
+    // candidate right index: child when the right child is absent, so
+    // the comparison degenerates to a[child] < a[child] (never promotes)
+    let spill = f.vreg();
+    f.add(spill, Rval::Reg(child), Rval::Imm(0));
+    f.select_eqz(spill, Rval::Reg(c1), absent); // spill = c1 when present
+    let vr = f.load_indexed_u64(base, spill);
+    let lt = f.vreg();
+    f.slt(lt, Rval::Reg(vl), Rval::Reg(vr));
+    f.br(Cond::Ne, Rval::Reg(lt), Rval::Imm(0), use_right, cmp_root);
+
+    f.switch_to(use_right);
+    f.add(child, Rval::Reg(spill), Rval::Imm(0));
+    f.jmp(cmp_root);
+
+    f.switch_to(cmp_root);
+    let vroot = f.load_indexed_u64(base, root);
+    let vchild = f.load_indexed_u64(base, child);
+    let need = f.vreg();
+    f.slt(need, Rval::Reg(vroot), Rval::Reg(vchild));
+    f.br(Cond::Ne, Rval::Reg(need), Rval::Imm(0), do_swap, out);
+
+    f.switch_to(do_swap);
+    f.store_indexed(Rval::Reg(vchild), base, root, xt_compiler::MemWidth::B8);
+    f.store_indexed(Rval::Reg(vroot), base, child, xt_compiler::MemWidth::B8);
+    f.add(root, Rval::Reg(child), Rval::Imm(0));
+    f.jmp(head);
+
+    f.switch_to(out);
+    out
+}
+
+/// Numeric sort: heapsort over `NUMSORT_N` random u64s.
+pub fn numsort(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(66);
+    let data: Vec<u64> = (0..NUMSORT_N).map(|_| rng.below(1 << 30)).collect();
+    let mut sorted = data.clone();
+    sorted.sort_unstable();
+    let n = NUMSORT_N;
+    let expected = (sorted[(n / 4) as usize]
+        ^ sorted[(n / 2) as usize]
+        ^ sorted[(n - 1) as usize])
+        & 0x3fff_ffff;
+
+    let mut f = FuncBuilder::new("numsort");
+    let sym = f.symbol_u64("data", &data);
+    let base = f.addr_of(&sym);
+    let (start, end) = (f.vreg(), f.vreg());
+
+    // heapify: for start = n/2-1 down to 0: sift(start, n-1)
+    let heap_head = f.new_block();
+    let heap_body = f.new_block();
+    let sort_pre = f.new_block();
+    f.li(start, (n / 2 - 1) as i64);
+    f.jmp(heap_head);
+
+    f.switch_to(heap_head);
+    f.br(Cond::Ge, Rval::Reg(start), Rval::Imm(0), heap_body, sort_pre);
+
+    f.switch_to(heap_body);
+    let root = f.vreg();
+    f.add(root, Rval::Reg(start), Rval::Imm(0));
+    f.li(end, (n - 1) as i64);
+    let after = emit_sift(&mut f, base, root, end);
+    // emit_sift left us in `after`
+    let _ = after;
+    f.add(start, Rval::Reg(start), Rval::Imm(-1));
+    f.jmp(heap_head);
+
+    // sortdown: for end = n-1 down to 1: swap a[0],a[end]; sift(0,end-1)
+    f.switch_to(sort_pre);
+    let e = f.vreg();
+    f.li(e, (n - 1) as i64);
+    let sort_head = f.new_block();
+    let sort_body = f.new_block();
+    let fold_pre = f.new_block();
+    f.jmp(sort_head);
+
+    f.switch_to(sort_head);
+    f.br(Cond::Ge, Rval::Reg(e), Rval::Imm(1), sort_body, fold_pre);
+
+    f.switch_to(sort_body);
+    let zero = f.vreg();
+    f.li(zero, 0);
+    let v0 = f.load_indexed_u64(base, zero);
+    let ve = f.load_indexed_u64(base, e);
+    f.store_indexed(Rval::Reg(ve), base, zero, xt_compiler::MemWidth::B8);
+    f.store_indexed(Rval::Reg(v0), base, e, xt_compiler::MemWidth::B8);
+    let root2 = f.vreg();
+    f.li(root2, 0);
+    let end2 = f.vreg();
+    f.add(end2, Rval::Reg(e), Rval::Imm(-1));
+    let _after2 = emit_sift(&mut f, base, root2, end2);
+    f.add(e, Rval::Reg(e), Rval::Imm(-1));
+    f.jmp(sort_head);
+
+    f.switch_to(fold_pre);
+    let q = f.vreg();
+    f.li(q, (n / 4) as i64);
+    let a = f.load_indexed_u64(base, q);
+    f.li(q, (n / 2) as i64);
+    let b = f.load_indexed_u64(base, q);
+    f.li(q, (n - 1) as i64);
+    let c = f.load_indexed_u64(base, q);
+    let out = f.vreg();
+    f.xor(out, Rval::Reg(a), Rval::Reg(b));
+    f.xor(out, Rval::Reg(out), Rval::Reg(c));
+    f.and(out, Rval::Reg(out), Rval::Imm(0x3fff_ffff));
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "nbench/numsort",
+        program: f.compile(opts).expect("numsort compiles"),
+        expected: Some(expected),
+        work: n * 8, // ~ n log n compares
+    }
+}
+
+/// String sort: insertion sort over big-endian-packed 8-char keys
+/// (numeric order == lexicographic order of the original strings).
+pub fn strsort(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(77);
+    let keys: Vec<u64> = (0..STRSORT_N)
+        .map(|_| {
+            let mut k = 0u64;
+            for _ in 0..8 {
+                k = (k << 8) | (b'a' as u64 + rng.below(26));
+            }
+            k
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    let expected = sorted[0]
+        .wrapping_add(sorted[(STRSORT_N / 2) as usize])
+        .wrapping_add(sorted[(STRSORT_N - 1) as usize])
+        & 0x3fff_ffff;
+
+    let mut f = FuncBuilder::new("strsort");
+    let sym = f.symbol_u64("keys", &keys);
+    let base = f.addr_of(&sym);
+    let i = f.vreg();
+
+    // for i in 1..n: key = a[i]; j = i-1; while j>=0 && a[j] > key:
+    //   a[j+1] = a[j]; j--; a[j+1] = key
+    let outer_head = f.new_block();
+    let outer_body = f.new_block();
+    let inner_head = f.new_block();
+    let inner_chk = f.new_block();
+    let inner_body = f.new_block();
+    let place = f.new_block();
+    let outer_tail = f.new_block();
+    let fold = f.new_block();
+
+    f.li(i, 1);
+    f.jmp(outer_head);
+
+    f.switch_to(outer_head);
+    f.br(Cond::Lt, Rval::Reg(i), Rval::Imm(STRSORT_N as i64), outer_body, fold);
+
+    f.switch_to(outer_body);
+    let key = f.load_indexed_u64(base, i);
+    let j = f.vreg();
+    f.add(j, Rval::Reg(i), Rval::Imm(-1));
+    f.jmp(inner_head);
+
+    f.switch_to(inner_head);
+    f.br(Cond::Ge, Rval::Reg(j), Rval::Imm(0), inner_chk, place);
+
+    f.switch_to(inner_chk);
+    let vj = f.load_indexed_u64(base, j);
+    // unsigned compare: a[j] > key
+    let gt = f.vreg();
+    f.sltu(gt, Rval::Reg(key), Rval::Reg(vj));
+    f.br(Cond::Ne, Rval::Reg(gt), Rval::Imm(0), inner_body, place);
+
+    f.switch_to(inner_body);
+    let j1 = f.vreg();
+    f.add(j1, Rval::Reg(j), Rval::Imm(1));
+    f.store_indexed(Rval::Reg(vj), base, j1, xt_compiler::MemWidth::B8);
+    f.add(j, Rval::Reg(j), Rval::Imm(-1));
+    f.jmp(inner_head);
+
+    f.switch_to(place);
+    let j1b = f.vreg();
+    f.add(j1b, Rval::Reg(j), Rval::Imm(1));
+    f.store_indexed(Rval::Reg(key), base, j1b, xt_compiler::MemWidth::B8);
+    f.jmp(outer_tail);
+
+    f.switch_to(outer_tail);
+    f.add(i, Rval::Reg(i), Rval::Imm(1));
+    f.jmp(outer_head);
+
+    f.switch_to(fold);
+    let q = f.vreg();
+    f.li(q, 0);
+    let a = f.load_indexed_u64(base, q);
+    f.li(q, (STRSORT_N / 2) as i64);
+    let b = f.load_indexed_u64(base, q);
+    f.li(q, (STRSORT_N - 1) as i64);
+    let c = f.load_indexed_u64(base, q);
+    let out = f.vreg();
+    f.add(out, Rval::Reg(a), Rval::Reg(b));
+    f.add(out, Rval::Reg(out), Rval::Reg(c));
+    f.and(out, Rval::Reg(out), Rval::Imm(0x3fff_ffff));
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "nbench/strsort",
+        program: f.compile(opts).expect("strsort compiles"),
+        expected: Some(expected),
+        work: STRSORT_N * STRSORT_N / 4,
+    }
+}
+
+/// Bitfield manipulation: toggle/set/clear runs of bits in a bit array.
+pub fn bitfield(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(88);
+    let total_bits = BITFIELD_WORDS * 64;
+    let ops: Vec<(u64, u64, u64)> = (0..BITFIELD_OPS)
+        .map(|k| (k % 3, rng.below(total_bits), rng.below(48) + 1))
+        .collect();
+    // host
+    let mut words = vec![0u64; BITFIELD_WORDS as usize];
+    for &(kind, off, len) in &ops {
+        for bit in off..(off + len).min(total_bits) {
+            let w = (bit / 64) as usize;
+            let m = 1u64 << (bit % 64);
+            match kind {
+                0 => words[w] |= m,
+                1 => words[w] &= !m,
+                _ => words[w] ^= m,
+            }
+        }
+    }
+    let expected = words.iter().fold(0u64, |a, &v| a ^ v) & 0x3fff_ffff;
+
+    // ops encoded as [kind, off, len] triples of u64
+    let enc: Vec<u64> = ops.iter().flat_map(|&(k, o, l)| [k, o, l]).collect();
+
+    let mut f = FuncBuilder::new("bitfield");
+    let ops_sym = f.symbol_u64("ops", &enc);
+    let arr_sym = f.symbol_zeros("bits", (BITFIELD_WORDS * 8) as usize);
+    let bops = f.addr_of(&ops_sym);
+    let barr = f.addr_of(&arr_sym);
+    let o = f.vreg();
+    let (_, _body, tail, exit) = counted_loop(&mut f, o, BITFIELD_OPS as i64);
+    // load the triple
+    let oi = f.vreg();
+    f.mul(oi, Rval::Reg(o), Rval::Imm(3));
+    let kind = f.load_indexed_u64(bops, oi);
+    let oi1 = f.vreg();
+    f.add(oi1, Rval::Reg(oi), Rval::Imm(1));
+    let off = f.load_indexed_u64(bops, oi1);
+    let oi2 = f.vreg();
+    f.add(oi2, Rval::Reg(oi), Rval::Imm(2));
+    let len = f.load_indexed_u64(bops, oi2);
+    // inner loop over bits
+    let bit = f.vreg();
+    f.add(bit, Rval::Reg(off), Rval::Imm(0));
+    let stop = f.vreg();
+    f.add(stop, Rval::Reg(off), Rval::Reg(len));
+    // clamp stop to total_bits
+    let over = f.vreg();
+    f.slt(over, Rval::Imm(total_bits as i64), Rval::Reg(stop));
+    f.select_nez(stop, Rval::Imm(total_bits as i64), over);
+    let bh = f.new_block();
+    let bb = f.new_block();
+    let bset = f.new_block();
+    let bclr = f.new_block();
+    let btgl = f.new_block();
+    let bnext = f.new_block();
+    f.jmp(bh);
+
+    f.switch_to(bh);
+    f.br(Cond::Lt, Rval::Reg(bit), Rval::Reg(stop), bb, tail);
+
+    f.switch_to(bb);
+    let w = f.vreg();
+    f.shr(w, Rval::Reg(bit), Rval::Imm(6));
+    let sh = f.vreg();
+    f.and(sh, Rval::Reg(bit), Rval::Imm(63));
+    let m = f.vreg();
+    f.li(m, 1);
+    f.shl(m, Rval::Reg(m), Rval::Reg(sh));
+    let cur = f.load_indexed_u64(barr, w);
+    let bdisp = f.new_block();
+    f.br(Cond::Eq, Rval::Reg(kind), Rval::Imm(0), bset, bdisp);
+    f.switch_to(bdisp);
+    f.br(Cond::Eq, Rval::Reg(kind), Rval::Imm(1), bclr, btgl);
+
+    f.switch_to(bset);
+    let v1 = f.vreg();
+    f.or(v1, Rval::Reg(cur), Rval::Reg(m));
+    f.store_indexed(Rval::Reg(v1), barr, w, xt_compiler::MemWidth::B8);
+    f.jmp(bnext);
+
+    f.switch_to(bclr);
+    let nm = f.vreg();
+    f.xor(nm, Rval::Reg(m), Rval::Imm(-1));
+    let v2 = f.vreg();
+    f.and(v2, Rval::Reg(cur), Rval::Reg(nm));
+    f.store_indexed(Rval::Reg(v2), barr, w, xt_compiler::MemWidth::B8);
+    f.jmp(bnext);
+
+    f.switch_to(btgl);
+    let v3 = f.vreg();
+    f.xor(v3, Rval::Reg(cur), Rval::Reg(m));
+    f.store_indexed(Rval::Reg(v3), barr, w, xt_compiler::MemWidth::B8);
+    f.jmp(bnext);
+
+    f.switch_to(bnext);
+    f.add(bit, Rval::Reg(bit), Rval::Imm(1));
+    f.jmp(bh);
+
+    f.switch_to(exit);
+    // fold xor of words
+    let (k2, acc) = (f.vreg(), f.vreg());
+    f.li(acc, 0);
+    let (_, _b2, t2, e2) = counted_loop(&mut f, k2, BITFIELD_WORDS as i64);
+    let wv = f.load_indexed_u64(barr, k2);
+    f.xor(acc, Rval::Reg(acc), Rval::Reg(wv));
+    f.jmp(t2);
+    f.switch_to(e2);
+    f.and(acc, Rval::Reg(acc), Rval::Imm(0x3fff_ffff));
+    f.halt(Rval::Reg(acc));
+
+    Kernel {
+        name: "nbench/bitfield",
+        program: f.compile(opts).expect("bitfield compiles"),
+        expected: Some(expected),
+        work: BITFIELD_OPS * 24,
+    }
+}
+
+/// XTEA encipher rounds (the IDEA-class cipher kernel).
+pub fn xtea(opts: &CompileOpts) -> Kernel {
+    let key = [0x1234_5678u64, 0x9abc_def0, 0x0fed_cba9, 0x8765_4321];
+    let mut rng = XorShift::new(101);
+    let blocks: Vec<(u64, u64)> = (0..XTEA_BLOCKS)
+        .map(|_| (rng.next_u64() & 0xffff_ffff, rng.next_u64() & 0xffff_ffff))
+        .collect();
+    const DELTA: u64 = 0x9E37_79B9;
+    const ROUNDS: u64 = 32;
+    // host
+    let mut expected = 0u64;
+    for &(mut v0, mut v1) in &blocks {
+        let mut sum = 0u64;
+        for _ in 0..ROUNDS {
+            v0 = v0.wrapping_add(
+                (((v1 << 4) ^ (v1 >> 5)).wrapping_add(v1))
+                    ^ (sum.wrapping_add(key[(sum & 3) as usize])),
+            ) & 0xffff_ffff;
+            sum = sum.wrapping_add(DELTA) & 0xffff_ffff;
+            v1 = v1.wrapping_add(
+                (((v0 << 4) ^ (v0 >> 5)).wrapping_add(v0))
+                    ^ (sum.wrapping_add(key[((sum >> 11) & 3) as usize])),
+            ) & 0xffff_ffff;
+        }
+        expected = expected.wrapping_add(v0 ^ v1) & 0x3fff_ffff;
+    }
+
+    let flat: Vec<u64> = blocks.iter().flat_map(|&(a, b)| [a, b]).collect();
+    let mut f = FuncBuilder::new("xtea");
+    let bsym = f.symbol_u64("blocks", &flat);
+    let ksym = f.symbol_u64("key", &key);
+    let bb = f.addr_of(&bsym);
+    let bk = f.addr_of(&ksym);
+    let (blk, out) = (f.vreg(), f.vreg());
+    f.li(out, 0);
+    let (_, _body, tail, exit) = counted_loop(&mut f, blk, XTEA_BLOCKS as i64);
+    let idx = f.vreg();
+    f.shl(idx, Rval::Reg(blk), Rval::Imm(1));
+    let v0 = f.load_indexed_u64(bb, idx);
+    let idx1 = f.vreg();
+    f.add(idx1, Rval::Reg(idx), Rval::Imm(1));
+    let v1 = f.load_indexed_u64(bb, idx1);
+    let (r, sum) = (f.vreg(), f.vreg());
+    f.li(sum, 0);
+    let (_, _rb, rtail, rexit) = counted_loop(&mut f, r, ROUNDS as i64);
+    let mask32 = 0xffff_ffffi64;
+    // v0 update
+    let mix = |f: &mut FuncBuilder, v: VReg| -> VReg {
+        let a = f.vreg();
+        f.shl(a, Rval::Reg(v), Rval::Imm(4));
+        let b = f.vreg();
+        f.shr(b, Rval::Reg(v), Rval::Imm(5));
+        f.xor(a, Rval::Reg(a), Rval::Reg(b));
+        f.add(a, Rval::Reg(a), Rval::Reg(v));
+        a
+    };
+    let m0 = mix(&mut f, v1);
+    let ki = f.vreg();
+    f.and(ki, Rval::Reg(sum), Rval::Imm(3));
+    let kv = f.load_indexed_u64(bk, ki);
+    let sk = f.vreg();
+    f.add(sk, Rval::Reg(sum), Rval::Reg(kv));
+    f.xor(m0, Rval::Reg(m0), Rval::Reg(sk));
+    f.add(v0, Rval::Reg(v0), Rval::Reg(m0));
+    f.and(v0, Rval::Reg(v0), Rval::Imm(mask32));
+    // sum += delta
+    f.add(sum, Rval::Reg(sum), Rval::Imm(DELTA as i64));
+    f.and(sum, Rval::Reg(sum), Rval::Imm(mask32));
+    // v1 update
+    let m1 = mix(&mut f, v0);
+    let ki2 = f.vreg();
+    f.shr(ki2, Rval::Reg(sum), Rval::Imm(11));
+    f.and(ki2, Rval::Reg(ki2), Rval::Imm(3));
+    let kv2 = f.load_indexed_u64(bk, ki2);
+    let sk2 = f.vreg();
+    f.add(sk2, Rval::Reg(sum), Rval::Reg(kv2));
+    f.xor(m1, Rval::Reg(m1), Rval::Reg(sk2));
+    f.add(v1, Rval::Reg(v1), Rval::Reg(m1));
+    f.and(v1, Rval::Reg(v1), Rval::Imm(mask32));
+    f.jmp(rtail);
+
+    f.switch_to(rexit);
+    let x = f.vreg();
+    f.xor(x, Rval::Reg(v0), Rval::Reg(v1));
+    f.add(out, Rval::Reg(out), Rval::Reg(x));
+    f.and(out, Rval::Reg(out), Rval::Imm(0x3fff_ffff));
+    f.jmp(tail);
+
+    f.switch_to(exit);
+    f.halt(Rval::Reg(out));
+
+    Kernel {
+        name: "nbench/idea",
+        program: f.compile(opts).expect("xtea compiles"),
+        expected: Some(expected),
+        work: XTEA_BLOCKS * ROUNDS,
+    }
+}
+
+/// Neural-net forward pass: fixed-point 2-layer MLP with ReLU.
+pub fn neural(opts: &CompileOpts) -> Kernel {
+    let mut rng = XorShift::new(202);
+    let x: Vec<u64> = (0..NEURAL_IN).map(|_| rng.below(256)).collect();
+    let w1: Vec<u64> = (0..NEURAL_IN * NEURAL_HID)
+        .map(|_| rng.below(64))
+        .collect();
+    let w2: Vec<u64> = (0..NEURAL_HID).map(|_| rng.below(64)).collect();
+    // host: h[j] = relu(Σ x[i]*w1[j*IN+i] - bias) >> 6 ; y = Σ h[j]*w2[j]
+    const BIAS: u64 = 1 << 14;
+    let mut y = 0u64;
+    for j in 0..NEURAL_HID {
+        let mut acc = 0i64;
+        for i in 0..NEURAL_IN {
+            acc += (x[i as usize] * w1[(j * NEURAL_IN + i) as usize]) as i64;
+        }
+        acc -= BIAS as i64;
+        let h = if acc < 0 { 0 } else { (acc >> 6) as u64 };
+        y = y.wrapping_add(h * w2[j as usize]);
+    }
+    let expected = y & 0x3fff_ffff;
+
+    let mut f = FuncBuilder::new("neural");
+    let sx = f.symbol_u64("x", &x);
+    let sw1 = f.symbol_u64("w1", &w1);
+    let sw2 = f.symbol_u64("w2", &w2);
+    let bx = f.addr_of(&sx);
+    let bw1 = f.addr_of(&sw1);
+    let bw2 = f.addr_of(&sw2);
+    let (j, yv) = (f.vreg(), f.vreg());
+    f.li(yv, 0);
+    let (_, _jb, jtail, jexit) = counted_loop(&mut f, j, NEURAL_HID as i64);
+    let (i, acc) = (f.vreg(), f.vreg());
+    f.li(acc, 0);
+    let (_, _ib, itail, iexit) = counted_loop(&mut f, i, NEURAL_IN as i64);
+    let xv = f.load_indexed_u64(bx, i);
+    let wi = f.vreg();
+    f.mul(wi, Rval::Reg(j), Rval::Imm(NEURAL_IN as i64));
+    f.add(wi, Rval::Reg(wi), Rval::Reg(i));
+    let wv = f.load_indexed_u64(bw1, wi);
+    f.mul_acc(acc, xv, wv);
+    f.jmp(itail);
+    f.switch_to(iexit);
+    f.sub(acc, Rval::Reg(acc), Rval::Imm(BIAS as i64));
+    // relu via select: if acc < 0 -> 0
+    let neg = f.vreg();
+    f.slt(neg, Rval::Reg(acc), Rval::Imm(0));
+    f.select_nez(acc, Rval::Imm(0), neg); // acc = 0 when neg != 0
+    f.sar(acc, Rval::Reg(acc), Rval::Imm(6));
+    let w2v = f.load_indexed_u64(bw2, j);
+    f.mul_acc(yv, acc, w2v);
+    f.jmp(jtail);
+    f.switch_to(jexit);
+    f.and(yv, Rval::Reg(yv), Rval::Imm(0x3fff_ffff));
+    f.halt(Rval::Reg(yv));
+
+    Kernel {
+        name: "nbench/neural",
+        program: f.compile(opts).expect("neural compiles"),
+        expected: Some(expected),
+        work: NEURAL_HID * NEURAL_IN,
+    }
+}
+
+/// Fourier: numeric integration of trapezoid rule for Fourier
+/// coefficients of f(x) = (x+1)^x-like series, double precision (asm).
+pub fn fourier() -> Kernel {
+    // Guest computes sum over terms of a cheap pseudo-sine series via
+    // Horner polynomials; host mirrors the exact same arithmetic.
+    let terms = FOURIER_TERMS;
+    // sin(t) ~ t - t^3/6 + t^5/120 on reduced argument
+    fn psin(t: f64) -> f64 {
+        let t2 = t * t;
+        t * (1.0 - t2 / 6.0 + t2 * t2 / 120.0)
+    }
+    let mut acc = 0.0f64;
+    for n in 1..=terms {
+        let t = (n as f64) * 0.1;
+        acc += psin(t) / n as f64;
+    }
+    let expected = acc.to_bits() >> 32; // high word as checksum
+
+    let mut asm = Asm::new();
+    let consts = asm.data_f64(
+        "c",
+        &[0.1, 1.0, 6.0, 120.0, 0.0 /* acc */, 1.0 /* n */],
+    );
+    asm.la(Gpr::S2, consts);
+    let (step, one, six, c120) = (Fpr::new(0), Fpr::new(1), Fpr::new(2), Fpr::new(3));
+    let (acc_f, nf, t, t2, term) = (
+        Fpr::new(4),
+        Fpr::new(5),
+        Fpr::new(6),
+        Fpr::new(7),
+        Fpr::new(8),
+    );
+    asm.fld(step, Gpr::S2, 0);
+    asm.fld(one, Gpr::S2, 8);
+    asm.fld(six, Gpr::S2, 16);
+    asm.fld(c120, Gpr::S2, 24);
+    asm.fld(acc_f, Gpr::S2, 32);
+    asm.fld(nf, Gpr::S2, 40);
+    asm.li(Gpr::S5, terms as i64);
+    let top = asm.here();
+    // t = n * 0.1
+    asm.fmul_d(t, nf, step);
+    // t2 = t*t
+    asm.fmul_d(t2, t, t);
+    // term = 1 - t2/6 + t2*t2/120
+    let tmp = Fpr::new(9);
+    asm.fdiv_d(tmp, t2, six);
+    asm.fsub_d(term, one, tmp);
+    asm.fmul_d(tmp, t2, t2);
+    asm.fdiv_d(tmp, tmp, c120);
+    asm.fadd_d(term, term, tmp);
+    // term *= t ; term /= n ; acc += term
+    asm.fmul_d(term, term, t);
+    asm.fdiv_d(term, term, nf);
+    asm.fadd_d(acc_f, acc_f, term);
+    // n += 1
+    asm.fadd_d(nf, nf, one);
+    asm.addi(Gpr::S5, Gpr::S5, -1);
+    asm.bnez(Gpr::S5, top);
+    // checksum: high 32 bits of acc
+    asm.fmv_x_d(Gpr::A0, acc_f);
+    asm.srli(Gpr::A0, Gpr::A0, 32);
+    asm.halt();
+
+    Kernel {
+        name: "nbench/fourier",
+        program: asm.finish().expect("fourier assembles"),
+        expected: Some(expected),
+        work: terms,
+    }
+}
+
+/// LU decomposition (Doolittle, no pivoting) of a diagonally-dominant
+/// matrix, double precision (asm).
+pub fn lu() -> Kernel {
+    let n = LU_N as usize;
+    let mut rng = XorShift::new(303);
+    let mut a = vec![0.0f64; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = (rng.below(100) as f64) / 10.0;
+        }
+        a[i * n + i] += 100.0; // diagonal dominance
+    }
+    // host LU in place
+    let mut m = a.clone();
+    for k in 0..n {
+        for i in k + 1..n {
+            let f = m[i * n + k] / m[k * n + k];
+            m[i * n + k] = f;
+            for j in k + 1..n {
+                m[i * n + j] -= f * m[k * n + j];
+            }
+        }
+    }
+    let mut trace = 0.0f64;
+    for k in 0..n {
+        trace += m[k * n + k];
+    }
+    let expected = trace.to_bits() >> 32;
+
+    let mut asm = Asm::new();
+    let msym = asm.data_f64("m", &a);
+    asm.la(Gpr::S2, msym);
+    let nn = n as i64;
+    // registers: s3=k, s4=i, s5=j
+    asm.li(Gpr::S3, 0);
+    let kloop = asm.here();
+    // i = k+1
+    asm.addi(Gpr::S4, Gpr::S3, 1);
+    let iloop_chk = asm.new_label();
+    let iloop = asm.new_label();
+    let knext = asm.new_label();
+    asm.bind(iloop_chk).unwrap();
+    asm.li(Gpr::T0, nn);
+    asm.bge(Gpr::S4, Gpr::T0, knext);
+    asm.bind(iloop).unwrap();
+    // f = m[i][k] / m[k][k]
+    // addr(i,k) = base + (i*n + k)*8
+    let addr_of = |asm: &mut Asm, row: Gpr, col: Gpr, dst: Gpr| {
+        asm.li(Gpr::T1, nn);
+        asm.mul(dst, row, Gpr::T1);
+        asm.add(dst, dst, col);
+        asm.slli(dst, dst, 3);
+        asm.add(dst, dst, Gpr::S2);
+    };
+    addr_of(&mut asm, Gpr::S4, Gpr::S3, Gpr::T2);
+    asm.fld(Fpr::new(0), Gpr::T2, 0); // m[i][k]
+    addr_of(&mut asm, Gpr::S3, Gpr::S3, Gpr::T3);
+    asm.fld(Fpr::new(1), Gpr::T3, 0); // m[k][k]
+    asm.fdiv_d(Fpr::new(2), Fpr::new(0), Fpr::new(1)); // f
+    asm.fsd(Fpr::new(2), Gpr::T2, 0);
+    // j loop
+    asm.addi(Gpr::S5, Gpr::S3, 1);
+    let jchk = asm.new_label();
+    let inext = asm.new_label();
+    asm.bind(jchk).unwrap();
+    asm.li(Gpr::T0, nn);
+    asm.bge(Gpr::S5, Gpr::T0, inext);
+    addr_of(&mut asm, Gpr::S4, Gpr::S5, Gpr::T2);
+    asm.fld(Fpr::new(3), Gpr::T2, 0); // m[i][j]
+    addr_of(&mut asm, Gpr::S3, Gpr::S5, Gpr::T3);
+    asm.fld(Fpr::new(4), Gpr::T3, 0); // m[k][j]
+    asm.fmul_d(Fpr::new(4), Fpr::new(4), Fpr::new(2));
+    asm.fsub_d(Fpr::new(3), Fpr::new(3), Fpr::new(4));
+    asm.fsd(Fpr::new(3), Gpr::T2, 0);
+    asm.addi(Gpr::S5, Gpr::S5, 1);
+    asm.jump(jchk);
+    asm.bind(inext).unwrap();
+    asm.addi(Gpr::S4, Gpr::S4, 1);
+    asm.jump(iloop_chk);
+    asm.bind(knext).unwrap();
+    asm.addi(Gpr::S3, Gpr::S3, 1);
+    asm.li(Gpr::T0, nn);
+    asm.blt(Gpr::S3, Gpr::T0, kloop);
+    // trace
+    asm.li(Gpr::S3, 0);
+    asm.fmv_d_x(Fpr::new(5), Gpr::ZERO);
+    let tloop = asm.here();
+    addr_of(&mut asm, Gpr::S3, Gpr::S3, Gpr::T2);
+    asm.fld(Fpr::new(0), Gpr::T2, 0);
+    asm.fadd_d(Fpr::new(5), Fpr::new(5), Fpr::new(0));
+    asm.addi(Gpr::S3, Gpr::S3, 1);
+    asm.li(Gpr::T0, nn);
+    asm.blt(Gpr::S3, Gpr::T0, tloop);
+    asm.fmv_x_d(Gpr::A0, Fpr::new(5));
+    asm.srli(Gpr::A0, Gpr::A0, 32);
+    asm.halt();
+
+    Kernel {
+        name: "nbench/lu",
+        program: asm.finish().expect("lu assembles"),
+        expected: Some(expected),
+        work: LU_N * LU_N * LU_N / 3,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_self_check_native() {
+        for k in all(&CompileOpts::native()) {
+            k.verify(200_000_000);
+        }
+    }
+
+    #[test]
+    fn all_self_check_optimized() {
+        for k in all(&CompileOpts::optimized()) {
+            k.verify(200_000_000);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! SPECInt-class macro workload (§X): "SPECInt2006 uses very large
+//! programs that frequently incur L2 cache misses. It factors in core
+//! performance, cache size, cache miss, DDR latency…". This kernel mix
+//! exercises exactly those factors: a multi-megabyte pointer graph
+//! (L2-miss-heavy), a large sequential scan, and a branchy token loop,
+//! interleaved.
+
+use crate::{Kernel, XorShift};
+use xt_asm::Asm;
+use xt_isa::reg::Gpr;
+
+/// Pointer-graph nodes (x 64 B stride ≈ 4 MiB footprint).
+pub const GRAPH_NODES: u64 = 64 * 1024;
+/// Pointer-chase steps.
+pub const CHASE_STEPS: u64 = 20_000;
+/// Sequential scan length (u64 elements).
+pub const SCAN_ELEMS: u64 = 64 * 1024;
+/// Branchy-loop iterations.
+pub const TOKEN_ITERS: u64 = 10_000;
+
+/// Builds the macro kernel.
+pub fn spec_like() -> Kernel {
+    let mut rng = XorShift::new(707);
+    // random cyclic permutation over the nodes, one node per cache line
+    let n = GRAPH_NODES;
+    let mut perm: Vec<u64> = (1..n).collect();
+    for i in (1..perm.len()).rev() {
+        let j = rng.below(i as u64 + 1) as usize;
+        perm.swap(i, j);
+    }
+    // next[] in units of node index; node k occupies offset k*8 in a
+    // dense u64 array but strided accesses defeat the prefetcher
+    let mut next = vec![0u64; n as usize];
+    let mut cur = 0u64;
+    for &p in &perm {
+        next[cur as usize] = p;
+        cur = p;
+    }
+    next[cur as usize] = 0;
+
+    // host model
+    let mut chase_sum = 0u64;
+    {
+        let mut p = 0u64;
+        for _ in 0..CHASE_STEPS {
+            p = next[p as usize];
+            chase_sum = chase_sum.wrapping_add(p);
+        }
+    }
+    let scan: Vec<u64> = (0..SCAN_ELEMS).map(|_| rng.below(1000)).collect();
+    let scan_sum: u64 = scan.iter().fold(0, |a, &v| a.wrapping_add(v));
+    let mut token_sum = 0u64;
+    {
+        let mut s = 0x1u64;
+        for _ in 0..TOKEN_ITERS {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let b = (s >> 33) & 0xff;
+            token_sum = token_sum.wrapping_add(if b < 64 {
+                b * 3
+            } else if b < 128 {
+                b ^ 0x55
+            } else if b < 192 {
+                b >> 2
+            } else {
+                b + 7
+            });
+        }
+    }
+    let expected = chase_sum
+        .wrapping_add(scan_sum)
+        .wrapping_add(token_sum)
+        & 0x3fff_ffff;
+
+    let mut asm = Asm::new();
+    let g = asm.data_u64("graph", &next);
+    let s = asm.data_u64("scan", &scan);
+
+    // phase 1: pointer chase
+    asm.la(Gpr::S2, g);
+    asm.li(Gpr::S3, CHASE_STEPS as i64);
+    asm.li(Gpr::S4, 0); // p
+    asm.li(Gpr::A1, 0); // chase_sum
+    let chase = asm.here();
+    asm.slli(Gpr::T0, Gpr::S4, 3);
+    asm.add(Gpr::T0, Gpr::S2, Gpr::T0);
+    asm.ld(Gpr::S4, Gpr::T0, 0);
+    asm.add(Gpr::A1, Gpr::A1, Gpr::S4);
+    asm.addi(Gpr::S3, Gpr::S3, -1);
+    asm.bnez(Gpr::S3, chase);
+
+    // phase 2: sequential scan
+    asm.la(Gpr::S2, s);
+    asm.li(Gpr::S3, SCAN_ELEMS as i64);
+    asm.li(Gpr::A2, 0);
+    let scan_l = asm.here();
+    asm.ld(Gpr::T0, Gpr::S2, 0);
+    asm.add(Gpr::A2, Gpr::A2, Gpr::T0);
+    asm.addi(Gpr::S2, Gpr::S2, 8);
+    asm.addi(Gpr::S3, Gpr::S3, -1);
+    asm.bnez(Gpr::S3, scan_l);
+
+    // phase 3: branchy token classification (LCG-driven)
+    asm.li(Gpr::S3, TOKEN_ITERS as i64);
+    asm.li(Gpr::S4, 1); // s
+    asm.li(Gpr::A3, 0); // token_sum
+    asm.li(Gpr::S5, 6364136223846793005u64 as i64);
+    asm.li(Gpr::S6, 1442695040888963407u64 as i64);
+    let tok = asm.here();
+    asm.mul(Gpr::S4, Gpr::S4, Gpr::S5);
+    asm.add(Gpr::S4, Gpr::S4, Gpr::S6);
+    asm.srli(Gpr::T0, Gpr::S4, 33);
+    asm.andi(Gpr::T0, Gpr::T0, 0xff);
+    // if b < 64 -> b*3
+    let c1 = asm.new_label();
+    let c2 = asm.new_label();
+    let c3 = asm.new_label();
+    let joined = asm.new_label();
+    asm.li(Gpr::T1, 64);
+    asm.bge(Gpr::T0, Gpr::T1, c1);
+    asm.li(Gpr::T2, 3);
+    asm.mul(Gpr::T2, Gpr::T0, Gpr::T2);
+    asm.jump(joined);
+    asm.bind(c1).unwrap();
+    asm.li(Gpr::T1, 128);
+    asm.bge(Gpr::T0, Gpr::T1, c2);
+    asm.xori(Gpr::T2, Gpr::T0, 0x55);
+    asm.jump(joined);
+    asm.bind(c2).unwrap();
+    asm.li(Gpr::T1, 192);
+    asm.bge(Gpr::T0, Gpr::T1, c3);
+    asm.srli(Gpr::T2, Gpr::T0, 2);
+    asm.jump(joined);
+    asm.bind(c3).unwrap();
+    asm.addi(Gpr::T2, Gpr::T0, 7);
+    asm.bind(joined).unwrap();
+    asm.add(Gpr::A3, Gpr::A3, Gpr::T2);
+    asm.addi(Gpr::S3, Gpr::S3, -1);
+    asm.bnez(Gpr::S3, tok);
+
+    // fold
+    asm.add(Gpr::A0, Gpr::A1, Gpr::A2);
+    asm.add(Gpr::A0, Gpr::A0, Gpr::A3);
+    asm.li(Gpr::T0, 0x3fff_ffff);
+    asm.and_(Gpr::A0, Gpr::A0, Gpr::T0);
+    asm.halt();
+
+    Kernel {
+        name: "spec-like",
+        program: asm.finish().expect("spec-like assembles"),
+        expected: Some(expected),
+        work: CHASE_STEPS + SCAN_ELEMS + TOKEN_ITERS,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_checks() {
+        spec_like().verify(50_000_000);
+    }
+
+    #[test]
+    fn footprint_exceeds_l1() {
+        let k = spec_like();
+        assert!(k.program.data.len() > 512 * 1024, "multi-hundred-KiB footprint");
+    }
+}

@@ -1,0 +1,144 @@
+//! STREAM (Fig. 21): copy / scale / add / triad over arrays much larger
+//! than the L1, the memory-bandwidth workload for the prefetch study.
+//!
+//! Written directly in assembly so the loop bodies match the canonical
+//! STREAM shape (sequential unit-stride doubles).
+
+use crate::Kernel;
+use xt_asm::{Asm, Program};
+use xt_isa::reg::{Fpr, Gpr};
+
+/// Elements per array (doubles). 32 Ki elements = 256 KiB per array, so
+/// the three arrays overflow the L1 (and a small L2) by design.
+pub const STREAM_ELEMS: u64 = 32 * 1024;
+
+/// Builds the four-kernel STREAM pass. The exit code is a checksum of
+/// `a[7]` after the final triad, validated on the host.
+pub fn stream(elems: u64) -> Kernel {
+    let scalar = 3.0f64;
+    // host model
+    let mut a: Vec<f64> = (0..elems).map(|k| 1.0 + (k % 7) as f64).collect();
+    let mut b: Vec<f64> = vec![2.0; elems as usize];
+    let mut c: Vec<f64> = vec![0.0; elems as usize];
+    for i in 0..elems as usize {
+        c[i] = a[i]; // copy
+    }
+    for i in 0..elems as usize {
+        b[i] = scalar * c[i]; // scale
+    }
+    for i in 0..elems as usize {
+        c[i] = a[i] + b[i]; // add
+    }
+    for i in 0..elems as usize {
+        a[i] = b[i] + scalar * c[i]; // triad
+    }
+    let expected = a[7].to_bits() & 0xffff_ffff;
+
+    let program = build(elems, scalar);
+    Kernel {
+        name: "stream",
+        program,
+        expected: Some(expected),
+        work: elems * 4,
+    }
+}
+
+fn build(elems: u64, scalar: f64) -> Program {
+    let mut asm = Asm::new();
+    let init: Vec<f64> = (0..elems).map(|k| 1.0 + (k % 7) as f64).collect();
+    let a = asm.data_f64("a", &init);
+    let b = asm.data_f64("b", &vec![2.0f64; elems as usize]);
+    let c = asm.data_zeros("c", (elems * 8) as usize);
+    let scal = asm.data_f64("scalar", &[scalar]);
+
+    let fs = Fpr::new(0); // scalar
+    let ft = Fpr::new(1);
+    let fu = Fpr::new(2);
+    asm.la(Gpr::T0, scal);
+    asm.fld(fs, Gpr::T0, 0);
+
+    // copy: c[i] = a[i]
+    asm.la(Gpr::S2, a);
+    asm.la(Gpr::S4, c);
+    asm.li(Gpr::S5, elems as i64);
+    let copy = asm.here();
+    asm.fld(ft, Gpr::S2, 0);
+    asm.fsd(ft, Gpr::S4, 0);
+    asm.addi(Gpr::S2, Gpr::S2, 8);
+    asm.addi(Gpr::S4, Gpr::S4, 8);
+    asm.addi(Gpr::S5, Gpr::S5, -1);
+    asm.bnez(Gpr::S5, copy);
+
+    // scale: b[i] = s * c[i]
+    asm.la(Gpr::S3, b);
+    asm.la(Gpr::S4, c);
+    asm.li(Gpr::S5, elems as i64);
+    let scale = asm.here();
+    asm.fld(ft, Gpr::S4, 0);
+    asm.fmul_d(ft, ft, fs);
+    asm.fsd(ft, Gpr::S3, 0);
+    asm.addi(Gpr::S3, Gpr::S3, 8);
+    asm.addi(Gpr::S4, Gpr::S4, 8);
+    asm.addi(Gpr::S5, Gpr::S5, -1);
+    asm.bnez(Gpr::S5, scale);
+
+    // add: c[i] = a[i] + b[i]
+    asm.la(Gpr::S2, a);
+    asm.la(Gpr::S3, b);
+    asm.la(Gpr::S4, c);
+    asm.li(Gpr::S5, elems as i64);
+    let add = asm.here();
+    asm.fld(ft, Gpr::S2, 0);
+    asm.fld(fu, Gpr::S3, 0);
+    asm.fadd_d(ft, ft, fu);
+    asm.fsd(ft, Gpr::S4, 0);
+    asm.addi(Gpr::S2, Gpr::S2, 8);
+    asm.addi(Gpr::S3, Gpr::S3, 8);
+    asm.addi(Gpr::S4, Gpr::S4, 8);
+    asm.addi(Gpr::S5, Gpr::S5, -1);
+    asm.bnez(Gpr::S5, add);
+
+    // triad: a[i] = b[i] + s * c[i]
+    asm.la(Gpr::S2, a);
+    asm.la(Gpr::S3, b);
+    asm.la(Gpr::S4, c);
+    asm.li(Gpr::S5, elems as i64);
+    let triad = asm.here();
+    asm.fld(ft, Gpr::S4, 0);
+    asm.fmul_d(ft, ft, fs);
+    asm.fld(fu, Gpr::S3, 0);
+    asm.fadd_d(ft, ft, fu);
+    asm.fsd(ft, Gpr::S2, 0);
+    asm.addi(Gpr::S2, Gpr::S2, 8);
+    asm.addi(Gpr::S3, Gpr::S3, 8);
+    asm.addi(Gpr::S4, Gpr::S4, 8);
+    asm.addi(Gpr::S5, Gpr::S5, -1);
+    asm.bnez(Gpr::S5, triad);
+
+    // checksum: low 32 bits of a[7]
+    asm.la(Gpr::S2, a);
+    asm.ld(Gpr::A0, Gpr::S2, 7 * 8);
+    asm.slli(Gpr::A0, Gpr::A0, 32);
+    asm.srli(Gpr::A0, Gpr::A0, 32);
+    asm.halt();
+    asm.finish().expect("stream assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_self_checks() {
+        // a reduced size keeps the functional run quick
+        stream(2048).verify(10_000_000);
+    }
+
+    #[test]
+    fn full_size_overflows_l1() {
+        let k = stream(STREAM_ELEMS);
+        // three arrays x 256 KiB each >> 64 KiB L1
+        assert!(k.work >= 4 * 32 * 1024);
+        assert!(k.program.data.len() as u64 >= 3 * STREAM_ELEMS * 8);
+    }
+}

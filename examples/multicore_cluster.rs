@@ -1,0 +1,84 @@
+//! Multi-core cluster demo (paper Fig. 2/§VI): four cores sharing the
+//! inclusive MOSEI L2, on private working sets and on a contended
+//! atomic counter, with snoop-filter statistics.
+//!
+//! ```sh
+//! cargo run --release --example multicore_cluster
+//! ```
+
+use xt_asm::{Asm, Program};
+use xt_core::CoreConfig;
+use xt_isa::reg::Gpr;
+use xt_mem::MemConfig;
+use xt_soc::ClusterSim;
+
+fn private_kernel(id: u64) -> Program {
+    let mut a = Asm::new().with_data_base(0x8200_0000 + id * 0x0100_0000);
+    let buf = a.data_zeros("buf", 128 * 1024);
+    a.la(Gpr::A1, buf);
+    a.li(Gpr::A2, (128 * 1024 / 8) as i64);
+    let top = a.here();
+    a.ld(Gpr::A4, Gpr::A1, 0);
+    a.add(Gpr::A5, Gpr::A5, Gpr::A4);
+    a.addi(Gpr::A1, Gpr::A1, 8);
+    a.addi(Gpr::A2, Gpr::A2, -1);
+    a.bnez(Gpr::A2, top);
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn contended_kernel() -> Program {
+    let mut a = Asm::new();
+    let cell = a.data_u64("counter", &[0]);
+    a.la(Gpr::A1, cell);
+    a.li(Gpr::A2, 2_000);
+    a.li(Gpr::A3, 1);
+    let top = a.here();
+    a.amoadd_d(Gpr::A4, Gpr::A3, Gpr::A1);
+    a.addi(Gpr::A2, Gpr::A2, -1);
+    a.bnez(Gpr::A2, top);
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn run(name: &str, progs: Vec<Program>) {
+    let mem = MemConfig {
+        cores: progs.len(),
+        ..MemConfig::default()
+    };
+    let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mem, 100_000_000).run();
+    println!("-- {name} ({} cores) --", r.cores.len());
+    println!(
+        "  makespan {} cycles, aggregate IPC {:.2}",
+        r.makespan(),
+        r.throughput_ipc()
+    );
+    println!(
+        "  snoops: {} filtered / {} sent, {} cache-to-cache transfers",
+        r.mem.snoops_filtered, r.mem.snoops_sent, r.mem.c2c_transfers
+    );
+    for (i, c) in r.cores.iter().enumerate() {
+        println!(
+            "  core {i}: {} insts, IPC {:.2}, branch acc {:.1}%",
+            c.instructions,
+            c.ipc(),
+            c.branch_accuracy() * 100.0
+        );
+    }
+    println!();
+}
+
+fn main() {
+    for n in [1usize, 2, 4] {
+        run(
+            "private working sets",
+            (0..n as u64).map(private_kernel).collect(),
+        );
+    }
+    run(
+        "contended atomic counter",
+        (0..4).map(|_| contended_kernel()).collect(),
+    );
+    println!("note: private sets scale nearly linearly; the contended");
+    println!("counter ping-pongs one line between all four L1s (MOSEI).");
+}

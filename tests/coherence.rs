@@ -1,0 +1,113 @@
+//! Multi-core coherence integration (paper §VI): MOSEI transitions,
+//! snoop-filter behaviour, inclusive back-invalidation, and TLB
+//! broadcast maintenance across a 4-core cluster.
+
+use xt_mem::{LineState, MemConfig, MemSystem, PrefetchConfig};
+
+fn sys() -> MemSystem {
+    MemSystem::new(MemConfig {
+        cores: 4,
+        prefetch: PrefetchConfig::off(),
+        ..MemConfig::default()
+    })
+}
+
+#[test]
+fn mosei_state_walk() {
+    let mut m = sys();
+    let a = 0x9000_0000u64;
+    // E on first read
+    let t = m.dload(0, 0, a, a);
+    assert_eq!(m.l1d(0).state_of(a), LineState::Exclusive);
+    // E -> M on own store (silent upgrade)
+    let t = m.dstore(0, t, a, a);
+    assert_eq!(m.l1d(0).state_of(a), LineState::Modified);
+    // M -> O on another core's read; reader gets S
+    let t = m.dload(1, t, a, a);
+    assert_eq!(m.l1d(0).state_of(a), LineState::Owned);
+    assert_eq!(m.l1d(1).state_of(a), LineState::Shared);
+    // third reader also S, owner stays O
+    let t = m.dload(2, t, a, a);
+    assert_eq!(m.l1d(0).state_of(a), LineState::Owned);
+    assert_eq!(m.l1d(2).state_of(a), LineState::Shared);
+    // write from core 3 invalidates everyone else
+    let _ = m.dstore(3, t, a, a);
+    assert_eq!(m.l1d(3).state_of(a), LineState::Modified);
+    for c in 0..3 {
+        assert_eq!(m.l1d(c).state_of(a), LineState::Invalid, "core {c}");
+    }
+    let s = m.stats();
+    assert!(s.c2c_transfers >= 2);
+}
+
+#[test]
+fn reads_of_clean_shared_lines_are_cheap() {
+    let mut m = sys();
+    let a = 0x9100_0000u64;
+    let t0 = m.dload(0, 0, a, a); // cold: DRAM
+    let t1 = m.dload(1, t0, a, a); // L2 hit + sharing
+    assert!(t1 - t0 < 100, "second reader stays on-chip (L2 + TLB walk, no DRAM): {}", t1 - t0);
+}
+
+#[test]
+fn store_to_shared_needs_upgrade_cost() {
+    let mut m = sys();
+    let a = 0x9200_0000u64;
+    let t = m.dload(0, 0, a, a);
+    let t = m.dload(1, t, a, a);
+    // both Shared now; a store must invalidate the other copy
+    let before = m.stats().snoops_sent;
+    let _ = m.dstore(0, t, a, a);
+    assert_eq!(m.l1d(1).state_of(a), LineState::Invalid);
+    assert!(m.stats().snoops_sent > before);
+}
+
+#[test]
+fn dcache_flush_then_reload() {
+    let mut m = sys();
+    let a = 0x9300_0000u64;
+    let t = m.dstore(0, 0, a, a);
+    m.dcache_flush_all(0);
+    assert_eq!(m.l1d(0).state_of(a), LineState::Invalid);
+    // reload works and is served on-chip (L2 kept the line)
+    let t2 = m.dload(0, t + 10, a, a);
+    assert!(t2 - (t + 10) < 60, "L2 serves after L1 flush");
+}
+
+#[test]
+fn tlb_broadcast_is_cluster_wide() {
+    let mut m = sys();
+    let va = 0xA000_0000u64;
+    for c in 0..4 {
+        let _ = m.dload(c, 0, va, va);
+    }
+    let walks_before = m.stats().total_walks();
+    assert_eq!(walks_before, 4);
+    // all cores re-touch: TLB hits, no new walks
+    for c in 0..4 {
+        let _ = m.dload(c, 1000, va, va);
+    }
+    assert_eq!(m.stats().total_walks(), 4);
+    // hardware broadcast invalidation (§V-E, no IPIs)
+    m.tlb_broadcast_invalidate(va, 0);
+    for c in 0..4 {
+        let _ = m.dload(c, 2000, va, va);
+    }
+    assert_eq!(m.stats().total_walks(), 8, "every core re-walked");
+}
+
+#[test]
+fn snoop_filter_saves_probes_for_private_data() {
+    let mut m = sys();
+    let mut t = 0;
+    for c in 0..4usize {
+        for k in 0..256u64 {
+            let a = 0xB000_0000 + (c as u64) * 0x0100_0000 + k * 64;
+            t = m.dload(c, t, a, a);
+            t = m.dstore(c, t, a, a);
+        }
+    }
+    let s = m.stats();
+    assert_eq!(s.snoops_sent, 0, "private traffic fully filtered");
+    assert!(s.snoops_filtered > 500);
+}

@@ -1,0 +1,175 @@
+//! Differential fuzzing: randomly generated (but always-terminating)
+//! guest programs must produce identical results on the functional
+//! emulator and through both timing models, with sane cycle counts.
+
+use proptest::prelude::*;
+use xt_asm::Asm;
+use xt_core::{run_inorder, run_ooo, CoreConfig};
+use xt_emu::Emulator;
+use xt_isa::reg::Gpr;
+
+/// One random straight-line operation on the a1-a5 register pool.
+#[derive(Clone, Copy, Debug)]
+enum RandOp {
+    Add(u8, u8, u8),
+    Sub(u8, u8, u8),
+    Mul(u8, u8, u8),
+    Xor(u8, u8, u8),
+    Sll(u8, u8, u8),
+    Srl(u8, u8, u8),
+    AddI(u8, u8, i16),
+    Store(u8, u8),
+    Load(u8, u8),
+    Mac(u8, u8, u8),
+    Ext(u8, u8, u8, u8),
+    CondMove(u8, u8, u8),
+}
+
+const POOL: [Gpr; 5] = [Gpr::A1, Gpr::A2, Gpr::A3, Gpr::A4, Gpr::A5];
+
+fn rand_op() -> impl Strategy<Value = RandOp> {
+    let r = 0u8..POOL.len() as u8;
+    prop_oneof![
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Add(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Sub(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Mul(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Xor(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Sll(a, b, c)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Srl(a, b, c)),
+        (r.clone(), r.clone(), -500i16..500).prop_map(|(a, b, i)| RandOp::AddI(a, b, i)),
+        (r.clone(), 0u8..8).prop_map(|(a, s)| RandOp::Store(a, s)),
+        (r.clone(), 0u8..8).prop_map(|(a, s)| RandOp::Load(a, s)),
+        (r.clone(), r.clone(), r.clone()).prop_map(|(a, b, c)| RandOp::Mac(a, b, c)),
+        (r.clone(), r.clone(), 0u8..64, 0u8..64).prop_map(|(a, b, m, l)| RandOp::Ext(a, b, m, l)),
+        (r.clone(), r.clone(), r).prop_map(|(a, b, c)| RandOp::CondMove(a, b, c)),
+    ]
+}
+
+fn build(seeds: &[i64; 5], body: &[RandOp], iters: u8) -> xt_asm::Program {
+    let mut a = Asm::new();
+    let buf = a.data_zeros("scratch", 64);
+    a.la(Gpr::S2, buf);
+    for (k, s) in seeds.iter().enumerate() {
+        a.li(POOL[k], *s);
+    }
+    a.li(Gpr::S1, iters as i64 + 1);
+    let top = a.here();
+    for op in body {
+        match *op {
+            RandOp::Add(d, x, y) => {
+                a.add(POOL[d as usize], POOL[x as usize], POOL[y as usize]);
+            }
+            RandOp::Sub(d, x, y) => {
+                a.sub(POOL[d as usize], POOL[x as usize], POOL[y as usize]);
+            }
+            RandOp::Mul(d, x, y) => {
+                a.mul(POOL[d as usize], POOL[x as usize], POOL[y as usize]);
+            }
+            RandOp::Xor(d, x, y) => {
+                a.xor_(POOL[d as usize], POOL[x as usize], POOL[y as usize]);
+            }
+            RandOp::Sll(d, x, y) => {
+                // mask the shift through a scratch register
+                a.andi(Gpr::T0, POOL[y as usize], 63);
+                a.sll(POOL[d as usize], POOL[x as usize], Gpr::T0);
+            }
+            RandOp::Srl(d, x, y) => {
+                a.andi(Gpr::T0, POOL[y as usize], 63);
+                a.srl(POOL[d as usize], POOL[x as usize], Gpr::T0);
+            }
+            RandOp::AddI(d, x, i) => {
+                a.addi(POOL[d as usize], POOL[x as usize], i as i64);
+            }
+            RandOp::Store(x, slot) => {
+                a.sd(POOL[x as usize], Gpr::S2, slot as i64 * 8);
+            }
+            RandOp::Load(d, slot) => {
+                a.ld(POOL[d as usize], Gpr::S2, slot as i64 * 8);
+            }
+            RandOp::Mac(d, x, y) => {
+                a.xmula(POOL[d as usize], POOL[x as usize], POOL[y as usize]);
+            }
+            RandOp::Ext(d, x, m, l) => {
+                let (hi, lo) = (m.max(l) as u32, m.min(l) as u32);
+                a.xextu(POOL[d as usize], POOL[x as usize], hi, lo);
+            }
+            RandOp::CondMove(d, x, t) => {
+                a.xmveqz(POOL[d as usize], POOL[x as usize], POOL[t as usize]);
+            }
+        }
+    }
+    a.addi(Gpr::S1, Gpr::S1, -1);
+    a.bnez(Gpr::S1, top);
+    // fold the pool into the exit code
+    a.mv(Gpr::A0, POOL[0]);
+    for r in &POOL[1..] {
+        a.xor_(Gpr::A0, Gpr::A0, *r);
+    }
+    a.slli(Gpr::A0, Gpr::A0, 32);
+    a.srli(Gpr::A0, Gpr::A0, 32);
+    a.halt();
+    a.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn emulator_and_timing_models_agree(
+        seeds in [any::<i32>(); 5],
+        body in prop::collection::vec(rand_op(), 1..24),
+        iters in 1u8..12,
+    ) {
+        let seeds = [
+            seeds[0] as i64, seeds[1] as i64, seeds[2] as i64,
+            seeds[3] as i64, seeds[4] as i64,
+        ];
+        let prog = build(&seeds, &body, iters);
+
+        let mut emu = Emulator::new();
+        emu.load(&prog);
+        let functional = emu.run(5_000_000).expect("fuzz program terminates");
+
+        let ooo = run_ooo(&prog, &CoreConfig::xt910(), 5_000_000);
+        prop_assert_eq!(ooo.exit_code, Some(functional), "ooo agrees");
+
+        let ino = run_inorder(&prog, &CoreConfig::u74_like(), 5_000_000);
+        prop_assert_eq!(ino.exit_code, Some(functional), "inorder agrees");
+
+        // cycle sanity: both models retire every instruction, and cannot
+        // average below their theoretical per-cycle peaks
+        prop_assert_eq!(ooo.perf.instructions, ino.perf.instructions);
+        prop_assert!(ooo.perf.ipc() <= 3.0 + 1e-9, "3-wide decode bound");
+        prop_assert!(ino.perf.ipc() <= 2.0 + 1e-9, "dual-issue bound");
+        prop_assert!(ooo.perf.cycles > 0 && ino.perf.cycles > 0);
+    }
+
+    #[test]
+    fn ablation_configs_preserve_correctness(
+        seeds in [any::<i32>(); 5],
+        body in prop::collection::vec(rand_op(), 1..16),
+    ) {
+        let seeds = [
+            seeds[0] as i64, seeds[1] as i64, seeds[2] as i64,
+            seeds[3] as i64, seeds[4] as i64,
+        ];
+        let prog = build(&seeds, &body, 6);
+        let mut emu = Emulator::new();
+        emu.load(&prog);
+        let functional = emu.run(5_000_000).unwrap();
+
+        // every ablation switch must leave results identical (timing-only)
+        for flip in 0..5 {
+            let mut cfg = CoreConfig::xt910();
+            match flip {
+                0 => cfg.loop_buffer = false,
+                1 => cfg.l0_btb = false,
+                2 => cfg.two_level_buf = false,
+                3 => cfg.split_stores = false,
+                _ => cfg.mem_dep_predict = false,
+            }
+            let r = run_ooo(&prog, &cfg, 5_000_000);
+            prop_assert_eq!(r.exit_code, Some(functional), "flip {}", flip);
+        }
+    }
+}
