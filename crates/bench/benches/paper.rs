@@ -1,29 +1,30 @@
-//! Criterion benches — one group per paper table/figure.
+//! Timing benches — one group per paper table/figure.
 //!
 //! Each bench runs a scaled-down version of the corresponding experiment
 //! so `cargo bench` completes in minutes; the `figures` binary runs the
 //! full-size reproduction and prints the paper-side-by-side numbers
-//! (EXPERIMENTS.md records those). Criterion here tracks the simulator's
-//! own performance per experiment and guards against regressions in the
-//! harness.
+//! (EXPERIMENTS.md records those). The harness here tracks the
+//! simulator's own host-side performance per experiment; it runs on the
+//! in-tree `xt_harness::bench` timer so the workspace stays
+//! dependency-free (criterion is not available offline).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use xt_harness::bench::Group;
 use xt_compiler::CompileOpts;
 use xt_core::{run_inorder, run_ooo, run_ooo_with_mem, CoreConfig};
 use xt_mem::{MemConfig, PrefetchConfig};
 use xt_workloads::{ai, blockchain, coremark, eembc, nbench, stream};
 
-fn quick(c: &mut Criterion, name: &str, mut f: impl FnMut() -> u64) {
-    let mut g = c.benchmark_group(name);
+fn quick(name: &str, mut f: impl FnMut() -> u64) {
+    let mut g = Group::new(name);
     g.sample_size(10);
-    g.bench_function("run", |b| b.iter(|| black_box(f())));
+    g.bench_function("run", || black_box(f()));
     g.finish();
 }
 
 /// Table I: configuration-space instantiation.
-fn table1(c: &mut Criterion) {
-    quick(c, "table1_configs", || {
+fn table1() {
+    quick("table1_configs", || {
         let mut n = 0;
         for cores in [1usize, 2, 4] {
             let cfg = MemConfig {
@@ -39,16 +40,16 @@ fn table1(c: &mut Criterion) {
 }
 
 /// Table II: the analytical PPA model.
-fn table2(c: &mut Criterion) {
-    quick(c, "table2_ppa_model", || {
+fn table2() {
+    quick("table2_ppa_model", || {
         xt_uarch_model::table2().len() as u64
     });
 }
 
 /// Fig. 17: CoreMark-class kernel on both machines.
-fn fig17(c: &mut Criterion) {
+fn fig17() {
     let k = coremark::crc(&CompileOpts::optimized());
-    quick(c, "fig17_coremark_crc", || {
+    quick("fig17_coremark_crc", || {
         let xt = run_ooo(&k.program, &CoreConfig::xt910(), 50_000_000);
         let u74 = run_inorder(&k.program, &CoreConfig::u74_like(), 50_000_000);
         xt.perf.cycles + u74.perf.cycles
@@ -56,9 +57,9 @@ fn fig17(c: &mut Criterion) {
 }
 
 /// Fig. 18: an EEMBC-class kernel vs the A73-class reference.
-fn fig18(c: &mut Criterion) {
+fn fig18() {
     let k = eembc::rgbcmyk(&CompileOpts::optimized());
-    quick(c, "fig18_eembc_rgbcmyk", || {
+    quick("fig18_eembc_rgbcmyk", || {
         let xt = run_ooo(&k.program, &CoreConfig::xt910(), 50_000_000);
         let a73 = run_ooo(&k.program, &CoreConfig::a73_like(), 50_000_000);
         xt.perf.cycles + a73.perf.cycles
@@ -66,9 +67,9 @@ fn fig18(c: &mut Criterion) {
 }
 
 /// Fig. 19: an NBench-class kernel vs the A73-class reference.
-fn fig19(c: &mut Criterion) {
+fn fig19() {
     let k = nbench::bitfield(&CompileOpts::optimized());
-    quick(c, "fig19_nbench_bitfield", || {
+    quick("fig19_nbench_bitfield", || {
         let xt = run_ooo(&k.program, &CoreConfig::xt910(), 50_000_000);
         let a73 = run_ooo(&k.program, &CoreConfig::a73_like(), 50_000_000);
         xt.perf.cycles + a73.perf.cycles
@@ -76,10 +77,10 @@ fn fig19(c: &mut Criterion) {
 }
 
 /// Fig. 20: toolchain toggle on one kernel.
-fn fig20(c: &mut Criterion) {
+fn fig20() {
     let native = eembc::fir(&CompileOpts::native());
     let opt = eembc::fir(&CompileOpts::optimized());
-    quick(c, "fig20_toolchain_fir", || {
+    quick("fig20_toolchain_fir", || {
         let n = run_ooo(&native.program, &CoreConfig::xt910(), 50_000_000);
         let o = run_ooo(&opt.program, &CoreConfig::xt910(), 50_000_000);
         n.perf.cycles + o.perf.cycles
@@ -87,9 +88,9 @@ fn fig20(c: &mut Criterion) {
 }
 
 /// Fig. 21: STREAM prefetch on/off (reduced array size).
-fn fig21(c: &mut Criterion) {
+fn fig21() {
     let k = stream::stream(8 * 1024);
-    quick(c, "fig21_stream_prefetch", || {
+    quick("fig21_stream_prefetch", || {
         let mut total = 0;
         for pf in [PrefetchConfig::off(), PrefetchConfig::all_large()] {
             let mem = MemConfig {
@@ -108,31 +109,29 @@ fn fig21(c: &mut Criterion) {
 }
 
 /// §X vector MACs.
-fn vector_mac(c: &mut Criterion) {
+fn vector_mac() {
     let v = ai::dot_vector();
-    quick(c, "vector_mac_dot", || {
+    quick("vector_mac_dot", || {
         run_ooo(&v.program, &CoreConfig::xt910(), 50_000_000).perf.cycles
     });
 }
 
 /// §I blockchain kernel.
-fn blockchain_bench(c: &mut Criterion) {
+fn blockchain_bench() {
     let k = blockchain::hash_verify(true);
-    quick(c, "blockchain_hash_ext", || {
+    quick("blockchain_hash_ext", || {
         run_ooo(&k.program, &CoreConfig::xt910(), 50_000_000).perf.cycles
     });
 }
 
-criterion_group!(
-    paper,
-    table1,
-    table2,
-    fig17,
-    fig18,
-    fig19,
-    fig20,
-    fig21,
-    vector_mac,
-    blockchain_bench
-);
-criterion_main!(paper);
+fn main() {
+    table1();
+    table2();
+    fig17();
+    fig18();
+    fig19();
+    fig20();
+    fig21();
+    vector_mac();
+    blockchain_bench();
+}

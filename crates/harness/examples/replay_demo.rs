@@ -1,0 +1,38 @@
+//! Demonstrates the failure/shrink/replay workflow end to end.
+//!
+//! ```sh
+//! cargo run -p xt-harness --example replay_demo            # passing property
+//! cargo run -p xt-harness --example replay_demo -- fail    # watch a failure shrink
+//! XT_HARNESS_SEED=0xabc cargo run -p xt-harness --example replay_demo -- fail
+//! ```
+
+use xt_harness::gen;
+use xt_harness::prop::{check, Config};
+use xt_harness::Rng;
+
+fn main() {
+    let fail = std::env::args().nth(1).as_deref() == Some("fail");
+
+    // The deterministic PRNG: same seed, same stream.
+    let mut rng = Rng::new(42);
+    println!("Rng::new(42) first draws: {:#x}, {:#x}", rng.next_u64(), rng.next_u64());
+    println!("effective config: {:?}", Config::default());
+
+    if fail {
+        // A property that is wrong for large vectors: the runner finds a
+        // counterexample, shrinks it to minimal form, prints the seed,
+        // and panics.
+        let g = gen::vec_of(gen::ints(0u32..1000), 1..40);
+        check("demo_sum_below_1500", &g, |v| {
+            let sum: u32 = v.iter().sum();
+            assert!(sum < 1500, "sum {sum} of {} elems", v.len());
+        });
+    } else {
+        // A true property: addition over the emulated domain commutes.
+        let g = (gen::any::<i64>(), gen::any::<i64>());
+        check("add_commutes", &g, |&(a, b)| {
+            assert_eq!(a.wrapping_add(b), b.wrapping_add(a));
+        });
+        println!("add_commutes: {} cases passed", Config::default().cases);
+    }
+}

@@ -1,0 +1,140 @@
+//! Minimal wall-clock bench harness — enough of criterion's surface
+//! for the paper benches to compile, smoke-run, and print comparable
+//! per-iteration timings with zero dependencies.
+//!
+//! Not a statistics engine: it reports min/median/mean over a small
+//! fixed sample count. The workspace's *guest-cycle* numbers (what the
+//! paper tables actually compare) come from the simulator itself and
+//! are deterministic; this module only tracks the simulator's own host
+//! runtime.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Timing summary for one benchmark.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark name.
+    pub name: String,
+    /// Timed iterations.
+    pub iters: u32,
+    /// Fastest iteration.
+    pub min: Duration,
+    /// Median iteration.
+    pub median: Duration,
+    /// Mean iteration.
+    pub mean: Duration,
+}
+
+impl Sample {
+    fn fmt_dur(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns >= 1_000_000_000 {
+            format!("{:.3} s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            format!("{:.3} ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            format!("{:.3} us", ns as f64 / 1e3)
+        } else {
+            format!("{ns} ns")
+        }
+    }
+}
+
+impl std::fmt::Display for Sample {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<28} min {:>12}  median {:>12}  mean {:>12}  ({} iters)",
+            self.name,
+            Sample::fmt_dur(self.min),
+            Sample::fmt_dur(self.median),
+            Sample::fmt_dur(self.mean),
+            self.iters
+        )
+    }
+}
+
+/// A named group of benchmarks (criterion's `benchmark_group` shape).
+pub struct Group {
+    name: String,
+    samples: u32,
+    results: Vec<Sample>,
+}
+
+impl Group {
+    /// Creates a group with a default of 10 timed iterations per bench.
+    pub fn new(name: &str) -> Self {
+        Group {
+            name: name.to_string(),
+            samples: 10,
+            results: Vec::new(),
+        }
+    }
+
+    /// Sets the timed iteration count.
+    pub fn sample_size(&mut self, n: u32) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `f` for the configured number of iterations (plus one
+    /// untimed warm-up) and records the summary. The closure's result
+    /// is passed through [`black_box`] so the work is not optimized out.
+    pub fn bench_function<R>(&mut self, id: &str, mut f: impl FnMut() -> R) -> &mut Self {
+        black_box(f()); // warm-up
+        let mut times = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        let total: Duration = times.iter().sum();
+        let s = Sample {
+            name: format!("{}/{id}", self.name),
+            iters: self.samples,
+            min: times[0],
+            median: times[times.len() / 2],
+            mean: total / self.samples,
+        };
+        println!("{s}");
+        self.results.push(s);
+        self
+    }
+
+    /// Finishes the group, returning all recorded samples.
+    pub fn finish(self) -> Vec<Sample> {
+        self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_times_and_reports() {
+        let mut g = Group::new("smoke");
+        g.sample_size(3);
+        let mut calls = 0u64;
+        g.bench_function("count", || {
+            calls += 1;
+            std::hint::black_box(calls)
+        });
+        let rs = g.finish();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(calls, 4, "warm-up + 3 timed");
+        assert_eq!(rs[0].iters, 3);
+        assert!(rs[0].min <= rs[0].median && rs[0].median <= rs[0].mean * 2);
+        assert!(rs[0].name.contains("smoke/count"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(Sample::fmt_dur(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(Sample::fmt_dur(Duration::from_micros(3)), "3.000 us");
+        assert_eq!(Sample::fmt_dur(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(Sample::fmt_dur(Duration::from_secs(2)), "2.000 s");
+    }
+}

@@ -1,0 +1,438 @@
+//! Input generators for property tests.
+//!
+//! A [`Gen`] produces random values from an [`Rng`] and, on failure,
+//! proposes *simpler* candidate values via [`Gen::shrink`]. The runner
+//! in [`crate::prop`] greedily walks shrink candidates, so generators
+//! should order candidates from most- to least-aggressive (first try
+//! the trivial value, then halvings, then single steps).
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A random value generator with optional shrinking.
+pub trait Gen {
+    /// The generated value type.
+    type Value: Clone + Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Proposes strictly "simpler" candidates for a failing value,
+    /// ordered most-aggressive first. Default: no shrinking.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// integers
+// ---------------------------------------------------------------------------
+
+/// Integer types generable over a range. Implemented for the primitive
+/// fixed-width integers via `i128` widening (so full-domain `u64`/`i64`
+/// ranges never overflow).
+pub trait Int: Copy + PartialOrd + Debug + 'static {
+    /// Widens to i128.
+    fn to_i128(self) -> i128;
+    /// Narrows from i128 (caller guarantees the value fits).
+    fn from_i128(v: i128) -> Self;
+    /// Type minimum.
+    const MIN_VAL: Self;
+    /// Type maximum.
+    const MAX_VAL: Self;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Int for $t {
+            #[inline]
+            fn to_i128(self) -> i128 { self as i128 }
+            #[inline]
+            fn from_i128(v: i128) -> Self { v as $t }
+            const MIN_VAL: Self = <$t>::MIN;
+            const MAX_VAL: Self = <$t>::MAX;
+        }
+    )*};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Uniform integer generator over an inclusive `[lo, hi]` span.
+#[derive(Clone, Debug)]
+pub struct IntGen<T: Int> {
+    lo: i128,
+    hi: i128,
+    _t: std::marker::PhantomData<T>,
+}
+
+/// Uniform generator over a half-open range, `ints(0u8..32)` style.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn ints<T: Int>(r: Range<T>) -> IntGen<T> {
+    let (lo, hi) = (r.start.to_i128(), r.end.to_i128());
+    assert!(lo < hi, "ints: empty range {lo}..{hi}");
+    IntGen {
+        lo,
+        hi: hi - 1,
+        _t: std::marker::PhantomData,
+    }
+}
+
+/// Uniform generator over a type's whole domain (proptest's `any::<T>()`).
+pub fn any<T: Int>() -> IntGen<T> {
+    IntGen {
+        lo: T::MIN_VAL.to_i128(),
+        hi: T::MAX_VAL.to_i128(),
+        _t: std::marker::PhantomData,
+    }
+}
+
+impl<T: Int> Gen for IntGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let span = (self.hi - self.lo + 1) as u128;
+        // two draws cover spans wider than 2^64 (e.g. full u64/i64 domains)
+        let wide = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        T::from_i128(self.lo + (wide % span) as i128)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        let v = value.to_i128();
+        // shrink toward the in-range value closest to zero
+        let pivot = 0i128.clamp(self.lo, self.hi);
+        if v == pivot {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(3);
+        let mut push = |c: i128| {
+            if c != v && c >= self.lo && c <= self.hi && !out.iter().any(|&o| o == c) {
+                out.push(c);
+            }
+        };
+        push(pivot); // the trivial value
+        push(pivot + (v - pivot) / 2); // halfway to trivial
+        push(v - (v - pivot).signum()); // one step toward trivial
+        out.into_iter().map(T::from_i128).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// table selection
+// ---------------------------------------------------------------------------
+
+/// Uniformly selects from a static table (proptest's `sel` idiom).
+#[derive(Clone, Debug)]
+pub struct ChooseGen<T: 'static> {
+    table: &'static [T],
+}
+
+/// Generator drawing uniformly from `table`; shrinks toward `table[0]`.
+///
+/// # Panics
+///
+/// Panics if the table is empty.
+pub fn choose<T: Copy + PartialEq + Debug + 'static>(table: &'static [T]) -> ChooseGen<T> {
+    assert!(!table.is_empty(), "choose: empty table");
+    ChooseGen { table }
+}
+
+impl<T: Copy + PartialEq + Debug + 'static> Gen for ChooseGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        *rng.choose(self.table)
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        // a "simpler" table element is just an earlier one; the first is
+        // the canonical minimum
+        if self.table[0] != *value {
+            vec![self.table[0]]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// closures, mapping
+// ---------------------------------------------------------------------------
+
+/// Ad-hoc generator from a closure (no shrinking).
+#[derive(Clone)]
+pub struct FnGen<F> {
+    f: F,
+}
+
+/// Wraps a closure as a non-shrinking generator.
+pub fn from_fn<V, F>(f: F) -> FnGen<F>
+where
+    V: Clone + Debug,
+    F: Fn(&mut Rng) -> V,
+{
+    FnGen { f }
+}
+
+impl<V, F> Gen for FnGen<F>
+where
+    V: Clone + Debug,
+    F: Fn(&mut Rng) -> V,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut Rng) -> V {
+        (self.f)(rng)
+    }
+}
+
+/// Output-mapping combinator (no shrinking — the inverse map is unknown).
+#[derive(Clone)]
+pub struct MapGen<G, F> {
+    base: G,
+    f: F,
+}
+
+/// Maps a generator's output through `f` (proptest's `prop_map`).
+pub fn map<G, V, F>(base: G, f: F) -> MapGen<G, F>
+where
+    G: Gen,
+    V: Clone + Debug,
+    F: Fn(G::Value) -> V,
+{
+    MapGen { base, f }
+}
+
+impl<G, V, F> Gen for MapGen<G, F>
+where
+    G: Gen,
+    V: Clone + Debug,
+    F: Fn(G::Value) -> V,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut Rng) -> V {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collections
+// ---------------------------------------------------------------------------
+
+/// Variable-length `Vec` generator with structural shrinking.
+#[derive(Clone, Debug)]
+pub struct VecGen<G> {
+    elem: G,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// Generates `Vec`s with lengths in the half-open `len` range
+/// (proptest's `prop::collection::vec`).
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn vec_of<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "vec_of: empty length range");
+    VecGen {
+        elem,
+        min_len: len.start,
+        max_len: len.end - 1,
+    }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<G::Value> {
+        let len = rng.gen_range_u64(self.min_len as u64, self.max_len as u64 + 1) as usize;
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<G::Value>) -> Vec<Vec<G::Value>> {
+        let mut out = Vec::new();
+        let n = value.len();
+        // 1. structural: drop the back half, the front half, then each
+        //    single element (aggressive-first ordering)
+        if n > self.min_len {
+            let half = (n / 2).max(self.min_len);
+            if half < n {
+                out.push(value[..half].to_vec());
+                out.push(value[n - half..].to_vec());
+            }
+            for i in 0..n {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // 2. element-wise: shrink each position in place
+        for i in 0..n {
+            for cand in self.elem.shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+/// Fixed-size array generator `[G; N]`: generates element-wise, shrinks
+/// one slot at a time.
+impl<G: Gen, const N: usize> Gen for [G; N] {
+    type Value = [G::Value; N];
+
+    fn generate(&self, rng: &mut Rng) -> [G::Value; N] {
+        std::array::from_fn(|i| self[i].generate(rng))
+    }
+
+    fn shrink(&self, value: &[G::Value; N]) -> Vec<[G::Value; N]> {
+        let mut out = Vec::new();
+        for i in 0..N {
+            for cand in self[i].shrink(&value[i]) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_gen {
+    ($(($($g:ident / $idx:tt),+))+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+impl_tuple_gen! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ints_stay_in_range() {
+        let g = ints(-2048i64..2048);
+        let mut rng = Rng::new(1);
+        for _ in 0..500 {
+            let v = g.generate(&mut rng);
+            assert!((-2048..2048).contains(&v));
+        }
+    }
+
+    #[test]
+    fn full_domain_any_does_not_overflow() {
+        let g = any::<i64>();
+        let mut rng = Rng::new(2);
+        let mut signs = [false, false];
+        for _ in 0..200 {
+            let v = g.generate(&mut rng);
+            signs[(v < 0) as usize] = true;
+        }
+        assert!(signs[0] && signs[1], "both signs reachable");
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_zero() {
+        let g = ints(-100i64..100);
+        for start in [99i64, -100, 37] {
+            let mut v = start;
+            let mut steps = 0;
+            while let Some(next) = g.shrink(&v).first().copied() {
+                assert!(next.abs() <= v.abs());
+                v = next;
+                steps += 1;
+                assert!(steps < 300, "shrink terminates");
+            }
+            assert_eq!(v, 0, "fully shrinks to the pivot");
+        }
+    }
+
+    #[test]
+    fn int_shrink_respects_lower_bound() {
+        let g = ints(10u8..32);
+        let mut v = 31u8;
+        while let Some(next) = g.shrink(&v).first().copied() {
+            assert!((10..32).contains(&next));
+            v = next;
+        }
+        assert_eq!(v, 10, "pivot clamps to range minimum");
+    }
+
+    #[test]
+    fn vec_shrink_reaches_minimum_length() {
+        let g = vec_of(ints(0u32..10), 1..9);
+        let mut rng = Rng::new(3);
+        let v = g.generate(&mut rng);
+        // greedily take the first candidate until fixpoint
+        let mut cur = v;
+        loop {
+            let cands = g.shrink(&cur);
+            match cands.into_iter().next() {
+                Some(c) => cur = c,
+                None => break,
+            }
+        }
+        assert_eq!(cur.len(), 1);
+        assert_eq!(cur[0], 0);
+    }
+
+    #[test]
+    fn tuple_shrink_shrinks_components() {
+        let g = (ints(0i64..100), ints(0i64..100));
+        let cands = g.shrink(&(50, 0));
+        assert!(!cands.is_empty());
+        assert!(cands.iter().all(|&(_, b)| b == 0), "only first slot moves");
+    }
+
+    #[test]
+    fn choose_shrinks_to_first() {
+        static T: &[u32] = &[7, 8, 9];
+        let g = choose(T);
+        assert_eq!(g.shrink(&9), vec![7]);
+        assert!(g.shrink(&7).is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = (any::<u64>(), vec_of(ints(0u8..255), 1..20));
+        let a = g.generate(&mut Rng::new(99));
+        let b = g.generate(&mut Rng::new(99));
+        assert_eq!(a, b);
+    }
+}

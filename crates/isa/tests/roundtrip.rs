@@ -1,8 +1,24 @@
 //! Property tests: every encodable instruction decodes back to itself.
+//!
+//! Ported from proptest to the in-tree `xt-harness` engine. Default
+//! seed for this suite: `0x15A0_0001` (fixed, so runs are
+//! deterministic); override or replay a failure with
+//! `XT_HARNESS_SEED=<seed> cargo test`.
 
-use proptest::prelude::*;
+use xt_harness::gen::{self, Gen};
+use xt_harness::prop::{check_with, Config};
 use xt_isa::encode::{encode, encode_compressed};
 use xt_isa::{decode, decode_compressed, Inst, Op};
+
+const SEED: u64 = 0x15A0_0001;
+
+fn cfg() -> Config {
+    Config::seeded(SEED)
+}
+
+fn sel(table: &'static [Op]) -> impl Gen<Value = Op> {
+    gen::choose(table)
+}
 
 /// Ops with plain R-type operand shapes (rd, rs1, rs2).
 const R_OPS: &[Op] = &[
@@ -145,13 +161,11 @@ const VEC_VV: &[Op] = &[
     Op::VfredsumVS,
 ];
 
-fn sel<T: Copy + std::fmt::Debug + 'static>(table: &'static [T]) -> impl Strategy<Value = T> {
-    (0..table.len()).prop_map(move |i| table[i])
-}
 
-proptest! {
-    #[test]
-    fn r_type_roundtrip(op in sel(R_OPS), rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32) {
+#[test]
+fn r_type_roundtrip() {
+    let g = (sel(R_OPS), gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0u8..32));
+    check_with(&cfg(), "r_type_roundtrip", &g, |&(op, rd, rs1, rs2)| {
         let mut i = Inst::new(op).rd(rd).rs1(rs1).rs2(rs2);
         // custom read-modify-write ops expose rd as rs3 after decode
         if matches!(op, Op::XMula | Op::XMuls | Op::XMulaw | Op::XMulsw | Op::XMulah
@@ -159,124 +173,161 @@ proptest! {
             i = i.rs3(rd);
         }
         let w = encode(&i).unwrap();
-        prop_assert_eq!(decode(w).unwrap(), i);
-    }
+        assert_eq!(decode(w).unwrap(), i);
+    });
+}
 
-    #[test]
-    fn i_type_roundtrip(op in sel(I_OPS), rd in 0u8..32, rs1 in 0u8..32, imm in -2048i64..2048) {
+#[test]
+fn i_type_roundtrip() {
+    let g = (sel(I_OPS), gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(-2048i64..2048));
+    check_with(&cfg(), "i_type_roundtrip", &g, |&(op, rd, rs1, imm)| {
         let i = Inst::new(op).rd(rd).rs1(rs1).imm(imm);
         let w = encode(&i).unwrap();
-        prop_assert_eq!(decode(w).unwrap(), i);
-    }
+        assert_eq!(decode(w).unwrap(), i);
+    });
+}
 
-    #[test]
-    fn s_type_roundtrip(op in sel(S_OPS), rs1 in 0u8..32, rs2 in 0u8..32, imm in -2048i64..2048) {
+#[test]
+fn s_type_roundtrip() {
+    let g = (sel(S_OPS), gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(-2048i64..2048));
+    check_with(&cfg(), "s_type_roundtrip", &g, |&(op, rs1, rs2, imm)| {
         let i = Inst::new(op).rs1(rs1).rs2(rs2).imm(imm);
         let w = encode(&i).unwrap();
-        prop_assert_eq!(decode(w).unwrap(), i);
-    }
+        assert_eq!(decode(w).unwrap(), i);
+    });
+}
 
-    #[test]
-    fn b_type_roundtrip(op in sel(B_OPS), rs1 in 0u8..32, rs2 in 0u8..32, off in -2048i64..2047) {
+#[test]
+fn b_type_roundtrip() {
+    let g = (sel(B_OPS), gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(-2048i64..2047));
+    check_with(&cfg(), "b_type_roundtrip", &g, |&(op, rs1, rs2, off)| {
         let i = Inst::new(op).rs1(rs1).rs2(rs2).imm(off * 2);
         let w = encode(&i).unwrap();
-        prop_assert_eq!(decode(w).unwrap(), i);
-    }
+        assert_eq!(decode(w).unwrap(), i);
+    });
+}
 
-    #[test]
-    fn u_type_roundtrip(rd in 0u8..32, hi in -(1i64<<19)..(1i64<<19)) {
+#[test]
+fn u_type_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(-(1i64 << 19)..(1i64 << 19)));
+    check_with(&cfg(), "u_type_roundtrip", &g, |&(rd, hi)| {
         for op in [Op::Lui, Op::Auipc] {
             let i = Inst::new(op).rd(rd).imm(hi << 12);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn j_type_roundtrip(rd in 0u8..32, off in -(1i64<<19)..(1i64<<19)) {
+#[test]
+fn j_type_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(-(1i64 << 19)..(1i64 << 19)));
+    check_with(&cfg(), "j_type_roundtrip", &g, |&(rd, off)| {
         let i = Inst::new(Op::Jal).rd(rd).imm(off * 2);
         let w = encode(&i).unwrap();
-        prop_assert_eq!(decode(w).unwrap(), i);
-    }
+        assert_eq!(decode(w).unwrap(), i);
+    });
+}
 
-    #[test]
-    fn shift_roundtrip(rd in 0u8..32, rs1 in 0u8..32, sh in 0i64..64) {
+#[test]
+fn shift_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0i64..64));
+    check_with(&cfg(), "shift_roundtrip", &g, |&(rd, rs1, sh)| {
         for op in [Op::Slli, Op::Srli, Op::Srai] {
             let i = Inst::new(op).rd(rd).rs1(rs1).imm(sh);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
         for op in [Op::Slliw, Op::Srliw, Op::Sraiw] {
             let i = Inst::new(op).rd(rd).rs1(rs1).imm(sh % 32);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fma_roundtrip(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32, rs3 in 0u8..32) {
+#[test]
+fn fma_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0u8..32));
+    check_with(&cfg(), "fma_roundtrip", &g, |&(rd, rs1, rs2, rs3)| {
         for op in [Op::FmaddS, Op::FmsubS, Op::FnmsubS, Op::FnmaddS,
                    Op::FmaddD, Op::FmsubD, Op::FnmsubD, Op::FnmaddD] {
             let i = Inst::new(op).rd(rd).rs1(rs1).rs2(rs2).rs3(rs3);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn csr_roundtrip(rd in 0u8..32, rs1 in 0u8..32, addr in 0i64..4096) {
+#[test]
+fn csr_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0i64..4096));
+    check_with(&cfg(), "csr_roundtrip", &g, |&(rd, rs1, addr)| {
         for op in [Op::Csrrw, Op::Csrrs, Op::Csrrc, Op::Csrrwi, Op::Csrrsi, Op::Csrrci] {
             let i = Inst::new(op).rd(rd).rs1(rs1).imm(addr);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn vec_vv_roundtrip(op in sel(VEC_VV), vd in 0u8..32, vs2 in 0u8..32, vs1 in 0u8..32) {
+#[test]
+fn vec_vv_roundtrip() {
+    let g = (sel(VEC_VV), gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0u8..32));
+    check_with(&cfg(), "vec_vv_roundtrip", &g, |&(op, vd, vs2, vs1)| {
         let i = Inst::new(op).rd(vd).rs1(vs2).rs2(vs1);
         let w = encode(&i).unwrap();
-        prop_assert_eq!(decode(w).unwrap(), i);
-    }
+        assert_eq!(decode(w).unwrap(), i);
+    });
+}
 
-    #[test]
-    fn vec_mac_roundtrip(vd in 0u8..32, vs2 in 0u8..32, vs1 in 0u8..32) {
+#[test]
+fn vec_mac_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0u8..32));
+    check_with(&cfg(), "vec_mac_roundtrip", &g, |&(vd, vs2, vs1)| {
         for op in [Op::VmaccVV, Op::VnmsacVV, Op::VwmaccVV, Op::VwmaccuVV,
                    Op::VfmaccVV, Op::VfnmsacVV] {
             let i = Inst::new(op).rd(vd).rs1(vs2).rs2(vs1).rs3(vd);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn indexed_mem_roundtrip(rd in 0u8..32, rs1 in 0u8..32, rs2 in 0u8..32, sh in 0i64..4) {
+#[test]
+fn indexed_mem_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0i64..4));
+    check_with(&cfg(), "indexed_mem_roundtrip", &g, |&(rd, rs1, rs2, sh)| {
         for op in [Op::XLrb, Op::XLrbu, Op::XLrh, Op::XLrhu, Op::XLrw, Op::XLrwu,
                    Op::XLrd, Op::XLurw, Op::XLurd] {
             let i = Inst::new(op).rd(rd).rs1(rs1).rs2(rs2).imm(sh);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
         for op in [Op::XSrb, Op::XSrh, Op::XSrw, Op::XSrd] {
             let i = Inst::new(op).rs1(rs1).rs2(rs2).rs3(rd).imm(sh);
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn bitfield_roundtrip(rd in 0u8..32, rs1 in 0u8..32, msb in 0u32..64, lsb in 0u32..64) {
+#[test]
+fn bitfield_roundtrip() {
+    let g = (gen::ints(0u8..32), gen::ints(0u8..32), gen::ints(0u32..64), gen::ints(0u32..64));
+    check_with(&cfg(), "bitfield_roundtrip", &g, |&(rd, rs1, msb, lsb)| {
         for op in [Op::XExt, Op::XExtu] {
             let i = Inst::new(op).rd(rd).rs1(rs1).imm(Inst::pack_ext_bounds(msb, lsb));
             let w = encode(&i).unwrap();
-            prop_assert_eq!(decode(w).unwrap(), i);
+            assert_eq!(decode(w).unwrap(), i);
         }
-    }
+    });
+}
 
-    #[test]
-    fn compressed_expansion_matches(
-        rd in 8u8..16, rs1 in 8u8..16, imm in -32i64..32,
-    ) {
+#[test]
+fn compressed_expansion_matches() {
+    let g = (gen::ints(8u8..16), gen::ints(8u8..16), gen::ints(-32i64..32));
+    check_with(&cfg(), "compressed_expansion_matches", &g, |&(rd, rs1, imm)| {
         // Any instruction the compressor accepts must expand back to the
         // identical wide instruction.
         let candidates = [
@@ -295,8 +346,8 @@ proptest! {
         for c in candidates {
             if let Some(h) = encode_compressed(&c) {
                 let d = decode_compressed(h).unwrap();
-                prop_assert_eq!(d.with_len(4), c);
+                assert_eq!(d.with_len(4), c);
             }
         }
-    }
+    });
 }

@@ -8,7 +8,7 @@
 //! * RVV 0.7.1 `vwmacc.vv` (8 lanes/instruction at VLEN=128),
 //! * RVV f16 `vfmacc.vv` (half precision).
 
-use crate::{Kernel, XorShift};
+use crate::{Kernel, Rng};
 use xt_asm::Asm;
 use xt_emu::f16::f32_to_f16;
 use xt_isa::reg::{Gpr, Vr};
@@ -18,7 +18,7 @@ use xt_isa::vector::Sew;
 pub const DOT_N: u64 = 1024;
 
 fn data(n: u64) -> (Vec<u16>, Vec<u16>, u64) {
-    let mut rng = XorShift::new(505);
+    let mut rng = Rng::new(505);
     let x: Vec<u16> = (0..n).map(|_| (rng.below(200) as i64 - 100) as i16 as u16).collect();
     let w: Vec<u16> = (0..n).map(|_| (rng.below(64) as i64 - 32) as i16 as u16).collect();
     let dot: i64 = x
@@ -113,7 +113,7 @@ pub fn dot_vector() -> Kernel {
 /// NEON lacks (§X). Self-checks against a host f16 model.
 pub fn dot_f16() -> Kernel {
     let n = 256u64;
-    let mut rng = XorShift::new(606);
+    let mut rng = Rng::new(606);
     let x: Vec<u16> = (0..n)
         .map(|_| f32_to_f16((rng.below(16) as f32) / 8.0))
         .collect();

@@ -7,7 +7,7 @@
 //! in two builds: base RV64 (rotates take 3 instructions) and the
 //! XT-910 extension build (`x.srri` rotate, `x.extu` field extraction).
 
-use crate::{Kernel, XorShift};
+use crate::{Kernel, Rng};
 use xt_asm::Asm;
 use xt_isa::reg::Gpr;
 
@@ -36,7 +36,7 @@ fn host_hash(words: &[u64]) -> u64 {
 
 /// Builds the kernel; `use_ext` selects the custom-extension build.
 pub fn hash_verify(use_ext: bool) -> Kernel {
-    let mut rng = XorShift::new(404);
+    let mut rng = Rng::new(404);
     let words: Vec<u64> = (0..BLOCKS * 16).map(|_| rng.next_u64()).collect();
     let expected = host_hash(&words);
 

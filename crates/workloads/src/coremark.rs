@@ -4,7 +4,7 @@
 //! All four are built from the `xt-compiler` IR so they compile under
 //! both toolchain modes (Fig. 20).
 
-use crate::{Kernel, XorShift};
+use crate::{Kernel, Rng};
 use xt_compiler::{CompileOpts, Cond, FuncBuilder, MemWidth, Rval, VReg};
 
 /// Nodes in the linked list (value-sorted traversals are O(n) each).
@@ -42,7 +42,7 @@ pub fn list(opts: &CompileOpts) -> Kernel {
     // Build the list in data: node = [next_index(u64), value(u64)].
     // Indices instead of absolute pointers keep the image relocatable;
     // the kernel converts index -> address with indexed addressing.
-    let mut rng = XorShift::new(42);
+    let mut rng = Rng::new(42);
     let n = LIST_NODES;
     let order: Vec<u64> = {
         // a random permutation cycle visiting every node
@@ -156,7 +156,7 @@ pub fn list(opts: &CompileOpts) -> Kernel {
 /// Matrix manipulation: C = A x B then a checksum of C (integer).
 pub fn matrix(opts: &CompileOpts) -> Kernel {
     let n = MATRIX_N;
-    let mut rng = XorShift::new(7);
+    let mut rng = Rng::new(7);
     let a_data: Vec<u64> = (0..n * n).map(|_| rng.below(64)).collect();
     let b_data: Vec<u64> = (0..n * n).map(|_| rng.below(64)).collect();
 
@@ -330,7 +330,7 @@ fn sm_host(input: &[u8]) -> u64 {
 
 /// State machine: tokenize a byte stream of numbers (branch-heavy).
 pub fn state_machine(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(99);
+    let mut rng = Rng::new(99);
     let alphabet = b"0123456789.eE+-,xyz ";
     let input: Vec<u8> = (0..SM_LEN)
         .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
@@ -511,7 +511,7 @@ fn crc16_host(data: &[u8], reps: u64) -> u64 {
 
 /// CRC-16/CCITT over a byte buffer, repeated (bit-serial inner loop).
 pub fn crc(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(1234);
+    let mut rng = Rng::new(1234);
     let data: Vec<u8> = (0..CRC_LEN).map(|_| rng.next_u64() as u8).collect();
     let expected = crc16_host(&data, CRC_REPS);
 

@@ -6,7 +6,7 @@
 //! (The suites' frequency-domain member is covered by
 //! `nbench::fourier`.)
 
-use crate::{Kernel, XorShift};
+use crate::{Kernel, Rng};
 use xt_compiler::{CompileOpts, Cond, FuncBuilder, MemWidth, Rval, VReg};
 
 /// Samples in the autocorrelation input.
@@ -64,7 +64,7 @@ fn counted_loop(
 
 /// Autocorrelation: `r[k] = Σ_i x[i] * x[i+k]`, folded into a checksum.
 pub fn autcor(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(11);
+    let mut rng = Rng::new(11);
     let x: Vec<u64> = (0..AUTCOR_N + AUTCOR_LAGS)
         .map(|_| rng.below(1 << 12))
         .collect();
@@ -120,7 +120,7 @@ pub fn autcor(opts: &CompileOpts) -> Kernel {
 
 /// Convolutional encoder (K=7, rate 1/2): shift register + parity.
 pub fn conven(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(22);
+    let mut rng = Rng::new(22);
     let bits: Vec<u8> = (0..CONVEN_BITS).map(|_| (rng.next_u64() & 1) as u8).collect();
     const G0: u64 = 0o171; // generator polynomials
     const G1: u64 = 0o133;
@@ -190,7 +190,7 @@ pub fn conven(opts: &CompileOpts) -> Kernel {
 
 /// Viterbi-style add-compare-select over a 4-state trellis.
 pub fn viterb(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(33);
+    let mut rng = Rng::new(33);
     let obs: Vec<u8> = (0..VITERB_STEPS).map(|_| (rng.next_u64() & 3) as u8).collect();
     // host: 4 states; metric update with fixed branch costs
     let cost = |s: u64, o: u64| -> u64 { ((s ^ o) & 3) + 1 };
@@ -270,7 +270,7 @@ pub fn viterb(opts: &CompileOpts) -> Kernel {
 
 /// RGB → CMYK conversion with per-pixel min and subtract.
 pub fn rgbcmyk(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(44);
+    let mut rng = Rng::new(44);
     let rgb: Vec<u8> = (0..RGB_PIXELS * 3).map(|_| rng.next_u64() as u8).collect();
     // host
     let mut expected = 0u64;
@@ -347,7 +347,7 @@ pub fn rgbcmyk(opts: &CompileOpts) -> Kernel {
 
 /// 16-tap integer FIR filter.
 pub fn fir(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(55);
+    let mut rng = Rng::new(55);
     let x: Vec<u64> = (0..FIR_N + FIR_TAPS).map(|_| rng.below(1 << 10)).collect();
     let h: Vec<u64> = (0..FIR_TAPS).map(|_| rng.below(1 << 6)).collect();
     // host

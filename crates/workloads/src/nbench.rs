@@ -5,7 +5,7 @@
 //! Fourier series and LU decomposition written in assembly (the IR is
 //! integer-only; see DESIGN.md).
 
-use crate::{Kernel, XorShift};
+use crate::{Kernel, Rng};
 use xt_asm::Asm;
 use xt_compiler::{BlockId, CompileOpts, Cond, FuncBuilder, Rval, VReg};
 use xt_isa::reg::{Fpr, Gpr};
@@ -120,7 +120,7 @@ fn emit_sift(f: &mut FuncBuilder, base: VReg, root: VReg, end: VReg) -> BlockId 
 
 /// Numeric sort: heapsort over `NUMSORT_N` random u64s.
 pub fn numsort(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(66);
+    let mut rng = Rng::new(66);
     let data: Vec<u64> = (0..NUMSORT_N).map(|_| rng.below(1 << 30)).collect();
     let mut sorted = data.clone();
     sorted.sort_unstable();
@@ -207,7 +207,7 @@ pub fn numsort(opts: &CompileOpts) -> Kernel {
 /// String sort: insertion sort over big-endian-packed 8-char keys
 /// (numeric order == lexicographic order of the original strings).
 pub fn strsort(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(77);
+    let mut rng = Rng::new(77);
     let keys: Vec<u64> = (0..STRSORT_N)
         .map(|_| {
             let mut k = 0u64;
@@ -303,7 +303,7 @@ pub fn strsort(opts: &CompileOpts) -> Kernel {
 
 /// Bitfield manipulation: toggle/set/clear runs of bits in a bit array.
 pub fn bitfield(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(88);
+    let mut rng = Rng::new(88);
     let total_bits = BITFIELD_WORDS * 64;
     let ops: Vec<(u64, u64, u64)> = (0..BITFIELD_OPS)
         .map(|k| (k % 3, rng.below(total_bits), rng.below(48) + 1))
@@ -424,7 +424,7 @@ pub fn bitfield(opts: &CompileOpts) -> Kernel {
 /// XTEA encipher rounds (the IDEA-class cipher kernel).
 pub fn xtea(opts: &CompileOpts) -> Kernel {
     let key = [0x1234_5678u64, 0x9abc_def0, 0x0fed_cba9, 0x8765_4321];
-    let mut rng = XorShift::new(101);
+    let mut rng = Rng::new(101);
     let blocks: Vec<(u64, u64)> = (0..XTEA_BLOCKS)
         .map(|_| (rng.next_u64() & 0xffff_ffff, rng.next_u64() & 0xffff_ffff))
         .collect();
@@ -522,7 +522,7 @@ pub fn xtea(opts: &CompileOpts) -> Kernel {
 
 /// Neural-net forward pass: fixed-point 2-layer MLP with ReLU.
 pub fn neural(opts: &CompileOpts) -> Kernel {
-    let mut rng = XorShift::new(202);
+    let mut rng = Rng::new(202);
     let x: Vec<u64> = (0..NEURAL_IN).map(|_| rng.below(256)).collect();
     let w1: Vec<u64> = (0..NEURAL_IN * NEURAL_HID)
         .map(|_| rng.below(64))
@@ -660,7 +660,7 @@ pub fn fourier() -> Kernel {
 /// matrix, double precision (asm).
 pub fn lu() -> Kernel {
     let n = LU_N as usize;
-    let mut rng = XorShift::new(303);
+    let mut rng = Rng::new(303);
     let mut a = vec![0.0f64; n * n];
     for i in 0..n {
         for j in 0..n {

@@ -5,7 +5,7 @@
 //! (L2-miss-heavy), a large sequential scan, and a branchy token loop,
 //! interleaved.
 
-use crate::{Kernel, XorShift};
+use crate::{Kernel, Rng};
 use xt_asm::Asm;
 use xt_isa::reg::Gpr;
 
@@ -20,7 +20,7 @@ pub const TOKEN_ITERS: u64 = 10_000;
 
 /// Builds the macro kernel.
 pub fn spec_like() -> Kernel {
-    let mut rng = XorShift::new(707);
+    let mut rng = Rng::new(707);
     // random cyclic permutation over the nodes, one node per cache line
     let n = GRAPH_NODES;
     let mut perm: Vec<u64> = (1..n).collect();

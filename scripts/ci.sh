@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate + hermetic-build policy check.
+#
+# The workspace must build, test, and bench **offline with an empty
+# cargo registry**: every crate in the dependency graph has to live in
+# this repository. xt-harness (crates/harness) supplies the PRNG,
+# property-testing, and bench-timing substrate that external crates
+# (rand/proptest/criterion/serde) used to provide.
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release, all targets, offline) =="
+cargo build --release --offline --all-targets
+
+echo "== test (workspace, offline) =="
+cargo test -q --offline --workspace
+
+echo "== hermetic dependency check =="
+# Workspace-local (path) packages have "source": null in cargo metadata;
+# anything from a registry, git, or vendored source is a policy violation.
+external=$(cargo metadata --format-version 1 --offline |
+    python3 -c '
+import json, sys
+meta = json.load(sys.stdin)
+ext = sorted(p["name"] for p in meta["packages"] if p.get("source") is not None)
+print("\n".join(ext))
+')
+if [ -n "$external" ]; then
+    echo "ERROR: non-workspace dependencies found:" >&2
+    echo "$external" >&2
+    exit 1
+fi
+echo "OK: dependency graph contains only workspace-local crates"
+
+echo "== ci.sh: all gates green =="
