@@ -229,6 +229,10 @@ rrr_helpers! {
     sra => Sra,
     /// `sllw rd, rs1, rs2`
     sllw => Sllw,
+    /// `srlw rd, rs1, rs2`
+    srlw => Srlw,
+    /// `sraw rd, rs1, rs2`
+    sraw => Sraw,
     /// `slt rd, rs1, rs2`
     slt => Slt,
     /// `sltu rd, rs1, rs2`
@@ -253,6 +257,10 @@ rrr_helpers! {
     divw => Divw,
     /// `remw rd, rs1, rs2`
     remw => Remw,
+    /// `divuw rd, rs1, rs2`
+    divuw => Divuw,
+    /// `remuw rd, rs1, rs2`
+    remuw => Remuw,
     /// `x.adduw rd, rs1, rs2` — add with zero-extended 32-bit rs2 (custom).
     xadduw => XAdduw,
 }
@@ -453,6 +461,36 @@ impl Asm {
         self.push(Inst::new(Op::FcvtLD).rd(rd.index()).rs1(fs.index()))
     }
 
+    /// `fmin.s fd, fs1, fs2`
+    pub fn fmin_s(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FminS, fd, a, b)
+    }
+
+    /// `fmax.s fd, fs1, fs2`
+    pub fn fmax_s(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FmaxS, fd, a, b)
+    }
+
+    /// `fmin.d fd, fs1, fs2`
+    pub fn fmin_d(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FminD, fd, a, b)
+    }
+
+    /// `fmax.d fd, fs1, fs2`
+    pub fn fmax_d(&mut self, fd: Fpr, a: Fpr, b: Fpr) -> &mut Self {
+        self.frrr(Op::FmaxD, fd, a, b)
+    }
+
+    /// `fmv.w.x fd, rs` — move low 32 raw bits (NaN-boxed).
+    pub fn fmv_w_x(&mut self, fd: Fpr, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::FmvWX).rd(fd.index()).rs1(rs.index()))
+    }
+
+    /// `fmv.x.w rd, fs` — move low 32 raw bits (sign-extended).
+    pub fn fmv_x_w(&mut self, rd: Gpr, fs: Fpr) -> &mut Self {
+        self.push(Inst::new(Op::FmvXW).rd(rd.index()).rs1(fs.index()))
+    }
+
     /// `fmv.d.x fd, rs` — move raw bits.
     pub fn fmv_d_x(&mut self, fd: Fpr, rs: Gpr) -> &mut Self {
         self.push(Inst::new(Op::FmvDX).rd(fd.index()).rs1(rs.index()))
@@ -651,6 +689,11 @@ impl Asm {
         self.push(Inst::new(Op::Csrrw).rd(0).rs1(rs.index()).imm(csr as i64))
     }
 
+    /// `mret`
+    pub fn mret(&mut self) -> &mut Self {
+        self.push(Inst::new(Op::Mret))
+    }
+
     /// `ecall`
     pub fn ecall(&mut self) -> &mut Self {
         self.push(Inst::new(Op::Ecall))
@@ -686,6 +729,31 @@ impl Asm {
     /// `sc.d rd, rs2, (rs1)`
     pub fn sc_d(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
         self.rrr(Op::ScD, rd, addr, src)
+    }
+
+    /// `lr.w rd, (rs1)`
+    pub fn lr_w(&mut self, rd: Gpr, addr: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::LrW).rd(rd.index()).rs1(addr.index()))
+    }
+
+    /// `sc.w rd, rs2, (rs1)`
+    pub fn sc_w(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
+        self.rrr(Op::ScW, rd, addr, src)
+    }
+
+    /// `amoadd.w rd, rs2, (rs1)`
+    pub fn amoadd_w(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
+        self.rrr(Op::AmoAddW, rd, addr, src)
+    }
+
+    /// `amomin.w rd, rs2, (rs1)` — signed 32-bit minimum.
+    pub fn amomin_w(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
+        self.rrr(Op::AmoMinW, rd, addr, src)
+    }
+
+    /// `amomaxu.w rd, rs2, (rs1)` — unsigned 32-bit maximum.
+    pub fn amomaxu_w(&mut self, rd: Gpr, src: Gpr, addr: Gpr) -> &mut Self {
+        self.rrr(Op::AmoMaxuW, rd, addr, src)
     }
 
     // ---- vector (RVV 0.7.1 subset) ----
@@ -1130,7 +1198,7 @@ mod tests {
         let mut a = Asm::new();
         let b = a.data_bytes("b", &[1, 2, 3]);
         let w = a.data_u64("w", &[42]);
-        assert_eq!(b % 1, 0);
+        assert!(b >= crate::DEFAULT_DATA_BASE);
         assert_eq!(w % 8, 0);
         let p = a.finish().unwrap();
         assert_eq!(p.symbol("w"), w);

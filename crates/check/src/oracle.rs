@@ -1,0 +1,218 @@
+//! Compact host-side oracle: evaluates a [`ProgSpec`] directly over an
+//! architectural register/memory state using host Rust arithmetic with
+//! explicit RISC-V edge semantics (shift-amount masking, division by
+//! zero, word-op sign extension).
+//!
+//! The oracle supports deliberate *fault injection* for self-testing
+//! the checker: a [`Fault`] re-introduces a plausible semantics bug so
+//! the conformance property must catch and shrink it.
+
+use crate::progen::{AluOp, ProgSpec, SpecOp, NREGS, NSLOTS};
+
+/// Final architectural state the oracle predicts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MachineState {
+    /// Virtual register values (`REG_MAP` order).
+    pub regs: [u64; NREGS],
+    /// Scratch memory slots.
+    pub mem: [u64; NSLOTS],
+}
+
+impl Default for MachineState {
+    fn default() -> Self {
+        MachineState {
+            regs: [0; NREGS],
+            mem: [0; NSLOTS],
+        }
+    }
+}
+
+/// Deliberate oracle bugs for checker self-tests. Each replicates a
+/// mistake that naive host-arithmetic emulation actually makes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Fault {
+    /// Correct RISC-V semantics.
+    None,
+    /// `divu/remu` by zero returns 0 instead of all-ones / the dividend.
+    DivuZeroGivesZero,
+    /// Shifts do not mask the shift amount: `x << 64` yields 0 instead
+    /// of `x << (64 & 63) = x`.
+    UnmaskedShift,
+}
+
+/// Evaluates `spec` from the all-zero initial state.
+pub fn eval(spec: &ProgSpec, fault: Fault) -> MachineState {
+    let mut st = MachineState::default();
+    for op in &spec.ops {
+        match op {
+            SpecOp::Loop { count, body } => {
+                for _ in 0..*count {
+                    for b in body {
+                        eval_one(&mut st, b, fault);
+                    }
+                }
+            }
+            other => eval_one(&mut st, other, fault),
+        }
+    }
+    st
+}
+
+fn eval_one(st: &mut MachineState, op: &SpecOp, fault: Fault) {
+    match op {
+        SpecOp::Li { rd, imm } => st.regs[*rd as usize] = *imm as u64,
+        SpecOp::Alu { op, rd, rs1, rs2 } => {
+            let a = st.regs[*rs1 as usize];
+            let b = st.regs[*rs2 as usize];
+            st.regs[*rd as usize] = alu(*op, a, b, fault);
+        }
+        SpecOp::Load { rd, slot } => st.regs[*rd as usize] = st.mem[*slot as usize],
+        SpecOp::Store { rs, slot } => st.mem[*slot as usize] = st.regs[*rs as usize],
+        SpecOp::Loop { .. } => unreachable!("nested loops are not generated"),
+    }
+}
+
+/// RV64IM ALU semantics on u64 bit patterns.
+fn alu(op: AluOp, a: u64, b: u64, fault: Fault) -> u64 {
+    let (sa, sb) = (a as i64, b as i64);
+    // shift amounts: RV64 masks rs2 to 6 bits (5 for *w ops)
+    let (sh64, sh32) = if fault == Fault::UnmaskedShift {
+        // buggy mode: shifting by >= width produces 0 (or the sign fill)
+        (b.min(64), b.min(63))
+    } else {
+        (b & 63, b & 31)
+    };
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Sltu => (a < b) as u64,
+        AluOp::Sll => a.checked_shl(sh64 as u32).unwrap_or(0),
+        AluOp::Srl => a.checked_shr(sh64 as u32).unwrap_or(0),
+        AluOp::Sra => sa.checked_shr(sh64 as u32).unwrap_or(sa >> 63) as u64,
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Mulh => (((sa as i128) * (sb as i128)) >> 64) as u64,
+        AluOp::Div => {
+            if sb == 0 {
+                u64::MAX
+            } else if sa == i64::MIN && sb == -1 {
+                i64::MIN as u64
+            } else {
+                (sa / sb) as u64
+            }
+        }
+        AluOp::Divu => match a.checked_div(b) {
+            Some(v) => v,
+            None if fault == Fault::DivuZeroGivesZero => 0,
+            None => u64::MAX,
+        },
+        AluOp::Rem => {
+            if sb == 0 {
+                a
+            } else if sa == i64::MIN && sb == -1 {
+                0
+            } else {
+                (sa % sb) as u64
+            }
+        }
+        AluOp::Remu => match a.checked_rem(b) {
+            Some(v) => v,
+            None if fault == Fault::DivuZeroGivesZero => 0,
+            None => a,
+        },
+        AluOp::Addw => sext32(a.wrapping_add(b)),
+        AluOp::Subw => sext32(a.wrapping_sub(b)),
+        AluOp::Mulw => sext32(a.wrapping_mul(b)),
+        AluOp::Sllw => sext32(((a as u32).checked_shl(sh32 as u32).unwrap_or(0)) as u64),
+        AluOp::Srlw => sext32(((a as u32).checked_shr(sh32 as u32).unwrap_or(0)) as u64),
+        AluOp::Sraw => {
+            let v = (a as i32).checked_shr(sh32 as u32).unwrap_or((a as i32) >> 31);
+            v as i64 as u64
+        }
+        AluOp::Divuw => {
+            let (a32, b32) = (a as u32, b as u32);
+            match a32.checked_div(b32) {
+                Some(v) => v as i32 as i64 as u64,
+                None if fault == Fault::DivuZeroGivesZero => 0,
+                None => u32::MAX as i32 as i64 as u64,
+            }
+        }
+        AluOp::Remuw => {
+            let (a32, b32) = (a as u32, b as u32);
+            match a32.checked_rem(b32) {
+                Some(v) => v as i32 as i64 as u64,
+                None if fault == Fault::DivuZeroGivesZero => 0,
+                None => a32 as i32 as i64 as u64,
+            }
+        }
+    }
+}
+
+fn sext32(v: u64) -> u64 {
+    v as u32 as i32 as i64 as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progen::{AluOp, ProgSpec, SpecOp};
+
+    fn one_op(op: AluOp, a: u64, b: u64) -> u64 {
+        alu(op, a, b, Fault::None)
+    }
+
+    #[test]
+    fn shift_amounts_are_masked() {
+        assert_eq!(one_op(AluOp::Sll, 1, 64), 1, "64 & 63 == 0");
+        assert_eq!(one_op(AluOp::Srl, 0x8000, 65), 0x4000, "65 & 63 == 1");
+        assert_eq!(one_op(AluOp::Sllw, 1, 32), sext32(1), "32 & 31 == 0");
+    }
+
+    #[test]
+    fn division_edges() {
+        assert_eq!(one_op(AluOp::Div, 42, 0), u64::MAX);
+        assert_eq!(one_op(AluOp::Divu, 42, 0), u64::MAX);
+        assert_eq!(one_op(AluOp::Rem, 42, 0), 42);
+        assert_eq!(one_op(AluOp::Remu, 42, 0), 42);
+        assert_eq!(
+            one_op(AluOp::Div, i64::MIN as u64, -1i64 as u64),
+            i64::MIN as u64,
+            "overflow case keeps the dividend"
+        );
+        assert_eq!(one_op(AluOp::Rem, i64::MIN as u64, -1i64 as u64), 0);
+    }
+
+    #[test]
+    fn loops_and_memory_roundtrip() {
+        // r0 = 3; loop 4 { r1 = r1 + r0; mem[2] = r1 }; r2 = mem[2]
+        let spec = ProgSpec {
+            ops: vec![
+                SpecOp::Li { rd: 0, imm: 3 },
+                SpecOp::Loop {
+                    count: 4,
+                    body: vec![
+                        SpecOp::Alu { op: AluOp::Add, rd: 1, rs1: 1, rs2: 0 },
+                        SpecOp::Store { rs: 1, slot: 2 },
+                    ],
+                },
+                SpecOp::Load { rd: 2, slot: 2 },
+            ],
+        };
+        let st = eval(&spec, Fault::None);
+        assert_eq!(st.regs[1], 12);
+        assert_eq!(st.mem[2], 12);
+        assert_eq!(st.regs[2], 12);
+    }
+
+    #[test]
+    fn faults_change_observable_behavior() {
+        assert_eq!(alu(AluOp::Divu, 7, 0, Fault::DivuZeroGivesZero), 0);
+        assert_ne!(
+            alu(AluOp::Sll, 1, 64, Fault::UnmaskedShift),
+            alu(AluOp::Sll, 1, 64, Fault::None),
+            "the injected shift bug must be observable"
+        );
+    }
+}

@@ -1,0 +1,500 @@
+//! Constrained random-program generation.
+//!
+//! Programs are generated as abstract [`ProgSpec`]s — straight-line ALU
+//! work, bounded counted loops, and loads/stores into a small scratch
+//! region — rather than raw machine code, so the host oracle in
+//! [`crate::oracle`] can evaluate the *same* spec without re-implementing
+//! a decoder. By construction every spec is self-contained and trap-free:
+//! registers come from a fixed pool, memory accesses hit aligned slots
+//! inside the scratch region, and loops always terminate.
+//!
+//! [`ProgGen`] implements `xt_harness::gen::Gen`, so failing programs
+//! shrink through the standard engine: drop instructions, unroll or
+//! trim loops, and pull immediates toward zero.
+
+use xt_asm::{Asm, Program};
+use xt_harness::gen::{weighted, Gen};
+use xt_harness::rng::Rng;
+use xt_isa::reg::Gpr;
+
+/// Number of virtual registers a program may use.
+pub const NREGS: usize = 8;
+
+/// Number of 8-byte scratch memory slots.
+pub const NSLOTS: usize = 16;
+
+/// Virtual register `i` lives in `REG_MAP[i]`. The pool deliberately
+/// avoids `a0` (the halt/exit register) and `s0`/`s1` (scratch base and
+/// loop counter).
+pub const REG_MAP: [Gpr; NREGS] = [
+    Gpr::A1,
+    Gpr::A2,
+    Gpr::A3,
+    Gpr::A4,
+    Gpr::A5,
+    Gpr::A6,
+    Gpr::A7,
+    Gpr::T0,
+];
+
+/// ALU operations a generated program may contain. Mirrors the subset
+/// of RV64IM the differential suite covers, including the shift-amount
+/// masking and division edge semantics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AluOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Sltu,
+    Sll,
+    Srl,
+    Sra,
+    Mul,
+    Mulh,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+    Addw,
+    Subw,
+    Mulw,
+    Sllw,
+    Srlw,
+    Sraw,
+    Divuw,
+    Remuw,
+}
+
+/// All ALU operations (for uniform selection; `Add` first so shrinking
+/// converges on the simplest op).
+pub const ALL_ALU: [AluOp; 23] = [
+    AluOp::Add,
+    AluOp::Sub,
+    AluOp::And,
+    AluOp::Or,
+    AluOp::Xor,
+    AluOp::Sltu,
+    AluOp::Sll,
+    AluOp::Srl,
+    AluOp::Sra,
+    AluOp::Mul,
+    AluOp::Mulh,
+    AluOp::Div,
+    AluOp::Divu,
+    AluOp::Rem,
+    AluOp::Remu,
+    AluOp::Addw,
+    AluOp::Subw,
+    AluOp::Mulw,
+    AluOp::Sllw,
+    AluOp::Srlw,
+    AluOp::Sraw,
+    AluOp::Divuw,
+    AluOp::Remuw,
+];
+
+/// One abstract operation. Register operands are virtual indices in
+/// `0..NREGS`; memory slots index the scratch region.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SpecOp {
+    /// `rd = imm`
+    Li { rd: u8, imm: i64 },
+    /// `rd = op(rs1, rs2)`
+    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    /// `rd = scratch[slot]`
+    Load { rd: u8, slot: u8 },
+    /// `scratch[slot] = rs`
+    Store { rs: u8, slot: u8 },
+    /// Repeat `body` exactly `count` times (no nesting).
+    Loop { count: u8, body: Vec<SpecOp> },
+}
+
+/// An abstract program: a sequence of [`SpecOp`]s executed over zeroed
+/// registers and scratch memory.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ProgSpec {
+    /// The operations, in program order.
+    pub ops: Vec<SpecOp>,
+}
+
+impl ProgSpec {
+    /// Total static operation count (loop bodies counted once).
+    pub fn len(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                SpecOp::Loop { body, .. } => 1 + body.len(),
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// True when the spec holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// True when no operation reads a register written earlier and the
+    /// program is straight-line (no loops, no memory traffic). On such
+    /// programs the out-of-order core can extract all the parallelism,
+    /// so its cycle count must not exceed the in-order baseline's.
+    pub fn is_dependency_free(&self) -> bool {
+        let mut written = [false; NREGS];
+        for op in &self.ops {
+            match op {
+                SpecOp::Li { rd, .. } => written[*rd as usize] = true,
+                SpecOp::Alu { rd, rs1, rs2, .. } => {
+                    if written[*rs1 as usize] || written[*rs2 as usize] {
+                        return false;
+                    }
+                    written[*rd as usize] = true;
+                }
+                SpecOp::Load { .. } | SpecOp::Store { .. } | SpecOp::Loop { .. } => return false,
+            }
+        }
+        true
+    }
+
+    /// Assembles the spec into a runnable machine program. Returns the
+    /// program and the scratch region's base address.
+    pub fn emit(&self) -> (Program, u64) {
+        let mut a = Asm::new();
+        let scratch = a.data_zeros("scratch", NSLOTS * 8);
+        a.la(Gpr::S0, scratch);
+        for op in &self.ops {
+            match op {
+                SpecOp::Loop { count, body } => {
+                    a.li(Gpr::S1, *count as i64);
+                    let top = a.here();
+                    for b in body {
+                        emit_one(&mut a, b);
+                    }
+                    a.addi(Gpr::S1, Gpr::S1, -1);
+                    a.bnez(Gpr::S1, top);
+                }
+                other => emit_one(&mut a, other),
+            }
+        }
+        a.halt();
+        (a.finish().expect("generated spec assembles"), scratch)
+    }
+}
+
+fn emit_one(a: &mut Asm, op: &SpecOp) {
+    match op {
+        SpecOp::Li { rd, imm } => {
+            a.li(REG_MAP[*rd as usize], *imm);
+        }
+        SpecOp::Alu { op, rd, rs1, rs2 } => {
+            let (d, s1, s2) = (
+                REG_MAP[*rd as usize],
+                REG_MAP[*rs1 as usize],
+                REG_MAP[*rs2 as usize],
+            );
+            match op {
+                AluOp::Add => a.add(d, s1, s2),
+                AluOp::Sub => a.sub(d, s1, s2),
+                AluOp::And => a.and_(d, s1, s2),
+                AluOp::Or => a.or_(d, s1, s2),
+                AluOp::Xor => a.xor_(d, s1, s2),
+                AluOp::Sltu => a.sltu(d, s1, s2),
+                AluOp::Sll => a.sll(d, s1, s2),
+                AluOp::Srl => a.srl(d, s1, s2),
+                AluOp::Sra => a.sra(d, s1, s2),
+                AluOp::Mul => a.mul(d, s1, s2),
+                AluOp::Mulh => a.mulh(d, s1, s2),
+                AluOp::Div => a.div(d, s1, s2),
+                AluOp::Divu => a.divu(d, s1, s2),
+                AluOp::Rem => a.rem(d, s1, s2),
+                AluOp::Remu => a.remu(d, s1, s2),
+                AluOp::Addw => a.addw(d, s1, s2),
+                AluOp::Subw => a.subw(d, s1, s2),
+                AluOp::Mulw => a.mulw(d, s1, s2),
+                AluOp::Sllw => a.sllw(d, s1, s2),
+                AluOp::Srlw => a.srlw(d, s1, s2),
+                AluOp::Sraw => a.sraw(d, s1, s2),
+                AluOp::Divuw => a.divuw(d, s1, s2),
+                AluOp::Remuw => a.remuw(d, s1, s2),
+            };
+        }
+        SpecOp::Load { rd, slot } => {
+            a.ld(REG_MAP[*rd as usize], Gpr::S0, *slot as i64 * 8);
+        }
+        SpecOp::Store { rs, slot } => {
+            a.sd(REG_MAP[*rs as usize], Gpr::S0, *slot as i64 * 8);
+        }
+        SpecOp::Loop { .. } => unreachable!("loops are emitted at the top level"),
+    }
+}
+
+/// Operation-kind tags for the weighted instruction mix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Kind {
+    Alu,
+    Li,
+    Load,
+    Store,
+    Loop,
+}
+
+/// ALU-heavy mix, like real integer code; `Alu` first so kind shrinking
+/// trends toward plain arithmetic.
+static KIND_WEIGHTS: &[(u32, Kind)] = &[
+    (10, Kind::Alu),
+    (4, Kind::Li),
+    (3, Kind::Load),
+    (3, Kind::Store),
+    (2, Kind::Loop),
+];
+
+/// Inside loop bodies: no nested loops.
+static BODY_KIND_WEIGHTS: &[(u32, Kind)] = &[
+    (10, Kind::Alu),
+    (3, Kind::Li),
+    (3, Kind::Load),
+    (3, Kind::Store),
+];
+
+/// Generator for [`ProgSpec`]s.
+#[derive(Clone, Debug)]
+pub struct ProgGen {
+    /// Maximum number of top-level operations.
+    pub max_ops: usize,
+}
+
+impl Default for ProgGen {
+    fn default() -> Self {
+        ProgGen { max_ops: 24 }
+    }
+}
+
+/// Maximum loop iteration count (bounded so programs stay short).
+const MAX_LOOP_COUNT: u8 = 8;
+/// Maximum operations inside one loop body.
+const MAX_BODY_OPS: u64 = 6;
+
+impl ProgGen {
+    fn gen_simple(&self, rng: &mut Rng, kind: Kind) -> SpecOp {
+        let reg = |rng: &mut Rng| rng.below(NREGS as u64) as u8;
+        let slot = |rng: &mut Rng| rng.below(NSLOTS as u64) as u8;
+        match kind {
+            Kind::Alu => SpecOp::Alu {
+                op: *rng.choose(&ALL_ALU),
+                rd: reg(rng),
+                rs1: reg(rng),
+                rs2: reg(rng),
+            },
+            Kind::Li => SpecOp::Li {
+                rd: reg(rng),
+                // full-width immediates: boundary patterns matter more
+                // than small ints for shift/div/word-op bugs
+                imm: rng.next_u64() as i64,
+            },
+            Kind::Load => SpecOp::Load {
+                rd: reg(rng),
+                slot: slot(rng),
+            },
+            Kind::Store => SpecOp::Store {
+                rs: reg(rng),
+                slot: slot(rng),
+            },
+            Kind::Loop => unreachable!("loops handled by the caller"),
+        }
+    }
+}
+
+impl Gen for ProgGen {
+    type Value = ProgSpec;
+
+    fn generate(&self, rng: &mut Rng) -> ProgSpec {
+        let kind_gen = weighted(KIND_WEIGHTS);
+        let body_kind_gen = weighted(BODY_KIND_WEIGHTS);
+        let len = rng.gen_range_u64(1, self.max_ops as u64 + 1) as usize;
+        let mut ops = Vec::with_capacity(len);
+        for _ in 0..len {
+            let kind = kind_gen.generate(rng);
+            if kind == Kind::Loop {
+                let count = rng.gen_range_u64(1, MAX_LOOP_COUNT as u64 + 1) as u8;
+                let body_len = rng.gen_range_u64(1, MAX_BODY_OPS + 1);
+                let body = (0..body_len)
+                    .map(|_| {
+                        let k = body_kind_gen.generate(rng);
+                        self.gen_simple(rng, k)
+                    })
+                    .collect();
+                ops.push(SpecOp::Loop { count, body });
+            } else {
+                ops.push(self.gen_simple(rng, kind));
+            }
+        }
+        ProgSpec { ops }
+    }
+
+    fn shrink(&self, value: &ProgSpec) -> Vec<ProgSpec> {
+        let ops = &value.ops;
+        let n = ops.len();
+        let mut out = Vec::new();
+        // 1. structural: halve, then drop single ops (keep ≥ 1 op)
+        if n > 1 {
+            let half = (n / 2).max(1);
+            out.push(ProgSpec {
+                ops: ops[..half].to_vec(),
+            });
+            out.push(ProgSpec {
+                ops: ops[n - half..].to_vec(),
+            });
+            for i in 0..n {
+                let mut v = ops.clone();
+                v.remove(i);
+                out.push(ProgSpec { ops: v });
+            }
+        }
+        // 2. op-wise simplification in place
+        for i in 0..n {
+            for cand in shrink_op(&ops[i]) {
+                let mut v = ops.clone();
+                v[i] = cand;
+                out.push(ProgSpec { ops: v });
+            }
+        }
+        out
+    }
+}
+
+/// Candidate simplifications of one op, most aggressive first.
+fn shrink_op(op: &SpecOp) -> Vec<SpecOp> {
+    match op {
+        SpecOp::Li { rd, imm } => {
+            let mut out = Vec::new();
+            for cand in [0, imm / 2, imm - imm.signum()] {
+                if cand != *imm && !out.iter().any(|o| matches!(o, SpecOp::Li { imm, .. } if *imm == cand)) {
+                    out.push(SpecOp::Li { rd: *rd, imm: cand });
+                }
+            }
+            out
+        }
+        SpecOp::Alu { op, rd, rs1, rs2 } if *op != AluOp::Add => vec![SpecOp::Alu {
+            op: AluOp::Add,
+            rd: *rd,
+            rs1: *rs1,
+            rs2: *rs2,
+        }],
+        SpecOp::Loop { count, body } => {
+            let mut out = Vec::new();
+            // unroll once: replaces control flow with its body
+            if body.len() == 1 {
+                out.push(body[0].clone());
+            }
+            if *count > 1 {
+                out.push(SpecOp::Loop {
+                    count: 1,
+                    body: body.clone(),
+                });
+            }
+            // trim the body
+            if body.len() > 1 {
+                for i in 0..body.len() {
+                    let mut b = body.clone();
+                    b.remove(i);
+                    out.push(SpecOp::Loop {
+                        count: *count,
+                        body: b,
+                    });
+                }
+            }
+            // simplify body ops in place
+            for i in 0..body.len() {
+                for cand in shrink_op(&body[i]) {
+                    let mut b = body.clone();
+                    b[i] = cand;
+                    out.push(SpecOp::Loop {
+                        count: *count,
+                        body: b,
+                    });
+                }
+            }
+            out
+        }
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_bounded() {
+        let g = ProgGen::default();
+        let a = g.generate(&mut Rng::new(7));
+        let b = g.generate(&mut Rng::new(7));
+        assert_eq!(a, b);
+        assert!(!a.is_empty() && a.ops.len() <= g.max_ops);
+    }
+
+    #[test]
+    fn loops_never_nest() {
+        let g = ProgGen::default();
+        let mut rng = Rng::new(3);
+        for _ in 0..200 {
+            let spec = g.generate(&mut rng);
+            for op in &spec.ops {
+                if let SpecOp::Loop { count, body } = op {
+                    assert!((1..=MAX_LOOP_COUNT).contains(count));
+                    assert!(!body.is_empty());
+                    assert!(!body.iter().any(|b| matches!(b, SpecOp::Loop { .. })));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_generated_spec_assembles() {
+        let g = ProgGen::default();
+        let mut rng = Rng::new(9);
+        for _ in 0..100 {
+            let spec = g.generate(&mut rng);
+            let (prog, scratch) = spec.emit();
+            assert!(!prog.text.is_empty());
+            assert!(scratch >= xt_asm::DEFAULT_DATA_BASE);
+        }
+    }
+
+    #[test]
+    fn shrinking_terminates_at_fixpoint() {
+        let g = ProgGen::default();
+        let mut spec = g.generate(&mut Rng::new(11));
+        let mut steps = 0;
+        while let Some(next) = g.shrink(&spec).into_iter().next() {
+            assert!(next.len() <= spec.len(), "shrink never grows the spec");
+            spec = next;
+            steps += 1;
+            assert!(steps < 10_000, "greedy shrink terminates");
+        }
+        assert_eq!(spec.ops.len(), 1, "fully shrunk program is one op");
+    }
+
+    #[test]
+    fn dependency_free_detection() {
+        let free = ProgSpec {
+            ops: vec![
+                SpecOp::Alu { op: AluOp::Add, rd: 0, rs1: 1, rs2: 2 },
+                SpecOp::Alu { op: AluOp::Xor, rd: 3, rs1: 4, rs2: 5 },
+            ],
+        };
+        assert!(free.is_dependency_free());
+        let dep = ProgSpec {
+            ops: vec![
+                SpecOp::Li { rd: 1, imm: 5 },
+                SpecOp::Alu { op: AluOp::Add, rd: 0, rs1: 1, rs2: 2 },
+            ],
+        };
+        assert!(!dep.is_dependency_free(), "reads a written register");
+        let looped = ProgSpec {
+            ops: vec![SpecOp::Loop { count: 2, body: vec![SpecOp::Li { rd: 0, imm: 1 }] }],
+        };
+        assert!(!looped.is_dependency_free(), "loops are never dependency-free");
+    }
+}

@@ -16,10 +16,10 @@
 //!      function are clustered around one anchor register instead of
 //!      materializing each absolute address,
 //!   3. *dead-store elimination* (§IX item 3),
-//!   plus **custom-extension selection** (§VIII): indexed loads/stores
-//!   (`x.lr*/x.sr*`), address fusion (`x.addsl`), zero-extending address
-//!   arithmetic (`x.adduw`/`x.zextw`), multiply-accumulate (`x.mula*`),
-//!   and conditional moves (`x.mveqz/x.mvnez`).
+//!      plus **custom-extension selection** (§VIII): indexed loads/stores
+//!      (`x.lr*/x.sr*`), address fusion (`x.addsl`), zero-extending address
+//!      arithmetic (`x.adduw`/`x.zextw`), multiply-accumulate (`x.mula*`),
+//!      and conditional moves (`x.mveqz/x.mvnez`).
 //!
 //! # Example
 //!

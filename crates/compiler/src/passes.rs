@@ -39,7 +39,7 @@ pub fn dead_store_elimination(f: &mut FuncBuilder) {
     for blk in &mut f.blocks {
         let n = blk.insts.len();
         let mut dead = vec![false; n];
-        for i in 0..n {
+        for (i, slot) in dead.iter_mut().enumerate() {
             let IrInst::Store {
                 base, off, width, ..
             } = blk.insts[i]
@@ -55,7 +55,7 @@ pub fn dead_store_elimination(f: &mut FuncBuilder) {
                         width: w2,
                         ..
                     } if *b2 == base && *o2 == off && *w2 == width => {
-                        dead[i] = true;
+                        *slot = true;
                         break;
                     }
                     // any read, aliasing store or base redefinition stops

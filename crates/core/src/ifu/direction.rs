@@ -138,9 +138,8 @@ mod tests {
             let mut p = DirectionPredictor::new(two_level);
             let (pa, pb) = (0x1000, 0x2000);
             let mut correct = 0;
-            let mut a_outcome = false;
             for i in 0..2000u32 {
-                a_outcome = (i / 3) % 2 == 0; // some pattern
+                let a_outcome = (i / 3) % 2 == 0; // some pattern
                 p.update(pa, a_outcome);
                 // B follows A immediately: correlated outcome
                 if p.update(pb, a_outcome) && i >= 1000 {

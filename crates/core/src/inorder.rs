@@ -73,6 +73,16 @@ impl InOrderCore {
         }
     }
 
+    /// Current cycle count (for incremental use).
+    pub fn cycles(&self) -> u64 {
+        self.max_complete.max(self.last_issue)
+    }
+
+    /// Performance counters (for incremental use).
+    pub fn perf(&self) -> &PerfCounters {
+        &self.perf
+    }
+
     fn rf_idx(rf: xt_isa::RegFile) -> usize {
         match rf {
             xt_isa::RegFile::Int => 0,

@@ -101,6 +101,7 @@ impl Lsu {
     /// Schedules a load at `ready` (operands available, dispatched).
     /// `pc` keys the memory-dependence predictor; (`va`, `pa`, `size`)
     /// describe the access.
+    #[allow(clippy::too_many_arguments)] // mirrors the load port: pc/addr/size/timing inputs
     pub fn load(
         &mut self,
         core: usize,

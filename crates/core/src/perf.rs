@@ -72,6 +72,19 @@ impl PerfCounters {
             1.0 - self.branch_mispredicts as f64 / self.branches as f64
         }
     }
+
+    /// Wall-clock cycles attributed to back-end stalls.
+    pub fn attributed_stall_cycles(&self) -> u64 {
+        self.rob_stall_cycles + self.iq_stall_cycles
+    }
+
+    /// Counter conservation: attributed stall cycles can never exceed
+    /// total cycles. Stall attribution is frontier-based (each wall-clock
+    /// cycle is charged at most once across both counters), so a
+    /// violation means the bookkeeping double-counted.
+    pub fn stalls_conserved(&self) -> bool {
+        self.attributed_stall_cycles() <= self.cycles
+    }
 }
 
 /// Result of running one program on one core model.
@@ -112,6 +125,19 @@ mod tests {
         assert_eq!(p.ipc(), 0.0);
         assert_eq!(p.cpi(), 0.0);
         assert_eq!(p.branch_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn stall_conservation_predicate() {
+        let mut p = PerfCounters {
+            cycles: 100,
+            rob_stall_cycles: 60,
+            iq_stall_cycles: 40,
+            ..Default::default()
+        };
+        assert!(p.stalls_conserved(), "60+40 fits in 100");
+        p.iq_stall_cycles = 41;
+        assert!(!p.stalls_conserved(), "101 attributed in 100 cycles");
     }
 
     #[test]

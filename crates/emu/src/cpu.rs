@@ -144,6 +144,8 @@ impl Cpu {
     }
 
     /// Reads a CSR, synthesizing the live counters and vector CSRs.
+    /// `fcsr` is composed from `frm`/`fflags` so the three views stay
+    /// coherent however the guest mixes them.
     pub fn read_csr(&self, addr: u16) -> u64 {
         match addr {
             csr::INSTRET => self.instret,
@@ -151,6 +153,7 @@ impl Cpu {
             csr::VL => self.vl,
             csr::VTYPE => self.vtype.to_bits(),
             csr::MHARTID => self.hart_id,
+            csr::FCSR => (self.read_csr(csr::FRM) << 5) | self.read_csr(csr::FFLAGS),
             _ => self.csrs.get(&addr).copied().unwrap_or(0),
         }
     }
@@ -159,9 +162,28 @@ impl Cpu {
     pub fn write_csr(&mut self, addr: u16, val: u64) {
         match addr {
             csr::INSTRET | csr::CYCLE | csr::TIME | csr::VL | csr::VTYPE | csr::MHARTID => {}
+            csr::FFLAGS => {
+                self.csrs.insert(csr::FFLAGS, val & 0x1f);
+            }
+            csr::FRM => {
+                self.csrs.insert(csr::FRM, val & 0x7);
+            }
+            csr::FCSR => {
+                self.csrs.insert(csr::FFLAGS, val & 0x1f);
+                self.csrs.insert(csr::FRM, (val >> 5) & 0x7);
+            }
             _ => {
                 self.csrs.insert(addr, val);
             }
+        }
+    }
+
+    /// Accumulates floating-point exception flags into `fflags`.
+    #[inline]
+    pub fn set_fflags(&mut self, flags: u64) {
+        if flags != 0 {
+            let cur = self.read_csr(csr::FFLAGS);
+            self.csrs.insert(csr::FFLAGS, (cur | flags) & 0x1f);
         }
     }
 

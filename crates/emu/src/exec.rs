@@ -5,6 +5,7 @@ use crate::cpu::{Cpu, PrivMode};
 use crate::gmem::GuestMem;
 use crate::mmu::{self, Access};
 use crate::pmp::Pmp;
+use crate::softfp;
 use crate::trace::{DynInst, MemAccess};
 use crate::vecexec;
 use xt_asm::{Program, HALT_ADDR};
@@ -379,17 +380,16 @@ impl Emulator {
             Mulhsu => wd!((((rs1 as i64 as i128) * (rs2 as u128 as i128)) >> 64) as u64),
             Mulhu => wd!((((rs1 as u128) * (rs2 as u128)) >> 64) as u64),
             Div => wd!(div_s(rs1 as i64, rs2 as i64) as u64),
-            Divu => wd!(if rs2 == 0 { u64::MAX } else { rs1 / rs2 }),
+            Divu => wd!(rs1.checked_div(rs2).unwrap_or(u64::MAX)),
             Rem => wd!(rem_s(rs1 as i64, rs2 as i64) as u64),
             Remu => wd!(if rs2 == 0 { rs1 } else { rs1 % rs2 }),
             Mulw => wd!(sext32(rs1.wrapping_mul(rs2))),
             Divw => wd!(div_s(rs1 as i32 as i64, rs2 as i32 as i64) as i32 as i64 as u64),
             Divuw => {
                 let (a, b) = (rs1 as u32, rs2 as u32);
-                wd!(if b == 0 {
-                    u64::MAX
-                } else {
-                    (a / b) as i32 as i64 as u64
+                wd!(match a.checked_div(b) {
+                    Some(q) => q as i32 as i64 as u64,
+                    None => u64::MAX,
                 })
             }
             Remw => wd!(rem_s(rs1 as i32 as i64, rs2 as i32 as i64) as i32 as i64 as u64),
@@ -402,19 +402,22 @@ impl Emulator {
                 })
             }
             LrW => {
+                check_aligned(rs1, 4, CAUSE_LOAD_MISALIGNED)?;
                 let v = load!(rs1, 4, true);
                 self.cpu.reservation = Some(rs1);
                 wd!(v);
             }
             LrD => {
+                check_aligned(rs1, 8, CAUSE_LOAD_MISALIGNED)?;
                 let v = load!(rs1, 8, false);
                 self.cpu.reservation = Some(rs1);
                 wd!(v);
             }
             ScW | ScD => {
                 let size = if inst.op == ScW { 4 } else { 8 };
+                check_aligned(rs1, size, CAUSE_STORE_MISALIGNED)?;
                 if self.cpu.reservation == Some(rs1) {
-                    store!(rs1, rs2, size);
+                    store!(rs1, rs2, size as usize);
                     self.cpu.reservation = None;
                     wd!(0);
                 } else {
@@ -423,6 +426,7 @@ impl Emulator {
             }
             AmoSwapW | AmoAddW | AmoXorW | AmoAndW | AmoOrW | AmoMinW | AmoMaxW | AmoMinuW
             | AmoMaxuW => {
+                check_aligned(rs1, 4, CAUSE_STORE_MISALIGNED)?;
                 let old = {
                     let (raw, _pa) = self.load_mem(rs1, 4)?;
                     sext32(raw)
@@ -433,6 +437,7 @@ impl Emulator {
             }
             AmoSwapD | AmoAddD | AmoXorD | AmoAndD | AmoOrD | AmoMinD | AmoMaxD | AmoMinuD
             | AmoMaxuD => {
+                check_aligned(rs1, 8, CAUSE_STORE_MISALIGNED)?;
                 let old = {
                     let (raw, _pa) = self.load_mem(rs1, 8)?;
                     raw
@@ -472,29 +477,41 @@ impl Emulator {
                 };
                 self.cpu.wf_d(inst.rd, v);
             }
-            FaddS | FsubS | FmulS | FdivS | FminS | FmaxS => {
+            FaddS | FsubS | FmulS | FdivS => {
                 let (a, b) = (self.cpu.rf_s(inst.rs1), self.cpu.rf_s(inst.rs2));
                 let v = match inst.op {
                     FaddS => a + b,
                     FsubS => a - b,
                     FmulS => a * b,
-                    FdivS => a / b,
-                    FminS => a.min(b),
-                    _ => a.max(b),
+                    _ => a / b,
                 };
                 self.cpu.wf_s(inst.rd, v);
             }
-            FaddD | FsubD | FmulD | FdivD | FminD | FmaxD => {
+            FminS | FmaxS => {
+                // IEEE minimumNumber/maximumNumber on raw bits (softfp):
+                // canonical NaN, NV on signaling NaN, -0.0 < +0.0
+                let (a, b) = (self.cpu.rf(inst.rs1) as u32, self.cpu.rf(inst.rs2) as u32);
+                let mut fflags = 0;
+                let v = softfp::minmax_f32(a, b, inst.op == FmaxS, &mut fflags);
+                self.cpu.set_fflags(fflags);
+                self.cpu.wf(inst.rd, 0xffff_ffff_0000_0000 | v as u64);
+            }
+            FaddD | FsubD | FmulD | FdivD => {
                 let (a, b) = (self.cpu.rf_d(inst.rs1), self.cpu.rf_d(inst.rs2));
                 let v = match inst.op {
                     FaddD => a + b,
                     FsubD => a - b,
                     FmulD => a * b,
-                    FdivD => a / b,
-                    FminD => a.min(b),
-                    _ => a.max(b),
+                    _ => a / b,
                 };
                 self.cpu.wf_d(inst.rd, v);
+            }
+            FminD | FmaxD => {
+                let (a, b) = (self.cpu.rf(inst.rs1), self.cpu.rf(inst.rs2));
+                let mut fflags = 0;
+                let v = softfp::minmax_f64(a, b, inst.op == FmaxD, &mut fflags);
+                self.cpu.set_fflags(fflags);
+                self.cpu.wf(inst.rd, v);
             }
             FsqrtS => {
                 let v = self.cpu.rf_s(inst.rs1).sqrt();
@@ -750,6 +767,21 @@ fn mask64(width: u32) -> u64 {
     }
 }
 
+/// Load-address-misaligned exception cause.
+const CAUSE_LOAD_MISALIGNED: u64 = 4;
+/// Store/AMO-address-misaligned exception cause.
+const CAUSE_STORE_MISALIGNED: u64 = 6;
+
+/// LR/SC/AMO require natural alignment (RISC-V A-extension §8.2/§8.4);
+/// plain loads and stores may be misaligned on the XT-910.
+fn check_aligned(va: u64, size: u64, cause: u64) -> Result<(), Trap> {
+    if !va.is_multiple_of(size) {
+        Err(Trap { cause, tval: va })
+    } else {
+        Ok(())
+    }
+}
+
 fn div_s(a: i64, b: i64) -> i64 {
     if b == 0 {
         -1
@@ -848,6 +880,18 @@ fn fclass(v: f64, bits: u64, sign_bit: u32) -> u64 {
         6
     };
     1 << class
+}
+
+impl Emulator {
+    /// Crate-internal memory access for the vector engine.
+    pub(crate) fn load_mem_pub(&mut self, va: u64, size: usize) -> Result<(u64, u64), Trap> {
+        self.load_mem(va, size)
+    }
+
+    /// Crate-internal memory access for the vector engine.
+    pub(crate) fn store_mem_pub(&mut self, va: u64, val: u64, size: usize) -> Result<u64, Trap> {
+        self.store_mem(va, val, size)
+    }
 }
 
 #[cfg(test)]
@@ -1008,6 +1052,93 @@ mod tests {
     }
 
     #[test]
+    fn fmin_fmax_signed_zeros() {
+        // fmin(-0.0, +0.0) must be -0.0 and fmax must be +0.0.
+        let emu = run_prog(|a| {
+            use xt_isa::reg::Fpr;
+            a.li(Gpr::A1, (-0.0f64).to_bits() as i64);
+            a.li(Gpr::A2, 0.0f64.to_bits() as i64);
+            a.fmv_d_x(Fpr::new(10), Gpr::A1);
+            a.fmv_d_x(Fpr::new(11), Gpr::A2);
+            a.fmin_d(Fpr::new(12), Fpr::new(10), Fpr::new(11));
+            a.fmax_d(Fpr::new(13), Fpr::new(10), Fpr::new(11));
+            a.fmv_x_d(Gpr::A3, Fpr::new(12));
+            a.fmv_x_d(Gpr::A4, Fpr::new(13));
+            // pack: min must have the sign bit, max must not
+            a.srli(Gpr::A3, Gpr::A3, 63);
+            a.srli(Gpr::A4, Gpr::A4, 62);
+            a.add(Gpr::A0, Gpr::A3, Gpr::A4);
+        });
+        assert_eq!(emu.halted, Some(1), "fmin keeps -0.0, fmax drops it");
+    }
+
+    #[test]
+    fn fmin_both_nan_gives_canonical() {
+        // A payload-carrying qNaN input must not leak into the result.
+        let emu = run_prog(|a| {
+            use xt_isa::reg::Fpr;
+            a.li(Gpr::A1, 0x7ff8_0000_dead_beefu64 as i64);
+            a.li(Gpr::A2, 0x7ff8_1234_0000_0000u64 as i64);
+            a.fmv_d_x(Fpr::new(10), Gpr::A1);
+            a.fmv_d_x(Fpr::new(11), Gpr::A2);
+            a.fmin_d(Fpr::new(12), Fpr::new(10), Fpr::new(11));
+            a.fmv_x_d(Gpr::A0, Fpr::new(12));
+        });
+        assert_eq!(emu.halted, Some(crate::softfp::CANONICAL_NAN_F64));
+    }
+
+    #[test]
+    fn fmin_snan_sets_nv_flag() {
+        // sNaN operand: result is the other operand, NV accumulates in
+        // fflags, and fcsr mirrors it.
+        let emu = run_prog(|a| {
+            use xt_isa::reg::Fpr;
+            a.li(Gpr::A1, 0x7ff0_0000_0000_0001u64 as i64); // sNaN
+            a.li(Gpr::A2, 2.5f64.to_bits() as i64);
+            a.fmv_d_x(Fpr::new(10), Gpr::A1);
+            a.fmv_d_x(Fpr::new(11), Gpr::A2);
+            a.fmin_d(Fpr::new(12), Fpr::new(10), Fpr::new(11));
+            a.fmv_x_d(Gpr::A3, Fpr::new(12));
+            a.csrr(Gpr::A4, xt_isa::csr::FFLAGS);
+            a.csrr(Gpr::A5, xt_isa::csr::FCSR);
+            // a0 = fflags<<8 | fcsr<<4 | (result == 2.5)
+            a.li(Gpr::A6, 2.5f64.to_bits() as i64);
+            a.sltu(Gpr::A7, Gpr::A3, Gpr::A6);
+            a.sltu(Gpr::T0, Gpr::A6, Gpr::A3);
+            a.or_(Gpr::A7, Gpr::A7, Gpr::T0);
+            a.xori(Gpr::A7, Gpr::A7, 1); // 1 when equal
+            a.slli(Gpr::A4, Gpr::A4, 8);
+            a.slli(Gpr::A5, Gpr::A5, 4);
+            a.add(Gpr::A0, Gpr::A4, Gpr::A5);
+            a.add(Gpr::A0, Gpr::A0, Gpr::A7);
+        });
+        assert_eq!(emu.halted, Some((0x10 << 8) | (0x10 << 4) | 1));
+    }
+
+    #[test]
+    fn fmin_s_single_precision_spec() {
+        // single precision path: both-NaN canonicalizes, sNaN sets NV
+        let emu = run_prog(|a| {
+            use xt_isa::reg::Fpr;
+            a.li(Gpr::A1, 0x7f80_0001); // sNaN (f32)
+            a.li(Gpr::A2, 0x7fc0_1234); // qNaN with payload
+            a.fmv_w_x(Fpr::new(10), Gpr::A1);
+            a.fmv_w_x(Fpr::new(11), Gpr::A2);
+            a.fmax_s(Fpr::new(12), Fpr::new(10), Fpr::new(11));
+            a.fmv_x_w(Gpr::A3, Fpr::new(12));
+            a.csrr(Gpr::A4, xt_isa::csr::FFLAGS);
+            // a0 = fflags<<32 | low-32 of result (fmv.x.w sign-extends;
+            // canonical NaN has bit31 clear so no masking needed)
+            a.slli(Gpr::A4, Gpr::A4, 32);
+            a.add(Gpr::A0, Gpr::A3, Gpr::A4);
+        });
+        assert_eq!(
+            emu.halted,
+            Some((0x10u64 << 32) | crate::softfp::CANONICAL_NAN_F32 as u64)
+        );
+    }
+
+    #[test]
     fn compressed_program_runs() {
         let mut a = Asm::new().with_compression();
         a.li(Gpr::A0, 0);
@@ -1019,17 +1150,5 @@ mod tests {
         let mut emu = Emulator::new();
         emu.load(&p);
         assert_eq!(emu.run(1000).unwrap(), 5);
-    }
-}
-
-impl Emulator {
-    /// Crate-internal memory access for the vector engine.
-    pub(crate) fn load_mem_pub(&mut self, va: u64, size: usize) -> Result<(u64, u64), Trap> {
-        self.load_mem(va, size)
-    }
-
-    /// Crate-internal memory access for the vector engine.
-    pub(crate) fn store_mem_pub(&mut self, va: u64, val: u64, size: usize) -> Result<u64, Trap> {
-        self.store_mem(va, val, size)
     }
 }

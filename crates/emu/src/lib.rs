@@ -43,6 +43,7 @@ pub mod f16;
 pub mod gmem;
 pub mod mmu;
 pub mod pmp;
+pub mod softfp;
 pub mod trace;
 pub mod vecexec;
 

@@ -1,0 +1,161 @@
+//! Spec-compliant floating-point min/max.
+//!
+//! The RISC-V F/D extensions define `fmin`/`fmax` as IEEE 754-2019
+//! `minimumNumber`/`maximumNumber`, which differ from Rust's
+//! `f32::min`/`f32::max` in three observable ways:
+//!
+//! 1. when **both** inputs are NaN the result is the *canonical* NaN
+//!    (positive quiet NaN with a zero payload), not either input,
+//! 2. a **signaling** NaN input raises the invalid-operation flag (NV)
+//!    even when the other operand provides the result,
+//! 3. `fmin(-0.0, +0.0)` is `-0.0` and `fmax(-0.0, +0.0)` is `+0.0` —
+//!    the zeros are ordered by sign, where Rust may return either.
+//!
+//! The helpers work on raw bit patterns so NaN payloads and zero signs
+//! survive the trip through the register file unchanged.
+
+/// Invalid-operation flag bit in `fflags` (NV).
+pub const FFLAG_NV: u64 = 0x10;
+
+/// Canonical single-precision quiet NaN.
+pub const CANONICAL_NAN_F32: u32 = 0x7fc0_0000;
+
+/// Canonical double-precision quiet NaN.
+pub const CANONICAL_NAN_F64: u64 = 0x7ff8_0000_0000_0000;
+
+/// True when `bits` encodes a single-precision signaling NaN
+/// (all-ones exponent, non-zero mantissa, quiet bit clear).
+pub fn is_snan_f32(bits: u32) -> bool {
+    (bits & 0x7f80_0000) == 0x7f80_0000
+        && (bits & 0x007f_ffff) != 0
+        && (bits & 0x0040_0000) == 0
+}
+
+/// True when `bits` encodes a double-precision signaling NaN.
+pub fn is_snan_f64(bits: u64) -> bool {
+    (bits & 0x7ff0_0000_0000_0000) == 0x7ff0_0000_0000_0000
+        && (bits & 0x000f_ffff_ffff_ffff) != 0
+        && (bits & 0x0008_0000_0000_0000) == 0
+}
+
+macro_rules! minmax_impl {
+    ($name:ident, $bits:ty, $float:ty, $is_snan:ident, $canonical:ident, $sign:expr) => {
+        /// RISC-V `fmin`/`fmax` (`max` selects which). Returns the result
+        /// bits and accumulates exception flags into `fflags`.
+        pub fn $name(a: $bits, b: $bits, max: bool, fflags: &mut u64) -> $bits {
+            let (fa, fb) = (<$float>::from_bits(a), <$float>::from_bits(b));
+            if $is_snan(a) || $is_snan(b) {
+                *fflags |= FFLAG_NV;
+            }
+            match (fa.is_nan(), fb.is_nan()) {
+                (true, true) => $canonical,
+                (true, false) => b,
+                (false, true) => a,
+                (false, false) => {
+                    if fa == fb {
+                        // only ±0.0 are equal-but-distinct: order by sign
+                        let a_neg = a & $sign != 0;
+                        if a_neg != max {
+                            a
+                        } else {
+                            b
+                        }
+                    } else if (fa < fb) != max {
+                        a
+                    } else {
+                        b
+                    }
+                }
+            }
+        }
+    };
+}
+
+minmax_impl!(minmax_f32, u32, f32, is_snan_f32, CANONICAL_NAN_F32, 0x8000_0000u32);
+minmax_impl!(minmax_f64, u64, f64, is_snan_f64, CANONICAL_NAN_F64, 1u64 << 63);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QNAN32: u32 = CANONICAL_NAN_F32;
+    const SNAN32: u32 = 0x7f80_0001;
+    const QNAN64: u64 = CANONICAL_NAN_F64;
+    const SNAN64: u64 = 0x7ff0_0000_0000_0001;
+    const NEG_ZERO32: u32 = 0x8000_0000;
+    const POS_ZERO32: u32 = 0x0000_0000;
+
+    fn min32(a: u32, b: u32) -> (u32, u64) {
+        let mut fl = 0;
+        (minmax_f32(a, b, false, &mut fl), fl)
+    }
+
+    fn max32(a: u32, b: u32) -> (u32, u64) {
+        let mut fl = 0;
+        (minmax_f32(a, b, true, &mut fl), fl)
+    }
+
+    #[test]
+    fn both_nan_gives_canonical_nan() {
+        // a qNaN with a payload must NOT propagate
+        let payload_nan = 0x7fc0_1234;
+        assert_eq!(min32(payload_nan, QNAN32).0, QNAN32);
+        assert_eq!(max32(QNAN32, payload_nan).0, QNAN32);
+        let mut fl = 0;
+        assert_eq!(minmax_f64(QNAN64 | 5, QNAN64, false, &mut fl), QNAN64);
+        assert_eq!(fl, 0, "quiet NaNs raise nothing");
+    }
+
+    #[test]
+    fn one_nan_returns_the_number() {
+        assert_eq!(min32(QNAN32, 1.5f32.to_bits()).0, 1.5f32.to_bits());
+        assert_eq!(max32(2.5f32.to_bits(), QNAN32).0, 2.5f32.to_bits());
+    }
+
+    #[test]
+    fn signaling_nan_sets_nv_and_canonicalizes() {
+        let (v, fl) = min32(SNAN32, 1.0f32.to_bits());
+        assert_eq!(v, 1.0f32.to_bits(), "number still wins");
+        assert_eq!(fl, FFLAG_NV);
+        let (v, fl) = max32(SNAN32, QNAN32);
+        assert_eq!(v, QNAN32, "both NaN: canonical");
+        assert_eq!(fl, FFLAG_NV);
+        let mut fl = 0;
+        assert_eq!(
+            minmax_f64(SNAN64, QNAN64, false, &mut fl),
+            QNAN64,
+            "f64 sNaN canonicalizes"
+        );
+        assert_eq!(fl, FFLAG_NV);
+    }
+
+    #[test]
+    fn signed_zeros_are_ordered() {
+        assert_eq!(min32(NEG_ZERO32, POS_ZERO32).0, NEG_ZERO32);
+        assert_eq!(min32(POS_ZERO32, NEG_ZERO32).0, NEG_ZERO32);
+        assert_eq!(max32(NEG_ZERO32, POS_ZERO32).0, POS_ZERO32);
+        assert_eq!(max32(POS_ZERO32, NEG_ZERO32).0, POS_ZERO32);
+        let mut fl = 0;
+        assert_eq!(minmax_f64(1 << 63, 0, true, &mut fl), 0);
+        assert_eq!(minmax_f64(1 << 63, 0, false, &mut fl), 1 << 63);
+    }
+
+    #[test]
+    fn ordinary_ordering_matches_ieee() {
+        for (a, b) in [(1.0f32, 2.0), (-3.5, 3.5), (f32::INFINITY, 1e30), (-1e-40, 1e-40)] {
+            let (lo, hi) = (a.min(b), a.max(b));
+            assert_eq!(min32(a.to_bits(), b.to_bits()).0, lo.to_bits());
+            assert_eq!(max32(a.to_bits(), b.to_bits()).0, hi.to_bits());
+        }
+    }
+
+    #[test]
+    fn snan_classifier() {
+        assert!(is_snan_f32(SNAN32));
+        assert!(!is_snan_f32(QNAN32));
+        assert!(!is_snan_f32(f32::INFINITY.to_bits()));
+        assert!(is_snan_f64(SNAN64));
+        assert!(!is_snan_f64(QNAN64));
+        assert!(!is_snan_f64(1.0f64.to_bits()));
+    }
+}

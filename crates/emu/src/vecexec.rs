@@ -411,11 +411,7 @@ fn int_binop(op: Op, a: u64, b: u64, sew: Sew) -> u64 {
         }
         VdivuVV => {
             let (ua, ub) = (trunc(a, sew), trunc(b, sew));
-            if ub == 0 {
-                u64::MAX
-            } else {
-                ua / ub
-            }
+            ua.checked_div(ub).unwrap_or(u64::MAX)
         }
         VremVV => {
             if sb == 0 {

@@ -32,6 +32,16 @@ fn exec_binop(op: &str, a: i64, b: i64) -> u64 {
         "addw" => asm.addw(Gpr::A0, Gpr::A1, Gpr::A2),
         "subw" => asm.subw(Gpr::A0, Gpr::A1, Gpr::A2),
         "mulw" => asm.mulw(Gpr::A0, Gpr::A1, Gpr::A2),
+        "sll" => asm.sll(Gpr::A0, Gpr::A1, Gpr::A2),
+        "srl" => asm.srl(Gpr::A0, Gpr::A1, Gpr::A2),
+        "sra" => asm.sra(Gpr::A0, Gpr::A1, Gpr::A2),
+        "sllw" => asm.sllw(Gpr::A0, Gpr::A1, Gpr::A2),
+        "srlw" => asm.srlw(Gpr::A0, Gpr::A1, Gpr::A2),
+        "sraw" => asm.sraw(Gpr::A0, Gpr::A1, Gpr::A2),
+        "divu" => asm.divu(Gpr::A0, Gpr::A1, Gpr::A2),
+        "remu" => asm.remu(Gpr::A0, Gpr::A1, Gpr::A2),
+        "divuw" => asm.divuw(Gpr::A0, Gpr::A1, Gpr::A2),
+        "remuw" => asm.remuw(Gpr::A0, Gpr::A1, Gpr::A2),
         _ => unreachable!(),
     };
     asm.halt();
@@ -73,12 +83,31 @@ fn host_binop(op: &str, a: i64, b: i64) -> u64 {
         "addw" => ua.wrapping_add(ub) as u32 as i32 as i64 as u64,
         "subw" => ua.wrapping_sub(ub) as u32 as i32 as i64 as u64,
         "mulw" => ua.wrapping_mul(ub) as u32 as i32 as i64 as u64,
+        // RV64I shifts use only the low 6 (or 5 for *w) bits of rs2
+        "sll" => ua << (ub & 63),
+        "srl" => ua >> (ub & 63),
+        "sra" => (a >> (ub & 63)) as u64,
+        "sllw" => ((ua as u32) << (ub & 31)) as i32 as i64 as u64,
+        "srlw" => ((ua as u32) >> (ub & 31)) as i32 as i64 as u64,
+        "sraw" => ((a as i32) >> (ub & 31)) as i64 as u64,
+        // unsigned div/rem by zero: all-ones / dividend (RISC-V M-spec)
+        "divu" => ua.checked_div(ub).unwrap_or(u64::MAX),
+        "remu" => ua.checked_rem(ub).unwrap_or(ua),
+        "divuw" => {
+            let (a32, b32) = (ua as u32, ub as u32);
+            a32.checked_div(b32).unwrap_or(u32::MAX) as i32 as i64 as u64
+        }
+        "remuw" => {
+            let (a32, b32) = (ua as u32, ub as u32);
+            a32.checked_rem(b32).unwrap_or(a32) as i32 as i64 as u64
+        }
         _ => unreachable!(),
     }
 }
 
 const OPS: &[&str] = &[
     "add", "sub", "mul", "mulh", "div", "rem", "and", "or", "xor", "sltu", "addw", "subw", "mulw",
+    "sll", "srl", "sra", "sllw", "srlw", "sraw", "divu", "remu", "divuw", "remuw",
 ];
 
 const SEED: u64 = 0xD1FF_0001;
@@ -101,8 +130,10 @@ fn binop_edge_cases() {
     let g = gen::ints(0usize..OPS.len());
     check_with(&cfg(), "binop_edge_cases", &g, |&opi| {
         let op = OPS[opi];
-        for a in [0i64, 1, -1, i64::MIN, i64::MAX, 0x8000_0000] {
-            for b in [0i64, 1, -1, i64::MIN, i64::MAX, -0x8000_0000] {
+        // b covers: div-by-zero, i64::MIN / -1, shamts at/over width
+        // (63, 64, 65 exercise the &63 / &31 masking), and u32 edges.
+        for a in [0i64, 1, -1, i64::MIN, i64::MAX, 0x8000_0000, u32::MAX as i64] {
+            for b in [0i64, 1, -1, i64::MIN, i64::MAX, -0x8000_0000, 31, 32, 63, 64, 65] {
                 assert_eq!(exec_binop(op, a, b), host_binop(op, a, b),
                     "op {} a {} b {}", op, a, b);
             }

@@ -108,7 +108,7 @@ impl<T: Int> Gen for IntGen<T> {
         }
         let mut out = Vec::with_capacity(3);
         let mut push = |c: i128| {
-            if c != v && c >= self.lo && c <= self.hi && !out.iter().any(|&o| o == c) {
+            if c != v && c >= self.lo && c <= self.hi && !out.contains(&c) {
                 out.push(c);
             }
         };
@@ -151,6 +151,54 @@ impl<T: Copy + PartialEq + Debug + 'static> Gen for ChooseGen<T> {
         // the canonical minimum
         if self.table[0] != *value {
             vec![self.table[0]]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Weighted selection from a static table of `(weight, value)` pairs.
+///
+/// Program generators want skewed instruction mixes (many ALU ops, a
+/// few branches); uniform [`choose`] can't express that. Shrinks toward
+/// the table's first entry, like [`choose`].
+#[derive(Clone, Debug)]
+pub struct WeightedGen<T: 'static> {
+    table: &'static [(u32, T)],
+    total: u64,
+}
+
+/// Generator drawing from `table` with probability proportional to each
+/// entry's weight; shrinks toward `table[0].1`.
+///
+/// # Panics
+///
+/// Panics if the table is empty or all weights are zero.
+pub fn weighted<T: Copy + PartialEq + Debug + 'static>(table: &'static [(u32, T)]) -> WeightedGen<T> {
+    assert!(!table.is_empty(), "weighted: empty table");
+    let total: u64 = table.iter().map(|(w, _)| *w as u64).sum();
+    assert!(total > 0, "weighted: all weights zero");
+    WeightedGen { table, total }
+}
+
+impl<T: Copy + PartialEq + Debug + 'static> Gen for WeightedGen<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        let mut roll = rng.below(self.total);
+        for (w, v) in self.table {
+            let w = *w as u64;
+            if roll < w {
+                return *v;
+            }
+            roll -= w;
+        }
+        unreachable!("roll < sum of weights");
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        if self.table[0].1 != *value {
+            vec![self.table[0].1]
         } else {
             Vec::new()
         }
@@ -418,6 +466,26 @@ mod tests {
         let cands = g.shrink(&(50, 0));
         assert!(!cands.is_empty());
         assert!(cands.iter().all(|&(_, b)| b == 0), "only first slot moves");
+    }
+
+    #[test]
+    fn weighted_respects_weights_and_shrinks() {
+        static T: &[(u32, u8)] = &[(1, 0), (99, 1)];
+        let g = weighted(T);
+        let mut rng = Rng::new(11);
+        let ones = (0..1000).filter(|_| g.generate(&mut rng) == 1).count();
+        assert!(ones > 900, "99% weight drew only {ones}/1000");
+        assert!(ones < 1000, "1% weight still reachable");
+        assert_eq!(g.shrink(&1), vec![0]);
+        assert!(g.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn zero_weight_entries_never_drawn() {
+        static T: &[(u32, u8)] = &[(5, 0), (0, 1), (5, 2)];
+        let g = weighted(T);
+        let mut rng = Rng::new(12);
+        assert!((0..2000).all(|_| g.generate(&mut rng) != 1));
     }
 
     #[test]

@@ -1,5 +1,9 @@
 //! Binary instruction decoding — the exact inverse of [`crate::encode`].
 
+// Binary literals group bits by instruction field (funct5_funct2), not
+// by uniform digit count.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::inst::Inst;
 use crate::op::Op;
 

@@ -7,6 +7,10 @@
 //! in [`crate::decode`] is the exact inverse — round-trips are
 //! property-tested.
 
+// Binary literals group bits by instruction field (funct5_funct2), not
+// by uniform digit count.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::inst::Inst;
 use crate::op::Op;
 

@@ -206,8 +206,10 @@ mod tests {
 
     #[test]
     fn table1_space_enforced() {
-        let mut c = MemConfig::default();
-        c.cores = 3;
+        let mut c = MemConfig {
+            cores: 3,
+            ..MemConfig::default()
+        };
         assert!(c.validate().is_err());
         c.cores = 4;
         c.l1d_kib = 16;

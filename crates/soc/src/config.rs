@@ -69,16 +69,20 @@ mod tests {
 
     #[test]
     fn sixteen_core_max() {
-        let mut c = SocConfig::default();
-        c.clusters = 4;
+        let c = SocConfig {
+            clusters: 4,
+            ..SocConfig::default()
+        };
         assert_eq!(c.total_cores(), 16);
         c.validate().unwrap();
     }
 
     #[test]
     fn bad_configs_rejected() {
-        let mut c = SocConfig::default();
-        c.clusters = 5;
+        let mut c = SocConfig {
+            clusters: 5,
+            ..SocConfig::default()
+        };
         assert!(c.validate().is_err());
         c.clusters = 1;
         c.cores_per_cluster = 3;

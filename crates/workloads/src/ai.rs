@@ -124,9 +124,9 @@ pub fn dot_f16() -> Kernel {
     use xt_emu::f16::{f16_add, f16_fma};
     let mut lanes = [0u16; 8];
     for c in 0..(n / 8) as usize {
-        for l in 0..8 {
+        for (l, lane) in lanes.iter_mut().enumerate() {
             let i = c * 8 + l;
-            lanes[l] = f16_fma(x[i], w[i], lanes[l]);
+            *lane = f16_fma(x[i], w[i], *lane);
         }
     }
     let mut acc = 0u16;

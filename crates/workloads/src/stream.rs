@@ -20,9 +20,7 @@ pub fn stream(elems: u64) -> Kernel {
     let mut a: Vec<f64> = (0..elems).map(|k| 1.0 + (k % 7) as f64).collect();
     let mut b: Vec<f64> = vec![2.0; elems as usize];
     let mut c: Vec<f64> = vec![0.0; elems as usize];
-    for i in 0..elems as usize {
-        c[i] = a[i]; // copy
-    }
+    c.copy_from_slice(&a); // copy
     for i in 0..elems as usize {
         b[i] = scalar * c[i]; // scale
     }

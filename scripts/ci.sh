@@ -17,6 +17,15 @@ cargo build --release --offline --all-targets
 echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace
 
+echo "== lint (clippy, warnings are errors) =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
+echo "== xt-check conformance smoke (fixed suite seed) =="
+# 64 random programs: emulator vs. host oracle conformance plus
+# timing-model invariants; --self-test additionally injects an oracle
+# fault and requires a shrunk, seed-replayable counterexample.
+cargo run --release --offline -p xt-check -- --cases 64 --self-test
+
 echo "== hermetic dependency check =="
 # Workspace-local (path) packages have "source": null in cargo metadata;
 # anything from a registry, git, or vendored source is a policy violation.
