@@ -1,0 +1,55 @@
+//! `xt-report` — generate the pipeline-observability report.
+//!
+//! Runs STREAM (prefetch on/off) plus the dependency-chain and branchy
+//! microbenches on both timing models and writes, to the current
+//! directory:
+//!
+//! * `BENCH_pipeline.json` — machine-readable results (per-cause stall
+//!   attribution, IPC, prefetch hits; schema `xt-report/v1`),
+//! * `REPORT_pipeline.md` — the same matrix as Markdown tables.
+//!
+//! Flags:
+//!   --smoke   shrink every workload (CI gate; seconds instead of minutes)
+//!   --trace   additionally dump the depchain microbench pipeline trace as
+//!             `TRACE_depchain.kanata` (Konata) and
+//!             `TRACE_depchain_chrome.json` (chrome://tracing)
+//!
+//! Output is deterministic: same binary, same flags → byte-identical
+//! files (no timestamps, no ambient randomness).
+
+use xt_bench::report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let trace = args.iter().any(|a| a == "--trace");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| *a != "--smoke" && *a != "--trace")
+    {
+        eprintln!("xt-report: unknown flag {bad} (known: --smoke --trace)");
+        std::process::exit(2);
+    }
+
+    let results = report::run_all(smoke);
+    let json = report::render_json(&results, smoke);
+    let md = report::render_markdown(&results, smoke);
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    std::fs::write("REPORT_pipeline.md", &md).expect("write REPORT_pipeline.md");
+    println!("wrote BENCH_pipeline.json and REPORT_pipeline.md ({} cells)", results.len());
+    for r in &results {
+        println!("  {:<14} {}", r.workload, r.report.summary());
+    }
+
+    if trace {
+        let buf = report::traced_depchain(if smoke { 20 } else { 200 });
+        std::fs::write("TRACE_depchain.kanata", buf.to_konata())
+            .expect("write TRACE_depchain.kanata");
+        std::fs::write("TRACE_depchain_chrome.json", buf.to_chrome_json())
+            .expect("write TRACE_depchain_chrome.json");
+        println!(
+            "wrote TRACE_depchain.kanata and TRACE_depchain_chrome.json ({} records)",
+            buf.records().len()
+        );
+    }
+}

@@ -11,6 +11,7 @@
 pub mod ablations;
 pub mod figures;
 pub mod multicore;
+pub mod report;
 
 pub use figures::*;
 

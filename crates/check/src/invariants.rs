@@ -6,8 +6,9 @@
 //!
 //! 1. retirement follows program order (the OoO retire cycle is
 //!    monotone across the committed trace),
-//! 2. stall-cycle conservation — attributed ROB + IQ stall cycles can
-//!    never exceed total cycles,
+//! 2. stall-cycle conservation — the per-cause attributed stall cycles
+//!    (ROB/IQ/LSU-queue/cache-miss/flush) can never sum past total
+//!    cycles,
 //! 3. `IPC ≤ issue width` (and the tighter retire-width bound),
 //! 4. on dependency-free straight-line code the in-order baseline is
 //!    never faster than the out-of-order core.
@@ -82,10 +83,16 @@ pub fn check_invariants(spec: &ProgSpec) -> Result<TimingSummary, String> {
     let cycles = core.cycles();
     let perf = core.perf();
 
-    if !perf.stalls_conserved() && perf.attributed_stall_cycles() > cycles {
+    if perf.attributed_stall_cycles() > cycles {
         return Err(format!(
-            "stall conservation violated: rob {} + iq {} > {} cycles",
-            perf.rob_stall_cycles, perf.iq_stall_cycles, cycles
+            "stall conservation violated: attributed {} > {} cycles\n{}",
+            perf.attributed_stall_cycles(),
+            cycles,
+            xt_core::perf::StallCause::ALL
+                .iter()
+                .map(|&c| format!("    {}: {}", c.name(), perf.stall(c)))
+                .collect::<Vec<_>>()
+                .join("\n"),
         ));
     }
     // `+ 1`: cycle counting is zero-based, a 1-cycle program reports 0..=1.
@@ -125,8 +132,8 @@ pub fn check_invariants(spec: &ProgSpec) -> Result<TimingSummary, String> {
         ooo_cycles: cycles,
         inorder_cycles,
         instructions: insts,
-        rob_stall_cycles: perf.rob_stall_cycles,
-        iq_stall_cycles: perf.iq_stall_cycles,
+        rob_stall_cycles: perf.rob_stall_cycles(),
+        iq_stall_cycles: perf.iq_stall_cycles(),
     })
 }
 

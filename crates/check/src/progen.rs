@@ -42,28 +42,51 @@ pub const REG_MAP: [Gpr; NREGS] = [
 /// masking and division edge semantics.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum AluOp {
+    /// 64-bit add.
     Add,
+    /// 64-bit subtract.
     Sub,
+    /// Bitwise AND.
     And,
+    /// Bitwise OR.
     Or,
+    /// Bitwise XOR.
     Xor,
+    /// Set-less-than, unsigned.
     Sltu,
+    /// Logical shift left (amount masked to 6 bits).
     Sll,
+    /// Logical shift right (amount masked to 6 bits).
     Srl,
+    /// Arithmetic shift right (amount masked to 6 bits).
     Sra,
+    /// 64-bit multiply, low half.
     Mul,
+    /// Signed×signed multiply, high half.
     Mulh,
+    /// Signed divide (`MIN/-1` overflow and `/0` per RV64M).
     Div,
+    /// Unsigned divide (`/0` yields all-ones per RV64M).
     Divu,
+    /// Signed remainder.
     Rem,
+    /// Unsigned remainder.
     Remu,
+    /// 32-bit add, sign-extended result (`addw`).
     Addw,
+    /// 32-bit subtract, sign-extended result (`subw`).
     Subw,
+    /// 32-bit multiply, sign-extended result (`mulw`).
     Mulw,
+    /// 32-bit shift left (amount masked to 5 bits).
     Sllw,
+    /// 32-bit logical shift right (amount masked to 5 bits).
     Srlw,
+    /// 32-bit arithmetic shift right (amount masked to 5 bits).
     Sraw,
+    /// 32-bit unsigned divide, sign-extended result (`divuw`).
     Divuw,
+    /// 32-bit unsigned remainder, sign-extended result (`remuw`).
     Remuw,
 }
 
@@ -100,15 +123,44 @@ pub const ALL_ALU: [AluOp; 23] = [
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum SpecOp {
     /// `rd = imm`
-    Li { rd: u8, imm: i64 },
+    Li {
+        /// Destination virtual register.
+        rd: u8,
+        /// Immediate value.
+        imm: i64,
+    },
     /// `rd = op(rs1, rs2)`
-    Alu { op: AluOp, rd: u8, rs1: u8, rs2: u8 },
+    Alu {
+        /// The ALU operation.
+        op: AluOp,
+        /// Destination virtual register.
+        rd: u8,
+        /// First source virtual register.
+        rs1: u8,
+        /// Second source virtual register.
+        rs2: u8,
+    },
     /// `rd = scratch[slot]`
-    Load { rd: u8, slot: u8 },
+    Load {
+        /// Destination virtual register.
+        rd: u8,
+        /// Scratch-memory slot index.
+        slot: u8,
+    },
     /// `scratch[slot] = rs`
-    Store { rs: u8, slot: u8 },
+    Store {
+        /// Source virtual register.
+        rs: u8,
+        /// Scratch-memory slot index.
+        slot: u8,
+    },
     /// Repeat `body` exactly `count` times (no nesting).
-    Loop { count: u8, body: Vec<SpecOp> },
+    Loop {
+        /// Iteration count.
+        count: u8,
+        /// Operations repeated each iteration (never contains `Loop`).
+        body: Vec<SpecOp>,
+    },
 }
 
 /// An abstract program: a sequence of [`SpecOp`]s executed over zeroed

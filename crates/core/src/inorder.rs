@@ -10,11 +10,12 @@
 
 use crate::config::CoreConfig;
 use crate::ifu::{FrontEnd, Redirect};
-use crate::perf::{PerfCounters, RunReport};
+use crate::perf::{PerfCounters, RunReport, StallCause};
 use crate::resources::{Bandwidth, PipeGroup};
 use xt_emu::{DynInst, TraceSource};
 use xt_isa::ExecClass;
 use xt_mem::MemSystem;
+use xt_trace::{FlushCause, FlushEvent, InstRecord, TraceBuffer, TraceSink};
 
 /// The in-order core model.
 #[derive(Debug)]
@@ -34,6 +35,11 @@ pub struct InOrderCore {
     /// issue must be monotonic (in-order)
     last_issue: u64,
     max_complete: u64,
+    /// Flush bubble awaiting attribution (charged at the next fetch,
+    /// same lazy scheme as the OoO core).
+    pending_flush: Option<(u64, StallCause)>,
+    /// Optional per-instruction pipeline tracer (None = zero overhead).
+    tracer: Option<TraceBuffer>,
     perf: PerfCounters,
 }
 
@@ -53,6 +59,8 @@ impl InOrderCore {
             reg_ready: [[0; 32]; 3],
             last_issue: 0,
             max_complete: 0,
+            pending_flush: None,
+            tracer: None,
             perf: PerfCounters::default(),
             core_id,
             cfg,
@@ -65,6 +73,18 @@ impl InOrderCore {
             self.step(&d, mem);
         }
         self.perf.cycles = self.max_complete.max(self.last_issue);
+        self.perf.prefetch_hits = mem
+            .stats()
+            .prefetches_useful
+            .get(self.core_id)
+            .copied()
+            .unwrap_or(0);
+        debug_assert!(
+            self.perf.stalls_conserved(),
+            "stall counters double-count: attributed {} > cycles {}",
+            self.perf.attributed_stall_cycles(),
+            self.perf.cycles
+        );
         RunReport {
             machine: self.cfg.name,
             perf: self.perf.clone(),
@@ -83,6 +103,22 @@ impl InOrderCore {
         &self.perf
     }
 
+    /// Attaches a fresh trace buffer: subsequent [`Self::step`] calls
+    /// record one [`InstRecord`] per instruction plus flush events.
+    pub fn attach_tracer(&mut self) {
+        self.tracer = Some(TraceBuffer::new());
+    }
+
+    /// The attached trace buffer, if any.
+    pub fn tracer(&self) -> Option<&TraceBuffer> {
+        self.tracer.as_ref()
+    }
+
+    /// Detaches and returns the trace buffer (tracing stops).
+    pub fn take_tracer(&mut self) -> Option<TraceBuffer> {
+        self.tracer.take()
+    }
+
     fn rf_idx(rf: xt_isa::RegFile) -> usize {
         match rf {
             xt_isa::RegFile::Int => 0,
@@ -97,11 +133,18 @@ impl InOrderCore {
         let class = d.inst.op.exec_class();
         let fo = self.fe.observe(d, &mut self.perf);
 
+        // charge the flush bubble left by the previous instruction's
+        // redirect (lazy scheme, see the OoO core and `perf` module docs)
+        if let Some((from, cause)) = self.pending_flush.take() {
+            self.perf.charge(cause, from, self.fetch_cycle);
+        }
+
         // fetch
         let line = d.fetch_pa >> 6;
         if line != self.cur_fetch_line {
             let t = mem.icache_fetch(self.core_id, self.fetch_cycle, d.fetch_pa);
             if t > self.fetch_cycle {
+                self.perf.charge(StallCause::ICacheMiss, self.fetch_cycle, t);
                 self.fetch_cycle = t;
                 self.fetch_bytes = 0;
             }
@@ -112,6 +155,7 @@ impl InOrderCore {
             self.fetch_bytes = 0;
         }
         self.fetch_bytes += d.inst.len as u64;
+        let fetched = self.fetch_cycle;
 
         // in-order issue: operands must be ready, and issue is monotonic
         let mut ready = self.fetch_cycle + 1;
@@ -138,7 +182,12 @@ impl InOrderCore {
             ExecClass::Load | ExecClass::VecLoad | ExecClass::Amo => {
                 let m = d.mem.expect("load accesses memory");
                 let start = self.agu.issue(issue, 1) + lat.agu;
-                mem.dload(self.core_id, start, m.vaddr, m.paddr)
+                let t = mem.dload(self.core_id, start, m.vaddr, m.paddr);
+                let hit_by = start + mem.config().l1_hit;
+                if t > hit_by {
+                    self.perf.charge(StallCause::DCacheMiss, hit_by, t);
+                }
+                t
             }
             ExecClass::Store | ExecClass::VecStore => {
                 let m = d.mem.expect("store accesses memory");
@@ -172,9 +221,47 @@ impl InOrderCore {
         self.perf.instructions += 1;
         self.perf.uops += 1;
 
+        // trace record (only when a tracer is attached). The U74-class
+        // baseline is 8-deep; the record still uses the 13 XT-910 slots
+        // with the shorter pipe's stages collapsed (docs/PIPELINE.md).
+        if let Some(tracer) = self.tracer.as_mut() {
+            let ex1 = issue;
+            let ex4 = issue.max(complete.saturating_sub(1));
+            let span = ex4 - ex1;
+            let rec = InstRecord::new(
+                self.perf.instructions - 1,
+                d.pc,
+                xt_isa::disasm::disasm(&d.inst),
+                [
+                    fetched,
+                    fetched,
+                    fetched,
+                    fetched + 1,
+                    fetched + 1,
+                    fetched + 1,
+                    ready,
+                    ex1,
+                    ex1 + span / 3,
+                    ex1 + 2 * span / 3,
+                    ex4,
+                    complete,
+                    complete,
+                ],
+            );
+            tracer.record(rec);
+        }
+
         // redirects
         if d.trapped {
             self.perf.exception_flushes += 1;
+            self.pending_flush = Some((self.fetch_cycle, StallCause::OrderFlush));
+            if let Some(t) = self.tracer.as_mut() {
+                t.flush_event(FlushEvent {
+                    cycle: complete,
+                    pc: d.pc,
+                    cause: FlushCause::Exception,
+                });
+            }
             self.fetch_cycle = self.fetch_cycle.max(complete + self.cfg.flush_penalty);
             self.fetch_bytes = 0;
             self.cur_fetch_line = u64::MAX;
@@ -192,6 +279,14 @@ impl InOrderCore {
                     self.issue_bw.break_group();
                 }
                 Redirect::Mispredict => {
+                    self.pending_flush = Some((self.fetch_cycle, StallCause::MispredictFlush));
+                    if let Some(t) = self.tracer.as_mut() {
+                        t.flush_event(FlushEvent {
+                            cycle: complete,
+                            pc: d.pc,
+                            cause: FlushCause::Mispredict,
+                        });
+                    }
                     self.fetch_cycle = self.fetch_cycle.max(complete + self.cfg.mispredict_penalty);
                     self.fetch_bytes = 0;
                     self.cur_fetch_line = u64::MAX;

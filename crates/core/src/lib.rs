@@ -48,6 +48,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod config;
 pub mod ifu;
 pub mod inorder;
@@ -59,7 +61,8 @@ pub mod resources;
 pub use config::CoreConfig;
 pub use inorder::InOrderCore;
 pub use ooo::OooCore;
-pub use perf::{PerfCounters, RunReport};
+pub use perf::{PerfCounters, RunReport, StallCause};
+pub use xt_trace::TraceBuffer;
 
 use xt_asm::Program;
 use xt_emu::{Emulator, TraceSource};
@@ -99,4 +102,56 @@ pub fn run_ooo_with_mem(
     let mut mem = MemSystem::new(mem_cfg);
     let mut core = OooCore::new(cfg.clone(), 0);
     core.run_to_end(trace, &mut mem)
+}
+
+/// Convenience: run the in-order baseline with an explicit memory
+/// configuration.
+pub fn run_inorder_with_mem(
+    prog: &Program,
+    cfg: &CoreConfig,
+    mem_cfg: MemConfig,
+    max_insts: u64,
+) -> RunReport {
+    let mut emu = Emulator::new();
+    emu.load(prog);
+    let trace = TraceSource::new(emu, max_insts);
+    let mut mem = MemSystem::new(mem_cfg);
+    let mut core = InOrderCore::new(cfg.clone(), 0);
+    core.run_to_end(trace, &mut mem)
+}
+
+/// Like [`run_ooo`], but with per-instruction pipeline tracing enabled:
+/// also returns the [`TraceBuffer`] holding one record per committed
+/// instruction (render with [`TraceBuffer::to_konata`] /
+/// [`TraceBuffer::to_chrome_json`]).
+pub fn run_ooo_traced(
+    prog: &Program,
+    cfg: &CoreConfig,
+    max_insts: u64,
+) -> (RunReport, TraceBuffer) {
+    let mut emu = Emulator::new();
+    emu.load(prog);
+    let trace = TraceSource::new(emu, max_insts);
+    let mut mem = MemSystem::new(cfg.mem);
+    let mut core = OooCore::new(cfg.clone(), 0);
+    core.attach_tracer();
+    let report = core.run_to_end(trace, &mut mem);
+    (report, core.take_tracer().expect("tracer was attached"))
+}
+
+/// Like [`run_inorder`], but with per-instruction pipeline tracing
+/// enabled (see [`run_ooo_traced`]).
+pub fn run_inorder_traced(
+    prog: &Program,
+    cfg: &CoreConfig,
+    max_insts: u64,
+) -> (RunReport, TraceBuffer) {
+    let mut emu = Emulator::new();
+    emu.load(prog);
+    let trace = TraceSource::new(emu, max_insts);
+    let mut mem = MemSystem::new(cfg.mem);
+    let mut core = InOrderCore::new(cfg.clone(), 0);
+    core.attach_tracer();
+    let report = core.run_to_end(trace, &mut mem);
+    (report, core.take_tracer().expect("tracer was attached"))
 }

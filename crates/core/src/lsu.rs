@@ -37,6 +37,14 @@ pub struct LoadResult {
     pub violation: bool,
     /// The load was satisfied by store-to-load forwarding.
     pub forwarded: bool,
+    /// Wall-clock interval the load waited for a load-queue entry
+    /// (`None` if a slot was free on arrival). For
+    /// `StallCause::LsuQueueFull` attribution.
+    pub queue_wait: Option<(u64, u64)>,
+    /// Wall-clock interval the result took beyond the L1 load-to-use
+    /// latency (`None` on an L1 hit or forwarded load). For
+    /// `StallCause::DCacheMiss` attribution.
+    pub miss_wait: Option<(u64, u64)>,
 }
 
 /// Result of scheduling a store's two µops.
@@ -48,6 +56,10 @@ pub struct StoreResult {
     pub data_ready: u64,
     /// Cycle the store is complete for retirement purposes.
     pub complete: u64,
+    /// Wall-clock interval the store waited for a store-queue entry
+    /// (`None` if a slot was free on arrival). For
+    /// `StallCause::LsuQueueFull` attribution.
+    pub queue_wait: Option<(u64, u64)>,
 }
 
 /// The LSU timing model.
@@ -113,6 +125,7 @@ impl Lsu {
         mem: &mut MemSystem,
     ) -> LoadResult {
         let slot = self.lq.alloc(ready);
+        let queue_wait = (slot > ready).then_some((ready, slot));
         let issue = if self.dual_issue {
             self.load_pipe.issue(slot, 1)
         } else {
@@ -147,6 +160,8 @@ impl Lsu {
                     complete: addr_known.max(s.data_ready) + FWD_LATENCY,
                     violation: false,
                     forwarded: true,
+                    queue_wait,
+                    miss_wait: None,
                 }
             }
             Some(s) => {
@@ -158,14 +173,19 @@ impl Lsu {
                     complete: s.addr_ready.max(s.data_ready) + FWD_LATENCY,
                     violation: true,
                     forwarded: false,
+                    queue_wait,
+                    miss_wait: None,
                 }
             }
             None => {
+                let hit_by = addr_known + mem.config().l1_hit;
                 let complete = mem.dload(core, addr_known, va, pa);
                 LoadResult {
                     complete,
                     violation: false,
                     forwarded: false,
+                    queue_wait,
+                    miss_wait: (complete > hit_by).then_some((hit_by, complete)),
                 }
             }
         }
@@ -182,6 +202,7 @@ impl Lsu {
         data_ready: u64,
     ) -> StoreResult {
         let slot = self.sq.alloc(dispatch);
+        let queue_wait = (slot > dispatch).then_some((dispatch, slot));
         let (addr_known, data_done) = if self.split_stores {
             // Fig. 10: independent address and data flows
             let a = self.st_addr_pipe.issue(slot.max(base_ready), 1) + self.agu;
@@ -206,6 +227,7 @@ impl Lsu {
             addr_ready: addr_known,
             data_ready: data_done,
             complete: addr_known.max(data_done),
+            queue_wait,
         }
     }
 

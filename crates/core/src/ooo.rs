@@ -13,11 +13,12 @@
 use crate::config::CoreConfig;
 use crate::ifu::{FrontEnd, Redirect};
 use crate::lsu::Lsu;
-use crate::perf::{PerfCounters, RunReport};
+use crate::perf::{PerfCounters, RunReport, StallCause};
 use crate::resources::{Bandwidth, PipeGroup, SlotLimiter, Window};
 use xt_emu::{DynInst, TraceSource};
 use xt_isa::{ExecClass, Op, RegFile};
 use xt_mem::MemSystem;
+use xt_trace::{FlushCause, FlushEvent, InstRecord, TraceBuffer, TraceSink};
 
 /// The out-of-order core.
 #[derive(Debug)]
@@ -47,12 +48,14 @@ pub struct OooCore {
     // scoreboard: cycle each architectural register's value is ready
     reg_ready: [[u64; 32]; 3],
     serialize_point: u64,
-    /// Wall-clock high-water mark of cycles already charged to a
-    /// dispatch stall; keeps overlapping per-instruction waits from
-    /// being double-counted.
-    dispatch_stall_frontier: u64,
     max_complete: u64,
     last_retire: u64,
+    /// Flush bubble awaiting attribution: set at a redirect, charged at
+    /// the next instruction's fetch (whose cycle bounds the interval, so
+    /// conservation holds even when the flush is the last event).
+    pending_flush: Option<(u64, StallCause)>,
+    /// Optional per-instruction pipeline tracer (None = zero overhead).
+    tracer: Option<TraceBuffer>,
     vec_cfg: xt_vector::VectorConfig,
     last_vset_imm: Option<i64>,
     /// vsetvl speculation failures (§VII).
@@ -87,9 +90,10 @@ impl OooCore {
             fpvec: PipeGroup::new(cfg.fp_pipes.max(cfg.vec_pipes)),
             reg_ready: [[0; 32]; 3],
             serialize_point: 0,
-            dispatch_stall_frontier: 0,
             max_complete: 0,
             last_retire: 0,
+            pending_flush: None,
+            tracer: None,
             vec_cfg: xt_vector::VectorConfig::default(),
             last_vset_imm: None,
             vset_spec_fails: 0,
@@ -105,11 +109,16 @@ impl OooCore {
             self.step(&d, mem);
         }
         self.perf.cycles = self.last_retire.max(self.max_complete);
+        self.perf.prefetch_hits = mem
+            .stats()
+            .prefetches_useful
+            .get(self.core_id)
+            .copied()
+            .unwrap_or(0);
         debug_assert!(
             self.perf.stalls_conserved(),
-            "stall counters double-count: rob {} + iq {} > cycles {}",
-            self.perf.rob_stall_cycles,
-            self.perf.iq_stall_cycles,
+            "stall counters double-count: attributed {} > cycles {}",
+            self.perf.attributed_stall_cycles(),
             self.perf.cycles
         );
         RunReport {
@@ -137,6 +146,35 @@ impl OooCore {
         self.last_retire
     }
 
+    /// Attaches a fresh trace buffer: subsequent [`Self::step`] calls
+    /// record one [`InstRecord`] per instruction plus flush events.
+    /// Tracing is off (and free) until this is called.
+    pub fn attach_tracer(&mut self) {
+        self.tracer = Some(TraceBuffer::new());
+    }
+
+    /// The attached trace buffer, if any.
+    pub fn tracer(&self) -> Option<&TraceBuffer> {
+        self.tracer.as_ref()
+    }
+
+    /// Detaches and returns the trace buffer (tracing stops).
+    pub fn take_tracer(&mut self) -> Option<TraceBuffer> {
+        self.tracer.take()
+    }
+
+    /// Records a flush for stall attribution and tracing. Call *before*
+    /// the accompanying [`Self::redirect_fetch`]: the stall interval
+    /// starts at the pre-redirect fetch cycle and is charged lazily at
+    /// the next instruction's fetch, whose cycle keeps the charge inside
+    /// the program's run (see the conservation notes in [`crate::perf`]).
+    fn note_flush(&mut self, pc: u64, at: u64, cause: FlushCause, stall: StallCause) {
+        self.pending_flush = Some((self.fetch_cycle, stall));
+        if let Some(t) = self.tracer.as_mut() {
+            t.flush_event(FlushEvent { cycle: at, pc, cause });
+        }
+    }
+
     fn src_file_index(rf: RegFile) -> usize {
         match rf {
             RegFile::Int => 0,
@@ -152,12 +190,21 @@ impl OooCore {
         let class = d.inst.op.exec_class();
         let fo = self.fe.observe(d, &mut self.perf);
 
+        // Charge the flush bubble left by the previous instruction's
+        // redirect. The interval ends at this instruction's fetch cycle,
+        // which bounds the charge inside the program's run; a flush on
+        // the very last instruction stays unattributed (conservative).
+        if let Some((from, cause)) = self.pending_flush.take() {
+            self.perf.charge(cause, from, self.fetch_cycle);
+        }
+
         // ---- IF/IP/IB: fetch bandwidth, I-cache, IBUF ----
         if !fo.from_lbuf {
             let line = d.fetch_pa >> 6;
             if line != self.cur_fetch_line {
                 let t = mem.icache_fetch(self.core_id, self.fetch_cycle, d.fetch_pa);
                 if t > self.fetch_cycle {
+                    self.perf.charge(StallCause::ICacheMiss, self.fetch_cycle, t);
                     self.fetch_cycle = t;
                     self.fetch_bytes = 0;
                 }
@@ -194,18 +241,14 @@ impl OooCore {
         }
 
         // ---- IS: dispatch into ROB + issue queue ----
-        // Stall attribution is frontier-based: when several in-flight
-        // instructions wait out the same full-ROB (or full-IQ) cycles,
-        // the wall-clock cycle is charged only once, so
-        // rob_stall + iq_stall can never exceed total cycles.
+        // Stall attribution is frontier-based (see [`crate::perf`]): when
+        // several in-flight instructions wait out the same full-ROB (or
+        // full-IQ) cycles, each wall-clock cycle is charged at most once,
+        // so the per-cause sums can never exceed total cycles.
         let rob_at = self.rob.alloc(ren + 1);
-        self.perf.rob_stall_cycles +=
-            rob_at.saturating_sub((ren + 1).max(self.dispatch_stall_frontier));
-        self.dispatch_stall_frontier = self.dispatch_stall_frontier.max(rob_at);
+        self.perf.charge(StallCause::RobFull, ren + 1, rob_at);
         let iq_at = self.iq.alloc(rob_at);
-        self.perf.iq_stall_cycles +=
-            iq_at.saturating_sub(rob_at.max(self.dispatch_stall_frontier));
-        self.dispatch_stall_frontier = self.dispatch_stall_frontier.max(iq_at);
+        self.perf.charge(StallCause::IqFull, rob_at, iq_at);
         let disp = iq_at;
 
         // ---- RF/EX: operands, issue slots, pipes ----
@@ -217,39 +260,53 @@ impl OooCore {
 
         let lat = cfg.lat;
         let mut violation = false;
+        // cycle the µop won an issue slot and a pipe — EX1 in the trace
+        let exec_start;
         let complete = match class {
             ExecClass::Alu => {
                 let start = self.alu.issue(self.issue_slots.take(ready), 1);
+                exec_start = start;
                 start + lat.alu
             }
             ExecClass::Mul => {
                 // multiplier shares the ALU pipe pair (§II)
                 let start = self.alu.issue(self.issue_slots.take(ready), 1);
+                exec_start = start;
                 start + lat.mul
             }
             ExecClass::Div => {
                 // divider shares the multi-cycle pipe, unpipelined
                 let start = self.mdu.issue(self.issue_slots.take(ready), lat.div);
+                exec_start = start;
                 start + lat.div
             }
             ExecClass::Branch | ExecClass::Jump | ExecClass::JumpInd => {
                 let start = self.bju.issue(self.issue_slots.take(ready), 1);
+                exec_start = start;
                 start + lat.alu
             }
             ExecClass::Load => {
                 let mem_info = d.mem.expect("load has a memory access");
+                let at = self.issue_slots.take(ready);
+                exec_start = at;
                 let r = self.lsu.load(
                     self.core_id,
                     d.pc,
                     mem_info.vaddr,
                     mem_info.paddr,
                     mem_info.size as u64,
-                    self.issue_slots.take(ready),
+                    at,
                     mem,
                 );
                 violation = r.violation;
                 if r.forwarded {
                     self.perf.store_forwards += 1;
+                }
+                if let Some((f, t)) = r.queue_wait {
+                    self.perf.charge(StallCause::LsuQueueFull, f, t);
+                }
+                if let Some((f, t)) = r.miss_wait {
+                    self.perf.charge(StallCause::DCacheMiss, f, t);
                 }
                 r.complete
             }
@@ -259,13 +316,18 @@ impl OooCore {
                 // scalar stores) gates st.data
                 let base_rdy = self.reg_ready[0][d.inst.rs1 as usize].max(disp + 1);
                 let data_rdy = ready; // includes all sources
+                let at = self.issue_slots.take(disp + 1);
+                exec_start = at;
                 let s = self.lsu.store(
                     mem_info.paddr,
                     mem_info.size as u64,
-                    self.issue_slots.take(disp + 1),
+                    at,
                     base_rdy,
                     data_rdy,
                 );
+                if let Some((f, t)) = s.queue_wait {
+                    self.perf.charge(StallCause::LsuQueueFull, f, t);
+                }
                 // the write-allocate / ownership request launches as soon
                 // as the address resolves (pseudo double store, Fig. 10);
                 // the write buffer absorbs the fill latency off the
@@ -275,6 +337,7 @@ impl OooCore {
             }
             ExecClass::Amo => {
                 let start = self.issue_slots.take(ready);
+                exec_start = start;
                 // an AMO is a read-modify-write: it needs the line in a
                 // writable state, so it takes the store coherence path
                 let done = match d.mem {
@@ -288,16 +351,21 @@ impl OooCore {
             }
             ExecClass::Fence => {
                 let done = ready.max(self.max_complete);
+                exec_start = done;
                 self.serialize_point = done;
                 done
             }
             ExecClass::Csr => {
-                let done = ready.max(self.max_complete) + lat.csr;
+                let start = ready.max(self.max_complete);
+                exec_start = start;
+                let done = start + lat.csr;
                 self.serialize_point = done;
                 done
             }
             ExecClass::System => {
-                let done = ready.max(self.max_complete) + lat.csr;
+                let start = ready.max(self.max_complete);
+                exec_start = start;
+                let done = start + lat.csr;
                 self.serialize_point = done;
                 done
             }
@@ -305,7 +373,9 @@ impl OooCore {
                 if d.inst.op == Op::XDcacheCall {
                     mem.dcache_flush_all(self.core_id);
                 }
-                let done = ready.max(self.max_complete) + 8;
+                let start = ready.max(self.max_complete);
+                exec_start = start;
+                let done = start + 8;
                 self.serialize_point = done;
                 done
             }
@@ -313,6 +383,7 @@ impl OooCore {
                 // §VII: vector parameters are predicted and vector ops
                 // execute speculatively; failure only when vl changes.
                 let start = self.alu.issue(self.issue_slots.take(ready), 1);
+                exec_start = start;
                 let imm = d.inst.imm;
                 let fail =
                     d.inst.op == Op::Vsetvl || self.last_vset_imm.is_some_and(|p| p != imm);
@@ -331,18 +402,22 @@ impl OooCore {
             }
             ExecClass::FpAdd => {
                 let start = self.fpvec.issue(self.issue_slots.take(ready), 1);
+                exec_start = start;
                 start + lat.fadd
             }
             ExecClass::FpMul => {
                 let start = self.fpvec.issue(self.issue_slots.take(ready), 1);
+                exec_start = start;
                 start + lat.fmul
             }
             ExecClass::FpDiv => {
                 let start = self.fpvec.issue(self.issue_slots.take(ready), lat.fdiv);
+                exec_start = start;
                 start + lat.fdiv
             }
             ExecClass::FpCvt => {
                 let start = self.fpvec.issue(self.issue_slots.take(ready), 1);
+                exec_start = start;
                 start + lat.fcvt
             }
             ExecClass::VecAlu | ExecClass::VecFAdd | ExecClass::VecMul | ExecClass::VecDiv
@@ -356,6 +431,7 @@ impl OooCore {
                 let occ = xt_vector::occupancy(&self.vec_cfg, d.inst.op, d.vl as u64, sew);
                 let occ = if class == ExecClass::VecDiv { vlat } else { occ };
                 let start = self.fpvec.issue(self.issue_slots.take(ready), occ);
+                exec_start = start;
                 start + vlat
             }
             ExecClass::VecLoad => {
@@ -363,16 +439,24 @@ impl OooCore {
                 let bytes = mem_info.size as u64;
                 // the LSU moves 128 bits per cycle (§VII)
                 let beats = bytes.div_ceil(16).max(1);
+                let at = self.issue_slots.take(ready);
+                exec_start = at;
                 let r = self.lsu.load(
                     self.core_id,
                     d.pc,
                     mem_info.vaddr,
                     mem_info.paddr,
                     bytes,
-                    self.issue_slots.take(ready),
+                    at,
                     mem,
                 );
                 violation = r.violation;
+                if let Some((f, t)) = r.queue_wait {
+                    self.perf.charge(StallCause::LsuQueueFull, f, t);
+                }
+                if let Some((f, t)) = r.miss_wait {
+                    self.perf.charge(StallCause::DCacheMiss, f, t);
+                }
                 // extra lines beyond the first
                 let line = 64;
                 let first_line = mem_info.paddr & !(line - 1);
@@ -398,13 +482,12 @@ impl OooCore {
                 let bytes = mem_info.size as u64;
                 let beats = bytes.div_ceil(16).max(1);
                 let base_rdy = self.reg_ready[0][d.inst.rs1 as usize].max(disp + 1);
-                let s = self.lsu.store(
-                    mem_info.paddr,
-                    bytes,
-                    self.issue_slots.take(disp + 1),
-                    base_rdy,
-                    ready,
-                );
+                let at = self.issue_slots.take(disp + 1);
+                exec_start = at;
+                let s = self.lsu.store(mem_info.paddr, bytes, at, base_rdy, ready);
+                if let Some((f, t)) = s.queue_wait {
+                    self.perf.charge(StallCause::LsuQueueFull, f, t);
+                }
                 let _ = mem.dstore(self.core_id, s.addr_ready, mem_info.vaddr, mem_info.paddr);
                 s.complete + beats - 1
             }
@@ -434,14 +517,49 @@ impl OooCore {
             _ => {}
         }
 
+        // ---- trace record (only when a tracer is attached) ----
+        if let Some(tracer) = self.tracer.as_mut() {
+            let ex1 = exec_start;
+            let ex4 = exec_start.max(complete.saturating_sub(1));
+            let span = ex4 - ex1;
+            // IF/IP/IB share the fetch cycle, EX2/EX3 interpolate the
+            // execution span, RT1/RT2 share the retire cycle — see
+            // docs/PIPELINE.md for the modeled-vs-synthesized split.
+            let rec = InstRecord::new(
+                self.perf.instructions - 1,
+                d.pc,
+                xt_isa::disasm::disasm(&d.inst),
+                [
+                    fetched,
+                    fetched,
+                    fetched,
+                    dec,
+                    ren,
+                    rob_at,
+                    ready,
+                    ex1,
+                    ex1 + span / 3,
+                    ex1 + 2 * span / 3,
+                    ex4,
+                    ret,
+                    ret,
+                ],
+            );
+            tracer.record(rec);
+        }
+
         // ---- redirects ----
+        let flush_pen = cfg.flush_penalty;
+        let mispredict_pen = cfg.mispredict_penalty;
         if d.trapped {
             // Fig. 8: exception flushes the younger speculative work
             self.perf.exception_flushes += 1;
-            self.redirect_fetch(complete + cfg.flush_penalty);
+            self.note_flush(d.pc, complete, FlushCause::Exception, StallCause::OrderFlush);
+            self.redirect_fetch(complete + flush_pen);
         } else if violation {
             self.perf.mem_order_flushes += 1;
-            self.redirect_fetch(complete + cfg.flush_penalty);
+            self.note_flush(d.pc, complete, FlushCause::MemOrder, StallCause::OrderFlush);
+            self.redirect_fetch(complete + flush_pen);
         } else {
             match fo.redirect {
                 Redirect::None => {}
@@ -459,7 +577,13 @@ impl OooCore {
                     self.decode_bw.break_group();
                 }
                 Redirect::Mispredict => {
-                    self.redirect_fetch(complete + self.cfg.mispredict_penalty)
+                    self.note_flush(
+                        d.pc,
+                        complete,
+                        FlushCause::Mispredict,
+                        StallCause::MispredictFlush,
+                    );
+                    self.redirect_fetch(complete + mispredict_pen)
                 }
             }
         }
@@ -712,14 +836,13 @@ mod tests {
         });
         let p = &r.perf;
         assert!(
-            p.rob_stall_cycles > 0,
+            p.rob_stall_cycles() > 0,
             "workload must actually exercise ROB back-pressure"
         );
         assert!(
             p.stalls_conserved(),
-            "rob {} + iq {} must fit in {} cycles",
-            p.rob_stall_cycles,
-            p.iq_stall_cycles,
+            "attributed {} must fit in {} cycles",
+            p.attributed_stall_cycles(),
             p.cycles
         );
     }

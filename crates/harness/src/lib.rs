@@ -16,7 +16,7 @@
 //!   [`prop::check`]/[`prop::check_with`] runs cases and greedily
 //!   shrinks the first failure to a minimal counterexample, printing
 //!   the seed for replay via `XT_HARNESS_SEED`.
-//! * [`bench`] — a wall-clock timing harness standing in for criterion
+//! * [`mod@bench`] — a wall-clock timing harness standing in for criterion
 //!   (warm-up + fixed sample count, min/median/mean report).
 //!
 //! ## Porting cheat-sheet (proptest → xt-harness)
@@ -33,6 +33,8 @@
 //! | `proptest! { #[test] fn p(x in g) {..} }` | `#[test] fn p() { prop::check("p", &g, \|x\| {..}) }` |
 //! | `prop_assert*!` | plain `assert*!` (the runner catches panics) |
 //! | `ProptestConfig::with_cases(n)` | `prop::Config::seeded_cases(seed, n)` |
+
+#![warn(missing_docs)]
 
 pub mod bench;
 pub mod gen;

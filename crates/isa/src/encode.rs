@@ -4,7 +4,7 @@
 //! vector subset follows the broad OP-V layout of RVV 0.7.1 (funct6 |
 //! vm | vs2 | vs1 | funct3 | vd | 0x57) with a documented funct6 table; the
 //! XT-910 custom extensions live in the custom-0 opcode (0x0B). The decoder
-//! in [`crate::decode`] is the exact inverse — round-trips are
+//! in [`mod@crate::decode`] is the exact inverse — round-trips are
 //! property-tested.
 
 // Binary literals group bits by instruction field (funct5_funct2), not

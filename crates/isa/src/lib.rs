@@ -14,7 +14,7 @@
 //!   cache/TLB maintenance hints (see [`op::Op`] variants prefixed `X`).
 //!
 //! The crate provides a decoded-instruction type ([`inst::Inst`]), a binary
-//! decoder ([`decode`]), an encoder used by the `xt-asm` assembler
+//! decoder ([`mod@decode`]), an encoder used by the `xt-asm` assembler
 //! ([`encode`]), and a disassembler ([`disasm`]).
 //!
 //! # Example
@@ -30,6 +30,8 @@
 //! assert_eq!(inst.rs1, 6);
 //! assert_eq!(inst.imm, 42);
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod csr;
 pub mod decode;

@@ -91,35 +91,59 @@ impl Gpr {
     pub const GP: Gpr = Gpr(3);
     /// Thread pointer `x4`.
     pub const TP: Gpr = Gpr(4);
-    /// Temporaries `t0`-`t2` (`x5`-`x7`).
+    /// Temporary `t0` (`x5`).
     pub const T0: Gpr = Gpr(5);
+    /// Temporary `t1` (`x6`).
     pub const T1: Gpr = Gpr(6);
+    /// Temporary `t2` (`x7`).
     pub const T2: Gpr = Gpr(7);
     /// Saved/frame pointer `s0`/`fp` (`x8`).
     pub const S0: Gpr = Gpr(8);
+    /// Saved register `s1` (`x9`).
     pub const S1: Gpr = Gpr(9);
-    /// Argument/return registers `a0`-`a7` (`x10`-`x17`).
+    /// Argument/return register `a0` (`x10`).
     pub const A0: Gpr = Gpr(10);
+    /// Argument/return register `a1` (`x11`).
     pub const A1: Gpr = Gpr(11);
+    /// Argument register `a2` (`x12`).
     pub const A2: Gpr = Gpr(12);
+    /// Argument register `a3` (`x13`).
     pub const A3: Gpr = Gpr(13);
+    /// Argument register `a4` (`x14`).
     pub const A4: Gpr = Gpr(14);
+    /// Argument register `a5` (`x15`).
     pub const A5: Gpr = Gpr(15);
+    /// Argument register `a6` (`x16`).
     pub const A6: Gpr = Gpr(16);
+    /// Argument register `a7` (`x17`).
     pub const A7: Gpr = Gpr(17);
+    /// Saved register `s2` (`x18`).
     pub const S2: Gpr = Gpr(18);
+    /// Saved register `s3` (`x19`).
     pub const S3: Gpr = Gpr(19);
+    /// Saved register `s4` (`x20`).
     pub const S4: Gpr = Gpr(20);
+    /// Saved register `s5` (`x21`).
     pub const S5: Gpr = Gpr(21);
+    /// Saved register `s6` (`x22`).
     pub const S6: Gpr = Gpr(22);
+    /// Saved register `s7` (`x23`).
     pub const S7: Gpr = Gpr(23);
+    /// Saved register `s8` (`x24`).
     pub const S8: Gpr = Gpr(24);
+    /// Saved register `s9` (`x25`).
     pub const S9: Gpr = Gpr(25);
+    /// Saved register `s10` (`x26`).
     pub const S10: Gpr = Gpr(26);
+    /// Saved register `s11` (`x27`).
     pub const S11: Gpr = Gpr(27);
+    /// Temporary `t3` (`x28`).
     pub const T3: Gpr = Gpr(28);
+    /// Temporary `t4` (`x29`).
     pub const T4: Gpr = Gpr(29);
+    /// Temporary `t5` (`x30`).
     pub const T5: Gpr = Gpr(30);
+    /// Temporary `t6` (`x31`).
     pub const T6: Gpr = Gpr(31);
 
     /// Whether writes to this register are discarded (`x0`).

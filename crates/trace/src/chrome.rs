@@ -1,0 +1,126 @@
+//! Chrome `trace_event` JSON emission (viewable in `chrome://tracing`
+//! or Perfetto).
+//!
+//! Each instruction becomes one track (`tid` = commit sequence number)
+//! of complete (`"ph":"X"`) slices, one per pipeline stage with nonzero
+//! duration; timestamps are simulated cycles. Pipeline flushes are
+//! emitted as global instant events (`"ph":"i"`). JSON is hand-rolled
+//! (hermetic-build policy: no serde) and deterministic.
+
+use crate::{FlushEvent, InstRecord, Stage};
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+pub(crate) fn render(records: &[InstRecord], flushes: &[FlushEvent]) -> String {
+    let mut evs: Vec<String> = Vec::new();
+    evs.push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+         \"args\":{\"name\":\"xt-910 pipeline\"}}"
+            .to_string(),
+    );
+    for r in records {
+        evs.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{},\
+             \"args\":{{\"name\":\"#{} {:#x} {}\"}}}}",
+            r.seq,
+            r.seq,
+            r.pc,
+            esc(&r.disasm)
+        ));
+        for s in Stage::ALL {
+            let ts = r.enter(s);
+            let dur = r.leave(s).saturating_sub(ts);
+            if dur == 0 {
+                continue; // collapsed stage: no visible slice
+            }
+            evs.push(format!(
+                "{{\"name\":\"{}\",\"cat\":\"pipeline\",\"ph\":\"X\",\
+                 \"ts\":{ts},\"dur\":{dur},\"pid\":0,\"tid\":{}}}",
+                s.name(),
+                r.seq
+            ));
+        }
+    }
+    for f in flushes {
+        evs.push(format!(
+            "{{\"name\":\"flush:{}\",\"cat\":\"flush\",\"ph\":\"i\",\"s\":\"g\",\
+             \"ts\":{},\"pid\":0,\"tid\":0,\"args\":{{\"pc\":\"{:#x}\"}}}}",
+            f.cause.name(),
+            f.cycle,
+            f.pc
+        ));
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+        evs.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FlushCause, NUM_STAGES};
+
+    fn rec(seq: u64, base: u64) -> InstRecord {
+        let mut enter = [0u64; NUM_STAGES];
+        for (i, e) in enter.iter_mut().enumerate() {
+            *e = base + i as u64;
+        }
+        InstRecord::new(seq, 0x2000, "ld a0, 0(a1)".to_string(), enter)
+    }
+
+    #[test]
+    fn escapes_json_metacharacters() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\ny");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn well_formed_and_balanced() {
+        let j = render(
+            &[rec(0, 0), rec(1, 5)],
+            &[FlushEvent {
+                cycle: 9,
+                pc: 0x2004,
+                cause: FlushCause::MemOrder,
+            }],
+        );
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"flush:mem-order\""));
+        assert!(j.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn collapsed_stages_emit_no_slice() {
+        // all stages at the same cycle -> only RT2 (held 1 cycle) renders
+        let r = InstRecord::new(0, 0x0, String::new(), [7; NUM_STAGES]);
+        let j = render(&[r], &[]);
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), 1);
+        assert!(j.contains("\"name\":\"RT2\""));
+    }
+
+    #[test]
+    fn slice_count_matches_distinct_stages() {
+        let j = render(&[rec(0, 0)], &[]);
+        // strictly increasing enters: every stage has dur >= 1
+        assert_eq!(j.matches("\"ph\":\"X\"").count(), NUM_STAGES);
+    }
+}

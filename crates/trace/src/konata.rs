@@ -1,0 +1,135 @@
+//! Konata (Kanata 0004) pipeline-log emission.
+//!
+//! The Kanata text format interleaves per-instruction commands with
+//! cycle-advance commands:
+//!
+//! ```text
+//! Kanata  0004          header
+//! C=      <cycle>       set absolute current cycle
+//! C       <delta>       advance the current cycle
+//! I       <id> <iid> <tid>   declare an instruction (file-scoped id)
+//! L       <id> 0 <text>      left-pane label
+//! S       <id> 0 <stage>     instruction enters a stage (lane 0)
+//! E       <id> 0 <stage>     instruction leaves a stage
+//! R       <id> <rid> <type>  retire (type 0) or flush (type 1)
+//! ```
+//!
+//! Events from all instructions are merged into one globally
+//! cycle-ordered stream, ties broken by commit order, so emission is
+//! deterministic for a given record stream.
+
+use crate::{FlushEvent, InstRecord, Stage};
+
+/// One pending output line scheduled at a cycle.
+struct Ev {
+    cycle: u64,
+    /// Tie-break: commit order, then intra-instruction event order.
+    seq: u64,
+    order: u8,
+    line: String,
+}
+
+pub(crate) fn render(records: &[InstRecord], _flushes: &[FlushEvent]) -> String {
+    let mut evs: Vec<Ev> = Vec::new();
+    for r in records {
+        let id = r.seq;
+        let fetch = r.enter(Stage::If);
+        evs.push(Ev {
+            cycle: fetch,
+            seq: id,
+            order: 0,
+            line: format!("I\t{id}\t{id}\t0"),
+        });
+        evs.push(Ev {
+            cycle: fetch,
+            seq: id,
+            order: 1,
+            line: format!("L\t{id}\t0\t{:#x}: {}", r.pc, r.disasm),
+        });
+        for s in Stage::ALL {
+            evs.push(Ev {
+                cycle: r.enter(s),
+                seq: id,
+                order: 2 + s as u8,
+                line: format!("S\t{id}\t0\t{}", s.name()),
+            });
+        }
+        let done = r.retired_at();
+        evs.push(Ev {
+            cycle: done,
+            seq: id,
+            order: 2 + crate::NUM_STAGES as u8,
+            line: format!("E\t{id}\t0\t{}", Stage::Rt2.name()),
+        });
+        evs.push(Ev {
+            cycle: done,
+            seq: id,
+            order: 3 + crate::NUM_STAGES as u8,
+            line: format!("R\t{id}\t{id}\t0"),
+        });
+    }
+    evs.sort_by_key(|e| (e.cycle, e.seq, e.order));
+
+    let mut out = String::from("Kanata\t0004\n");
+    let mut cur: Option<u64> = None;
+    for e in evs {
+        match cur {
+            None => out.push_str(&format!("C=\t{}\n", e.cycle)),
+            Some(c) if e.cycle > c => out.push_str(&format!("C\t{}\n", e.cycle - c)),
+            _ => {}
+        }
+        cur = Some(e.cycle);
+        out.push_str(&e.line);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NUM_STAGES;
+
+    fn rec(seq: u64, base: u64) -> InstRecord {
+        let mut enter = [0u64; NUM_STAGES];
+        for (i, e) in enter.iter_mut().enumerate() {
+            *e = base + i as u64;
+        }
+        InstRecord::new(seq, 0x1000, format!("addi x{seq}"), enter)
+    }
+
+    #[test]
+    fn header_and_cycle_commands() {
+        let s = render(&[rec(0, 3)], &[]);
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some("Kanata\t0004"));
+        assert_eq!(lines.next(), Some("C=\t3"), "first event sets the cycle");
+        assert!(s.contains("I\t0\t0\t0"));
+        assert!(s.contains("L\t0\t0\t0x1000: addi x0"));
+        assert!(s.contains("S\t0\t0\tIF"));
+        assert!(s.contains("R\t0\t0\t0"));
+    }
+
+    #[test]
+    fn cycles_are_monotone_deltas() {
+        let s = render(&[rec(0, 0), rec(1, 4)], &[]);
+        // every C command advances; reconstruct and check ordering
+        let mut cycle = 0u64;
+        for line in s.lines().skip(1) {
+            let mut it = line.split('\t');
+            match it.next().unwrap() {
+                "C=" => cycle = it.next().unwrap().parse().unwrap(),
+                "C" => cycle += it.next().unwrap().parse::<u64>().unwrap(),
+                _ => {}
+            }
+        }
+        assert!(cycle >= 4 + NUM_STAGES as u64, "reached the last event");
+    }
+
+    #[test]
+    fn one_stage_start_per_stage() {
+        let s = render(&[rec(0, 0)], &[]);
+        assert_eq!(s.matches("\nS\t").count(), NUM_STAGES);
+        assert_eq!(s.matches("\nE\t").count(), 1, "final stage closed");
+    }
+}

@@ -11,7 +11,7 @@
 //!
 //! This crate supplies the slice geometry ([`VectorConfig`]), the
 //! per-operation latency table the paper quotes (most operations 3-4
-//! cycles, FP multiply 5, divides 6-25 — [`latency`]), and the
+//! cycles, FP multiply 5, divides 6-25 — [`mod@latency`]), and the
 //! occupancy model ([`occupancy`]) used by the `xt-core` pipeline.
 
 pub mod latency;

@@ -26,6 +26,28 @@ echo "== xt-check conformance smoke (fixed suite seed) =="
 # fault and requires a shrunk, seed-replayable counterexample.
 cargo run --release --offline -p xt-check -- --cases 64 --self-test
 
+echo "== rustdoc (no-deps, warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "== xt-report smoke (pipeline observability report) =="
+# The report generator must run end-to-end and emit parseable JSON with
+# the expected schema; run in a scratch dir so artifacts don't land in
+# the checkout.
+report_dir=$(mktemp -d)
+repo_root=$(pwd)
+(cd "$report_dir" && "$repo_root/target/release/xt-report" --smoke)
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "xt-report/v1", doc.get("schema")
+assert len(doc["results"]) == 8, len(doc["results"])
+for cell in doc["results"]:
+    stalls = sum(cell["stalls"].values())
+    assert stalls <= cell["cycles"], (cell["workload"], cell["machine"])
+print("OK: BENCH_pipeline.json parses, 8 cells, stall conservation holds")
+' "$report_dir/BENCH_pipeline.json"
+rm -rf "$report_dir"
+
 echo "== hermetic dependency check =="
 # Workspace-local (path) packages have "source": null in cargo metadata;
 # anything from a registry, git, or vendored source is a policy violation.
