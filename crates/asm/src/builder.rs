@@ -106,6 +106,13 @@ impl Asm {
         self
     }
 
+    /// Overrides the text-section base address (e.g., per-core disjoint
+    /// images in a cluster).
+    pub fn with_text_base(mut self, base: u64) -> Self {
+        self.text_base = base;
+        self
+    }
+
     /// Current text offset in bytes.
     pub fn offset(&self) -> usize {
         self.text.len()

@@ -5,7 +5,9 @@
 //! directory:
 //!
 //! * `BENCH_pipeline.json` — machine-readable results (per-cause stall
-//!   attribution, IPC, prefetch hits; schema `xt-report/v1`),
+//!   attribution, IPC, prefetch hits, and the multicore section with
+//!   STREAM-rate and producer/consumer cells at 1/2/4 cores plus the
+//!   parallel engine's host MIPS; schema `xt-report/v2`),
 //! * `REPORT_pipeline.md` — the same matrix as Markdown tables.
 //!
 //! Flags:
@@ -15,9 +17,11 @@
 //!             `TRACE_depchain_chrome.json` (chrome://tracing)
 //!
 //! Output is deterministic: same binary, same flags → byte-identical
-//! files (no timestamps, no ambient randomness).
+//! files (no timestamps, no ambient randomness). The one exception is
+//! the full (non-smoke) run's `multicore.host` block, which reports
+//! measured wall-clock MIPS; smoke runs emit `null` there.
 
-use xt_bench::report;
+use xt_bench::{multicore, report};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,13 +36,24 @@ fn main() {
     }
 
     let results = report::run_all(smoke);
-    let json = report::render_json(&results, smoke);
-    let md = report::render_markdown(&results, smoke);
+    let mc = multicore::report_section(smoke);
+    let json = report::render_json(&results, &mc, smoke);
+    let md = report::render_markdown(&results, &mc, smoke);
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
     std::fs::write("REPORT_pipeline.md", &md).expect("write REPORT_pipeline.md");
-    println!("wrote BENCH_pipeline.json and REPORT_pipeline.md ({} cells)", results.len());
+    println!(
+        "wrote BENCH_pipeline.json and REPORT_pipeline.md ({} cells + {} multicore)",
+        results.len(),
+        mc.cells.len()
+    );
     for r in &results {
         println!("  {:<14} {}", r.workload, r.report.summary());
+    }
+    if let Some(h) = &mc.host {
+        println!(
+            "  engine speed: {:.2} MIPS @1 thread, {:.2} MIPS @4 threads ({:.2}x)",
+            h.mips_1_thread, h.mips_4_threads, h.speedup
+        );
     }
 
     if trace {

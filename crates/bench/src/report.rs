@@ -13,6 +13,7 @@
 //! produce byte-identical artifacts (asserted in the tests and by the
 //! `xt-report --smoke` CI gate).
 
+use crate::multicore::MulticoreSection;
 use xt_asm::{Asm, Program};
 use xt_core::{
     run_inorder, run_inorder_with_mem, run_ooo, run_ooo_traced, run_ooo_with_mem, CoreConfig,
@@ -183,11 +184,49 @@ fn json_f64(v: f64) -> String {
     s
 }
 
+/// Renders the multicore section as a JSON fragment (the `"multicore"`
+/// value). Cells are deterministic; `host` is `null` whenever the
+/// wall-clock speed was not measured (smoke mode).
+fn render_multicore_json(mc: &MulticoreSection) -> String {
+    let mut s = String::new();
+    s.push_str("  \"multicore\": {\n");
+    s.push_str("    \"cells\": [\n");
+    for (i, c) in mc.cells.iter().enumerate() {
+        let comma = if i + 1 < mc.cells.len() { "," } else { "" };
+        s.push_str(&format!(
+            "      {{ \"workload\": \"{}\", \"cores\": {}, \"makespan\": {}, \
+             \"instructions\": {}, \"ipc\": {}, \"snoops_sent\": {}, \
+             \"c2c_transfers\": {} }}{}\n",
+            c.workload,
+            c.cores,
+            c.makespan,
+            c.instructions,
+            json_f64(c.ipc),
+            c.snoops_sent,
+            c.c2c_transfers,
+            comma
+        ));
+    }
+    s.push_str("    ],\n");
+    match &mc.host {
+        Some(h) => s.push_str(&format!(
+            "    \"host\": {{ \"mips_1_thread\": {}, \"mips_4_threads\": {}, \
+             \"speedup\": {} }}\n",
+            json_f64(h.mips_1_thread),
+            json_f64(h.mips_4_threads),
+            json_f64(h.speedup)
+        )),
+        None => s.push_str("    \"host\": null\n"),
+    }
+    s.push_str("  }\n");
+    s
+}
+
 /// Renders the result matrix as the `BENCH_pipeline.json` document.
-pub fn render_json(results: &[WorkloadResult], smoke: bool) -> String {
+pub fn render_json(results: &[WorkloadResult], multicore: &MulticoreSection, smoke: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"xt-report/v1\",\n");
+    s.push_str("  \"schema\": \"xt-report/v2\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -221,13 +260,18 @@ pub fn render_json(results: &[WorkloadResult], smoke: bool) -> String {
         let comma = if i + 1 < results.len() { "," } else { "" };
         s.push_str(&format!("    }}{comma}\n"));
     }
-    s.push_str("  ]\n");
+    s.push_str("  ],\n");
+    s.push_str(&render_multicore_json(multicore));
     s.push_str("}\n");
     s
 }
 
 /// Renders the result matrix as the Markdown report.
-pub fn render_markdown(results: &[WorkloadResult], smoke: bool) -> String {
+pub fn render_markdown(
+    results: &[WorkloadResult],
+    multicore: &MulticoreSection,
+    smoke: bool,
+) -> String {
     let mut s = String::new();
     s.push_str("# Pipeline observability report\n\n");
     s.push_str(if smoke {
@@ -281,6 +325,24 @@ pub fn render_markdown(results: &[WorkloadResult], smoke: bool) -> String {
         seen.push(r.workload);
         s.push_str(&format!("- **{}** — {}\n", r.workload, r.what));
     }
+    s.push_str("\n## Multicore (epoch-barriered cluster engine, docs/CLUSTER.md)\n\n");
+    s.push_str("| workload | cores | makespan | insts | IPC | snoops | c2c |\n");
+    s.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+    for c in &multicore.cells {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {:.3} | {} | {} |\n",
+            c.workload, c.cores, c.makespan, c.instructions, c.ipc, c.snoops_sent, c.c2c_transfers,
+        ));
+    }
+    match &multicore.host {
+        Some(h) => s.push_str(&format!(
+            "\nHost simulation speed (4 simulated cores): {:.2} MIPS at 1 worker \
+             thread, {:.2} MIPS at 4 — **{:.2}x** parallel speedup with \
+             bit-identical results.\n",
+            h.mips_1_thread, h.mips_4_threads, h.speedup
+        )),
+        None => s.push_str("\nHost simulation speed: not measured in smoke mode.\n"),
+    }
     s
 }
 
@@ -299,9 +361,14 @@ mod tests {
     fn smoke_matrix_is_deterministic_and_conserved() {
         let a = run_all(true);
         let b = run_all(true);
+        let mca = crate::multicore::report_section(true);
+        let mcb = crate::multicore::report_section(true);
         assert!(!a.is_empty());
-        assert_eq!(render_json(&a, true), render_json(&b, true));
-        assert_eq!(render_markdown(&a, true), render_markdown(&b, true));
+        assert_eq!(render_json(&a, &mca, true), render_json(&b, &mcb, true));
+        assert_eq!(
+            render_markdown(&a, &mca, true),
+            render_markdown(&b, &mcb, true)
+        );
         for r in &a {
             assert!(r.report.perf.stalls_conserved(), "{}", r.workload);
         }
@@ -322,13 +389,17 @@ mod tests {
     #[test]
     fn json_is_structurally_sound() {
         let rs = run_all(true);
-        let j = render_json(&rs, true);
+        let mc = crate::multicore::report_section(true);
+        let j = render_json(&rs, &mc, true);
         assert_eq!(
             j.matches('{').count(),
             j.matches('}').count(),
             "balanced braces"
         );
-        assert!(j.contains("\"schema\": \"xt-report/v1\""));
+        assert!(j.contains("\"schema\": \"xt-report/v2\""));
+        assert!(j.contains("\"multicore\""));
+        assert!(j.contains("\"producer_consumer\""));
+        assert!(j.contains("\"host\": null"), "smoke skips wall clock");
         for cause in StallCause::ALL {
             assert!(j.contains(cause.name()));
         }

@@ -1,0 +1,229 @@
+//! Cluster-engine invariants under constrained random multi-core
+//! workloads.
+//!
+//! A [`ClusterSpec`] is a small set of generated single-core programs
+//! (one per core, each placed in a disjoint text/data region) plus an
+//! epoch length. [`check_cluster_invariants`] runs the spec through the
+//! epoch-barriered engine and enforces structural laws that must hold
+//! for *any* program mix:
+//!
+//! 1. **Determinism** — 1-thread and 2-thread runs produce identical
+//!    perf counters, memory statistics, and exit codes.
+//! 2. **Makespan bound** — sharing a hierarchy can only slow a core
+//!    down, so the cluster makespan (plus bounded slack for the handful
+//!    of unavoidably shared lines: the root page-table line and the
+//!    halt mailbox) is at least the slowest core's standalone runtime.
+//! 3. **Snoop conservation** — every core named by a non-empty snoop
+//!    filter mask is either probed or suppressed:
+//!    `snoops_sent + snoops_suppressed == probe_candidates`.
+//! 4. **Completion** — every generated program halts with an exit code.
+//!
+//! Failures shrink through `xt-harness` (fewer cores, shorter
+//! programs, smaller epochs) and replay from a printed seed.
+
+use crate::progen::{ProgGen, ProgSpec};
+use xt_asm::Program;
+use xt_core::CoreConfig;
+use xt_harness::{Gen, Rng};
+use xt_mem::MemConfig;
+use xt_soc::{ClusterReport, ClusterSim};
+
+/// Dynamic instruction budget per cluster run.
+const MAX_INSTS: u64 = 1_000_000;
+
+/// Per-core placement stride: images 16 MiB apart keep every generated
+/// working set (a few hundred bytes) in a private region.
+const TEXT_BASE: u64 = 0x8000_0000;
+const DATA_BASE: u64 = 0x8800_0000;
+const CORE_STRIDE: u64 = 0x0100_0000;
+
+/// A generated multi-core workload: one program per core plus the
+/// engine's epoch length.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClusterSpec {
+    /// One program spec per core (1, 2, or 4 — the configurations the
+    /// memory system accepts).
+    pub cores: Vec<ProgSpec>,
+    /// Epoch length in simulated cycles.
+    pub epoch: u64,
+}
+
+impl ClusterSpec {
+    fn emit(&self) -> Vec<Program> {
+        self.cores
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let (prog, _) = spec.emit_at(
+                    TEXT_BASE + i as u64 * CORE_STRIDE,
+                    DATA_BASE + i as u64 * CORE_STRIDE,
+                );
+                prog
+            })
+            .collect()
+    }
+}
+
+/// Generator for [`ClusterSpec`]s.
+#[derive(Clone, Debug, Default)]
+pub struct ClusterGen {
+    prog: ProgGen,
+}
+
+impl Gen for ClusterGen {
+    type Value = ClusterSpec;
+
+    fn generate(&self, rng: &mut Rng) -> ClusterSpec {
+        let n = *rng.choose(&[2usize, 4]);
+        let cores = (0..n).map(|_| self.prog.generate(rng)).collect();
+        let epoch = rng.gen_range_u64(1, 8193);
+        ClusterSpec { cores, epoch }
+    }
+
+    fn shrink(&self, value: &ClusterSpec) -> Vec<ClusterSpec> {
+        let mut out = Vec::new();
+        // fewer cores first (4 -> 2 -> 1): the biggest simplification
+        if value.cores.len() > 1 {
+            let half = value.cores.len() / 2;
+            out.push(ClusterSpec {
+                cores: value.cores[..half].to_vec(),
+                epoch: value.epoch,
+            });
+            out.push(ClusterSpec {
+                cores: value.cores[half..].to_vec(),
+                epoch: value.epoch,
+            });
+        }
+        // shorter epochs
+        if value.epoch > 1 {
+            for e in [1, value.epoch / 2] {
+                out.push(ClusterSpec {
+                    cores: value.cores.clone(),
+                    epoch: e,
+                });
+            }
+        }
+        // member-wise program shrinking
+        for i in 0..value.cores.len() {
+            for cand in self.prog.shrink(&value.cores[i]) {
+                let mut cores = value.cores.clone();
+                cores[i] = cand;
+                out.push(ClusterSpec {
+                    cores,
+                    epoch: value.epoch,
+                });
+            }
+        }
+        out
+    }
+}
+
+fn mem_cfg(cores: usize) -> MemConfig {
+    MemConfig {
+        cores,
+        ..MemConfig::default()
+    }
+}
+
+fn run(progs: &[Program], epoch: u64, threads: usize) -> ClusterReport {
+    ClusterSim::new(progs, &CoreConfig::xt910(), mem_cfg(progs.len()), MAX_INSTS)
+        .with_epoch(epoch)
+        .run_threads(threads)
+}
+
+/// Checks the cluster invariants for one generated spec. The `Err`
+/// carries a human-readable description of the violated law.
+pub fn check_cluster_invariants(spec: &ClusterSpec) -> Result<(), String> {
+    let progs = spec.emit();
+    let r1 = run(&progs, spec.epoch, 1);
+
+    // 1. determinism across host thread counts
+    let r2 = run(&progs, spec.epoch, 2);
+    if r1.cores != r2.cores || r1.mem != r2.mem || r1.exit_codes != r2.exit_codes {
+        return Err(format!(
+            "thread-count nondeterminism: 1-thread and 2-thread runs diverge \
+             (epoch {}, {} cores)",
+            spec.epoch,
+            progs.len()
+        ));
+    }
+
+    // 4. every program halts
+    for (i, code) in r1.exit_codes.iter().enumerate() {
+        if code.is_none() {
+            return Err(format!("core {i} did not halt"));
+        }
+    }
+
+    // 2. makespan bound: contention only slows cores down. The root
+    // page-table line and the halt mailbox are shared by construction,
+    // so allow a few DRAM round trips of slack for cross-core
+    // interference on exactly those lines.
+    let slack = 4 * mem_cfg(progs.len()).dram_latency;
+    let standalone_max = progs
+        .iter()
+        .map(|p| {
+            let solo = ClusterSim::new(
+                std::slice::from_ref(p),
+                &CoreConfig::xt910(),
+                mem_cfg(1),
+                MAX_INSTS,
+            )
+            .run_threads(1);
+            solo.makespan()
+        })
+        .max()
+        .unwrap_or(0);
+    if r1.makespan() + slack < standalone_max {
+        return Err(format!(
+            "makespan {} + slack {} below slowest standalone core {} — \
+             the cluster simulated a core faster than it runs alone",
+            r1.makespan(),
+            slack,
+            standalone_max
+        ));
+    }
+
+    // 3. snoop conservation on the master hierarchy
+    let m = &r1.mem;
+    if m.snoops_sent + m.snoops_suppressed != m.probe_candidates {
+        return Err(format!(
+            "snoop conservation violated: sent {} + suppressed {} != candidates {}",
+            m.snoops_sent, m.snoops_suppressed, m.probe_candidates
+        ));
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_harness::{check_with, Config};
+
+    #[test]
+    fn generated_clusters_satisfy_invariants() {
+        let cfg = Config::seeded_cases(crate::SUITE_SEED ^ 0xC105_7E12, 24);
+        check_with(&cfg, "cluster_invariants", &ClusterGen::default(), |spec| {
+            if let Err(e) = check_cluster_invariants(spec) {
+                panic!("{e}");
+            }
+        });
+    }
+
+    #[test]
+    fn shrinking_reduces_core_count_and_epoch() {
+        let gen = ClusterGen::default();
+        let mut rng = Rng::new(7);
+        let spec = gen.generate(&mut rng);
+        let shrunk = gen.shrink(&spec);
+        assert!(!shrunk.is_empty());
+        assert!(
+            shrunk.iter().any(|s| s.cores.len() < spec.cores.len()),
+            "offers fewer-core candidates"
+        );
+        if spec.epoch > 1 {
+            assert!(shrunk.iter().any(|s| s.epoch < spec.epoch));
+        }
+    }
+}

@@ -4,7 +4,10 @@
 //! ([`progen`]) are executed by the functional emulator and compared
 //! against a compact host-side oracle ([`oracle`]), then replayed
 //! through both timing models under structural invariants
-//! ([`invariants`]). Failures shrink through the `xt-harness` engine
+//! ([`invariants`]); generated multi-core workloads additionally run
+//! through the epoch-barriered cluster engine under determinism,
+//! makespan, and snoop-conservation laws ([`cluster`]). Failures
+//! shrink through the `xt-harness` engine
 //! and carry a replay artifact: the failing seed, the disassembled
 //! program, and a per-stage timing summary.
 //!
@@ -15,6 +18,7 @@
 //! `XT_HARNESS_SEED=<seed> cargo test -p xt-check` (or the `xt-check`
 //! binary with `--seed`).
 
+pub mod cluster;
 pub mod invariants;
 pub mod oracle;
 pub mod progen;

@@ -14,6 +14,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
+use xt_check::cluster::{check_cluster_invariants, ClusterGen};
 use xt_check::oracle::Fault;
 use xt_check::progen::ProgGen;
 use xt_check::{check_program, SUITE_SEED};
@@ -82,6 +83,40 @@ fn main() -> ExitCode {
         Ok(()) => println!(
             "xt-check: OK — {} programs, zero divergences, zero invariant violations",
             checked.get()
+        ),
+        Err(payload) => {
+            eprintln!("{}", panic_text(&payload));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Cluster invariants: fewer cases (each spins up 3-5 whole-cluster
+    // simulations) but the same shrink-and-replay discipline.
+    let cluster_cases = (cases / 4).max(4);
+    let cluster_cfg = Config::seeded_cases(seed ^ 0xC105_7E12, cluster_cases);
+    println!(
+        "xt-check: {} cluster workloads, seed {:#x}",
+        cluster_cfg.cases, cluster_cfg.seed
+    );
+    let cluster_checked = std::cell::Cell::new(0u32);
+    let cluster_result = catch_unwind(AssertUnwindSafe(|| {
+        check_with(
+            &cluster_cfg,
+            "xt_check_cluster",
+            &ClusterGen::default(),
+            |spec| {
+                if let Err(e) = check_cluster_invariants(spec) {
+                    panic!("{e}");
+                }
+                cluster_checked.set(cluster_checked.get() + 1);
+            },
+        );
+    }));
+    match cluster_result {
+        Ok(()) => println!(
+            "xt-check: OK — {} cluster workloads, determinism + makespan + \
+             snoop conservation hold",
+            cluster_checked.get()
         ),
         Err(payload) => {
             eprintln!("{}", panic_text(&payload));

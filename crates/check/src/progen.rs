@@ -209,10 +209,19 @@ impl ProgSpec {
         true
     }
 
-    /// Assembles the spec into a runnable machine program. Returns the
+    /// Assembles the spec at the default text/data bases. Returns the
     /// program and the scratch region's base address.
     pub fn emit(&self) -> (Program, u64) {
-        let mut a = Asm::new();
+        self.emit_at(0x8000_0000, 0x8100_0000)
+    }
+
+    /// Assembles the spec at explicit text and data bases — the cluster
+    /// invariant checks place each core's image in a disjoint region so
+    /// their private working sets do not interfere.
+    pub fn emit_at(&self, text_base: u64, data_base: u64) -> (Program, u64) {
+        let mut a = Asm::new()
+            .with_text_base(text_base)
+            .with_data_base(data_base);
         let scratch = a.data_zeros("scratch", NSLOTS * 8);
         a.la(Gpr::S0, scratch);
         for op in &self.ops {

@@ -21,6 +21,13 @@ use xt_mem::MemSystem;
 use xt_trace::{FlushCause, FlushEvent, InstRecord, TraceBuffer, TraceSink};
 
 /// The out-of-order core.
+///
+/// Besides whole-trace runs ([`Self::run_to_end`]), the core supports
+/// *bounded-epoch* stepping: call [`Self::step`] instruction by
+/// instruction and watch [`Self::cycles`] to stop at an epoch boundary.
+/// All state is plain data (`Send`, asserted below), so the `xt-soc`
+/// epoch engine can move each core onto a worker thread for a cycle
+/// slice and hand it back at the barrier.
 #[derive(Debug)]
 pub struct OooCore {
     cfg: CoreConfig,
@@ -62,6 +69,14 @@ pub struct OooCore {
     pub vset_spec_fails: u64,
     perf: PerfCounters,
 }
+
+// The epoch engine hands cores to scoped worker threads; if a non-Send
+// field (Rc, raw pointer, …) ever sneaks in, fail the build here rather
+// than in xt-soc.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<OooCore>();
+};
 
 impl OooCore {
     /// Creates a core with id `core_id` (its index in the cluster memory

@@ -89,7 +89,7 @@ impl StallCause {
 }
 
 /// Hardware-style performance counters maintained by the timing models.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct PerfCounters {
     /// Total simulated cycles.
     pub cycles: u64,

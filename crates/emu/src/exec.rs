@@ -9,7 +9,7 @@ use crate::softfp;
 use crate::trace::{DynInst, MemAccess};
 use crate::vecexec;
 use xt_asm::{Program, HALT_ADDR};
-use xt_isa::{csr, decode, decode_compressed, Inst, Op};
+use xt_isa::{csr, decode, decode_compressed, ExecClass, Inst, Op};
 
 /// MMIO address: a byte stored here is appended to the console buffer.
 pub const CONSOLE_ADDR: u64 = HALT_ADDR + 8;
@@ -30,6 +30,52 @@ pub enum StepOutcome {
     Retired(DynInst),
     /// The program stored to the halt MMIO address; value is the exit code.
     Halted(u64),
+    /// Cluster mode only: the next instruction is globally visible (an
+    /// AMO, LR/SC, or fence) and must wait for the epoch barrier. The PC
+    /// did not advance; the instruction executes on the step after the
+    /// barrier sets [`ClusterCtl::release_one`].
+    NeedsBarrier,
+}
+
+/// One plain-memory store, logged for cross-core propagation at the
+/// cluster epoch barrier (MMIO stores — halt, console — are never
+/// logged: they are core-local by definition).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StoreRec {
+    /// Physical address.
+    pub pa: u64,
+    /// Value stored (low `size` bytes significant).
+    pub val: u64,
+    /// Size in bytes (1..=8).
+    pub size: u8,
+}
+
+/// Cluster-mode hooks on the emulator (see `xt-soc`'s epoch engine).
+///
+/// While attached, every plain-memory store is appended to `store_log`
+/// (the engine drains and applies it to the other cores' memories at
+/// each barrier), and, when `gate` is set, [`Emulator::step`] parks in
+/// front of globally visible operations — AMOs, LR/SC, fences — by
+/// returning [`StepOutcome::NeedsBarrier`] until the engine grants one
+/// execution via `release_one`. Deferring store visibility to barriers
+/// gives each core an unbounded store buffer; serializing the gated ops
+/// at the barrier in core-index order keeps AMOs globally atomic. Both
+/// are RVWMO-legal (see docs/CLUSTER.md).
+#[derive(Clone, Debug, Default)]
+pub struct ClusterCtl {
+    /// Plain-memory stores since the last drain, in program order.
+    pub store_log: Vec<StoreRec>,
+    /// Park in front of AMO/LR/SC/fence until released.
+    pub gate: bool,
+    /// One-shot grant: the next gated instruction may execute.
+    pub release_one: bool,
+}
+
+/// Operations that must rendezvous at the cluster barrier: all AMOs and
+/// LR/SC (`ExecClass::Amo`) plus fences and the sync extension
+/// (`ExecClass::Fence`).
+fn is_barrier_op(op: Op) -> bool {
+    matches!(op.exec_class(), ExecClass::Amo | ExecClass::Fence)
 }
 
 /// Fatal simulation errors (as opposed to architectural traps, which are
@@ -85,6 +131,9 @@ pub struct Emulator {
     pub console: Vec<u8>,
     /// Physical memory protection (paper SII: 8-16 regions).
     pub pmp: Pmp,
+    /// Cluster-mode hooks (store logging, barrier gating). `None` for
+    /// ordinary single-core use.
+    pub cluster: Option<ClusterCtl>,
 }
 
 impl Default for Emulator {
@@ -102,6 +151,7 @@ impl Emulator {
             halted: None,
             console: Vec::new(),
             pmp: Pmp::new(16),
+            cluster: None,
         }
     }
 
@@ -126,6 +176,9 @@ impl Emulator {
             match self.step()? {
                 StepOutcome::Halted(code) => return Ok(code),
                 StepOutcome::Retired(_) => {}
+                StepOutcome::NeedsBarrier => {
+                    unreachable!("Emulator::run is not cluster-aware; clear ClusterCtl::gate")
+                }
             }
         }
         Err(ExecError::OutOfFuel)
@@ -186,6 +239,13 @@ impl Emulator {
             return Ok(pa);
         }
         self.mem.write_bytes(pa, val, size);
+        if let Some(ctl) = self.cluster.as_mut() {
+            ctl.store_log.push(StoreRec {
+                pa,
+                val,
+                size: size as u8,
+            });
+        }
         Ok(pa)
     }
 
@@ -238,6 +298,16 @@ impl Emulator {
                 word: lo as u32,
             })?
         };
+        // Cluster gating: globally visible ops wait for the epoch barrier.
+        if let Some(ctl) = self.cluster.as_mut() {
+            if ctl.gate && is_barrier_op(inst.op) {
+                if ctl.release_one {
+                    ctl.release_one = false;
+                } else {
+                    return Ok(StepOutcome::NeedsBarrier);
+                }
+            }
+        }
         match self.execute(pc, inst) {
             Ok(mut dyninst) => {
                 dyninst.fetch_pa = fetch_pa;

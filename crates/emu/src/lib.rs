@@ -48,6 +48,6 @@ pub mod trace;
 pub mod vecexec;
 
 pub use cpu::{Cpu, PrivMode};
-pub use exec::{Emulator, ExecError, StepOutcome};
+pub use exec::{ClusterCtl, Emulator, ExecError, StepOutcome, StoreRec};
 pub use gmem::GuestMem;
-pub use trace::{DynInst, MemAccess, TraceSource};
+pub use trace::{DynInst, MemAccess, TraceEvent, TraceSource};

@@ -154,14 +154,19 @@ impl TraceSource {
     pub fn emulator(&self) -> &Emulator {
         &self.emu
     }
-}
 
-impl Iterator for TraceSource {
-    type Item = DynInst;
+    /// Mutable access to the underlying emulator (cluster engine: store
+    /// propagation, gate control).
+    pub fn emulator_mut(&mut self) -> &mut Emulator {
+        &mut self.emu
+    }
 
-    fn next(&mut self) -> Option<DynInst> {
+    /// Advances the trace by one event. Unlike the [`Iterator`] view,
+    /// this surfaces cluster barrier requests instead of treating them
+    /// as end-of-trace.
+    pub fn try_next(&mut self) -> TraceEvent {
         if self.exit_code.is_some() || self.error.is_some() || self.retired >= self.limit {
-            return None;
+            return TraceEvent::Done;
         }
         match self.emu.step() {
             Ok(StepOutcome::Retired(d)) => {
@@ -169,16 +174,44 @@ impl Iterator for TraceSource {
                 if self.emu.halted.is_some() {
                     self.exit_code = self.emu.halted;
                 }
-                Some(d)
+                TraceEvent::Inst(d)
             }
             Ok(StepOutcome::Halted(code)) => {
                 self.exit_code = Some(code);
-                None
+                TraceEvent::Done
             }
+            Ok(StepOutcome::NeedsBarrier) => TraceEvent::Barrier,
             Err(e) => {
                 self.error = Some(e);
+                TraceEvent::Done
+            }
+        }
+    }
+}
+
+/// One event from [`TraceSource::try_next`].
+#[derive(Clone, Debug)]
+pub enum TraceEvent {
+    /// An instruction retired.
+    Inst(DynInst),
+    /// Cluster mode: the core is parked in front of a globally visible
+    /// operation and needs the epoch barrier to proceed.
+    Barrier,
+    /// The trace ended (halt, fatal error, or instruction limit).
+    Done,
+}
+
+impl Iterator for TraceSource {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        match self.try_next() {
+            TraceEvent::Inst(d) => Some(d),
+            TraceEvent::Barrier => {
+                debug_assert!(false, "cluster barrier event outside the epoch engine");
                 None
             }
+            TraceEvent::Done => None,
         }
     }
 }

@@ -40,5 +40,5 @@ pub use dram::Dram;
 pub use ecc::{ecc_decode, ecc_encode, parity, parity_ok, EccResult};
 pub use prefetch::Prefetcher;
 pub use stats::MemStats;
-pub use system::MemSystem;
+pub use system::{MemOp, MemSystem};
 pub use tlb::{Tlb, TlbResult};

@@ -292,6 +292,54 @@ mod tests {
     }
 
     #[test]
+    fn unit_stride_continues_across_4k_page_boundary() {
+        let mut p = engine(PrefetchDistance::Small);
+        // walk the tail of page 0 (lines 56..63); the stream must run
+        // ahead into page 1 without a gap at the boundary
+        let mut vas = Vec::new();
+        for k in 56..64u64 {
+            vas.extend(p.on_access(k * 64).iter().map(|r| r.va));
+        }
+        assert!(
+            vas.iter().any(|&va| va >= 4096),
+            "prefetch stream crosses into page 1: {vas:?}"
+        );
+        assert!(
+            vas.contains(&(63 * 64)) && vas.contains(&(64 * 64)),
+            "no hole at the 4 KiB boundary: {vas:?}"
+        );
+    }
+
+    #[test]
+    fn negative_stride_crosses_boundary_downward() {
+        let mut p = engine(PrefetchDistance::Small);
+        // descend through the bottom of page 1 into page 0
+        let mut vas = Vec::new();
+        for k in (64..=70u64).rev() {
+            vas.extend(p.on_access(k * 64).iter().map(|r| r.va));
+        }
+        assert!(
+            vas.iter().any(|&va| va < 4096),
+            "descending stream continues into page 0: {vas:?}"
+        );
+    }
+
+    #[test]
+    fn negative_stride_never_underflows_address_zero() {
+        let mut p = engine(PrefetchDistance::Large);
+        let mut vas = Vec::new();
+        for k in (0..=4u64).rev() {
+            vas.extend(p.on_access(k * 64).iter().map(|r| r.va));
+        }
+        // the run-ahead target is far below line 0; requests clamp there
+        // instead of wrapping to the top of the address space
+        assert!(
+            vas.iter().all(|&va| va <= 4 * 64),
+            "no wrapped addresses: {vas:?}"
+        );
+    }
+
+    #[test]
     fn random_accesses_never_confirm() {
         let mut p = engine(PrefetchDistance::Small);
         // addresses far apart with no consistent stride

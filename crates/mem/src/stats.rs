@@ -25,10 +25,18 @@ pub struct MemStats {
     pub dram_requests: u64,
     /// DRAM requests that queued behind the channel.
     pub dram_queued: u64,
-    /// Coherence: snoop probes avoided by the snoop filter.
+    /// Coherence: whole lookups answered by the snoop filter (mask empty,
+    /// no probe sent at all).
     pub snoops_filtered: u64,
     /// Coherence: snoop probes actually sent to other cores.
     pub snoops_sent: u64,
+    /// Coherence: individual cores named by a non-empty snoop-filter mask
+    /// (each is either probed or suppressed).
+    pub probe_candidates: u64,
+    /// Coherence: candidate probes suppressed because the named core had
+    /// already silently dropped the line. Conservation law:
+    /// `snoops_sent + snoops_suppressed == probe_candidates`.
+    pub snoops_suppressed: u64,
     /// Cache-to-cache transfers.
     pub c2c_transfers: u64,
     /// Total cycles spent in page walks.

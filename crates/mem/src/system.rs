@@ -14,6 +14,45 @@ use std::collections::HashMap;
 /// 64-byte line covers 8 adjacent PTEs).
 const PTE_REGION: u64 = 0x40_0000_0000;
 
+/// One access through a [`MemSystem`] entry point, recorded for epoch
+/// replay by the parallel cluster engine (see `xt-soc`).
+///
+/// A recording system logs every call to [`MemSystem::icache_fetch`],
+/// [`MemSystem::dload`], [`MemSystem::dstore`] and
+/// [`MemSystem::dcache_flush_all`]; replaying the log with
+/// [`MemSystem::apply_op`] against another instance reproduces the same
+/// state transitions (timing side effects included) in a chosen order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemOp {
+    /// An [`MemSystem::icache_fetch`] call.
+    IFetch {
+        /// Cycle of the original access.
+        cycle: u64,
+        /// Physical fetch address.
+        pa: u64,
+    },
+    /// A [`MemSystem::dload`] call.
+    Load {
+        /// Cycle of the original access.
+        cycle: u64,
+        /// Virtual address.
+        va: u64,
+        /// Physical address.
+        pa: u64,
+    },
+    /// A [`MemSystem::dstore`] call.
+    Store {
+        /// Cycle of the original access.
+        cycle: u64,
+        /// Virtual address.
+        va: u64,
+        /// Physical address.
+        pa: u64,
+    },
+    /// A [`MemSystem::dcache_flush_all`] call.
+    FlushAll,
+}
+
 /// The cluster memory hierarchy (paper Fig. 2: up to 4 cores sharing an
 /// inclusive L2).
 ///
@@ -36,9 +75,13 @@ pub struct MemSystem {
     /// Coherence stats.
     snoops_filtered: u64,
     snoops_sent: u64,
+    probe_candidates: u64,
+    snoops_suppressed: u64,
     c2c_transfers: u64,
     walk_cycles: u64,
     line_bytes: u64,
+    /// When `Some`, every public access is appended here (epoch replay).
+    recorder: Option<Vec<MemOp>>,
 }
 
 impl MemSystem {
@@ -70,11 +113,49 @@ impl MemSystem {
             inflight: HashMap::new(),
             snoops_filtered: 0,
             snoops_sent: 0,
+            probe_candidates: 0,
+            snoops_suppressed: 0,
             c2c_transfers: 0,
             walk_cycles: 0,
             line_bytes: cfg.line_bytes as u64,
+            recorder: None,
             cfg,
         }
+    }
+
+    /// Starts logging every public access for later [`Self::apply_op`]
+    /// replay. The log is drained with [`Self::take_log`].
+    pub fn start_recording(&mut self) {
+        self.recorder = Some(Vec::new());
+    }
+
+    /// Drains the recorded access log (empty if not recording).
+    pub fn take_log(&mut self) -> Vec<MemOp> {
+        match self.recorder.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
+        }
+    }
+
+    /// Replays one recorded access on behalf of `core`, reproducing its
+    /// state side effects (the returned latency is discarded). The
+    /// recorder is suspended for the duration so replayed traffic never
+    /// pollutes this instance's own log.
+    pub fn apply_op(&mut self, core: usize, op: &MemOp) {
+        let saved = self.recorder.take();
+        match *op {
+            MemOp::IFetch { cycle, pa } => {
+                let _ = self.icache_fetch(core, cycle, pa);
+            }
+            MemOp::Load { cycle, va, pa } => {
+                let _ = self.dload(core, cycle, va, pa);
+            }
+            MemOp::Store { cycle, va, pa } => {
+                let _ = self.dstore(core, cycle, va, pa);
+            }
+            MemOp::FlushAll => self.dcache_flush_all(core),
+        }
+        self.recorder = saved;
     }
 
     /// The active configuration.
@@ -96,8 +177,15 @@ impl MemSystem {
         }
         let mut out = Vec::new();
         for c in 0..self.cfg.cores {
-            if mask & (1 << c) != 0 && self.l1d[c].contains(line) {
-                out.push(c);
+            if mask & (1 << c) != 0 {
+                self.probe_candidates += 1;
+                if self.l1d[c].contains(line) {
+                    out.push(c);
+                } else {
+                    // directory said "maybe", cache says "gone": the probe
+                    // is suppressed rather than sent
+                    self.snoops_suppressed += 1;
+                }
             }
         }
         self.snoops_sent += out.len() as u64;
@@ -168,6 +256,9 @@ impl MemSystem {
     /// prefetches the next lines sequentially (IBUF fetch-ahead, §III),
     /// so straight-line code does not pay DRAM latency per line.
     pub fn icache_fetch(&mut self, core: usize, cycle: u64, pa: u64) -> u64 {
+        if let Some(log) = self.recorder.as_mut() {
+            log.push(MemOp::IFetch { cycle, pa });
+        }
         let line = self.line_of(pa);
         let done = match self.l1i[core].access(pa, false) {
             ProbeResult::Hit { .. } => match self.inflight.get(&line) {
@@ -262,6 +353,9 @@ impl MemSystem {
 
     /// Data load at (`va`, `pa`). Returns the completion cycle.
     pub fn dload(&mut self, core: usize, cycle: u64, va: u64, pa: u64) -> u64 {
+        if let Some(log) = self.recorder.as_mut() {
+            log.push(MemOp::Load { cycle, va, pa });
+        }
         let after_tlb = self.translate(core, cycle, va, pa);
         self.run_prefetcher(core, after_tlb, va, pa);
         self.data_path(core, after_tlb, pa, false)
@@ -270,6 +364,9 @@ impl MemSystem {
     /// Data store at (`va`, `pa`). Returns the completion cycle (store
     /// commit into the cache).
     pub fn dstore(&mut self, core: usize, cycle: u64, va: u64, pa: u64) -> u64 {
+        if let Some(log) = self.recorder.as_mut() {
+            log.push(MemOp::Store { cycle, va, pa });
+        }
         let after_tlb = self.translate(core, cycle, va, pa);
         self.run_prefetcher(core, after_tlb, va, pa);
         self.data_path(core, after_tlb, pa, true)
@@ -433,6 +530,9 @@ impl MemSystem {
 
     /// `x.dcache.call`: clean+invalidate the whole L1D of `core`.
     pub fn dcache_flush_all(&mut self, core: usize) {
+        if let Some(log) = self.recorder.as_mut() {
+            log.push(MemOp::FlushAll);
+        }
         let _ = self.l1d[core].invalidate_all();
         // rebuild the snoop filter without this core
         for mask in self.dir.values_mut() {
@@ -489,6 +589,8 @@ impl MemSystem {
             dram_queued: self.dram.queued,
             snoops_filtered: self.snoops_filtered,
             snoops_sent: self.snoops_sent,
+            probe_candidates: self.probe_candidates,
+            snoops_suppressed: self.snoops_suppressed,
             c2c_transfers: self.c2c_transfers,
             walk_cycles: self.walk_cycles,
         }
@@ -567,6 +669,24 @@ mod tests {
             with < without,
             "TLB prefetch removes boundary walks: {with} vs {without}"
         );
+    }
+
+    #[test]
+    fn tlb_prefetch_covers_exactly_the_page_boundary() {
+        // stream exactly two pages; the only demand walk with TLB
+        // prefetch on is page 0's, because the cross-page prefetch
+        // installed page 1's mapping before demand got there
+        let run = |pf: PrefetchConfig| -> u64 {
+            let mut m = sys(1, pf);
+            let mut t = 0;
+            for k in 0..(2 * 512u64) {
+                let a = 0x9000_0000 + k * 8;
+                t = m.dload(0, t, a, a);
+            }
+            m.stats().total_walks()
+        };
+        assert_eq!(run(PrefetchConfig::all_large()), 1);
+        assert_eq!(run(PrefetchConfig::no_tlb_large()), 2);
     }
 
     #[test]
@@ -665,6 +785,59 @@ mod tests {
             s.walk_cycles < 8 * (3 * m.config().dram_latency),
             "walks amortize via cached PTEs: {}",
             s.walk_cycles
+        );
+    }
+
+    #[test]
+    fn recorded_log_replays_to_identical_state() {
+        // a recording system and a mirror fed via apply_op must agree
+        let mut rec = sys(2, PrefetchConfig::all_large());
+        let mut mirror = sys(2, PrefetchConfig::all_large());
+        rec.start_recording();
+        let mut t = 0;
+        for k in 0..256u64 {
+            let a = 0x9000_0000 + k * 8;
+            t = rec.dload(0, t, a, a);
+            if k % 7 == 0 {
+                t = rec.dstore(0, t, a, a);
+            }
+        }
+        let _ = rec.icache_fetch(0, t, 0x8000_0000);
+        rec.dcache_flush_all(0);
+        let log = rec.take_log();
+        assert!(!log.is_empty());
+        for op in &log {
+            mirror.apply_op(0, op);
+        }
+        // the mirror never recorded, so its own log is empty
+        assert!(mirror.take_log().is_empty());
+        // replay runs the same calls at the same cycles, so every counter
+        // (including walk cycles and DRAM queueing) matches exactly
+        assert_eq!(rec.stats(), mirror.stats());
+    }
+
+    #[test]
+    fn snoop_conservation_holds_under_sharing() {
+        let mut m = sys(4, PrefetchConfig::off());
+        let a = 0x9000_0000u64;
+        let mut t = 0;
+        // bounce a handful of lines among all four cores
+        for round in 0..32u64 {
+            for c in 0..4usize {
+                let addr = a + (round % 4) * 64;
+                t = if (round + c as u64).is_multiple_of(2) {
+                    m.dstore(c, t, addr, addr)
+                } else {
+                    m.dload(c, t, addr, addr)
+                };
+            }
+        }
+        let s = m.stats();
+        assert!(s.probe_candidates > 0);
+        assert_eq!(
+            s.snoops_sent + s.snoops_suppressed,
+            s.probe_candidates,
+            "every candidate probe is either sent or suppressed"
         );
     }
 

@@ -1,20 +1,61 @@
-//! Cluster-level simulation: 1-4 cores time-interleaved over one shared
-//! coherent memory system (paper Fig. 2).
+//! Deterministic epoch-barriered parallel cluster engine (paper Fig. 2;
+//! gem5/FireSim-style host parallelism, see PAPERS.md).
+//!
+//! Each core — its [`OooCore`] timing model, its functional
+//! [`xt_emu::Emulator`], and a private *replica* of the full
+//! [`MemSystem`] hierarchy — steps independently for a fixed cycle
+//! epoch, optionally on its own `std::thread`. At the epoch barrier a
+//! single thread arbitrates everything that must be globally ordered,
+//! always in **core-index order**:
+//!
+//! 1. every replica's recorded memory traffic ([`xt_mem::MemOp`] logs)
+//!    is replayed into the *master* memory system (the canonical stats),
+//!    then cross-applied to the other replicas so each core's next slice
+//!    sees the cluster's traffic (coherence with one-epoch lag);
+//! 2. functional stores buffered by each emulator propagate to the other
+//!    cores' memories in program order (an unbounded store buffer —
+//!    RVWMO-legal) and kill matching LR reservations;
+//! 3. cores parked in front of a globally visible instruction (AMO,
+//!    LR/SC, fence — see [`xt_emu::ClusterCtl`]) execute exactly one
+//!    such instruction each, its stores propagating immediately, which
+//!    serializes atomics cluster-wide.
+//!
+//! **Determinism contract:** the slice phase touches only per-core
+//! state and the barrier runs serially in a fixed order, so the result
+//! — [`PerfCounters`], [`MemStats`], exit codes, pipeline traces — is
+//! bit-identical for any host thread count ([`ClusterSim::run_threads`]
+//! with 1, 2, 4, … threads, or the inline [`ClusterSim::run_sequential`]
+//! oracle). `tests/determinism.rs` and the `xt-check` cluster suite
+//! enforce this; docs/CLUSTER.md derives it.
 
+use std::sync::Arc;
+use std::thread;
 use xt_asm::Program;
 use xt_core::{CoreConfig, OooCore, PerfCounters};
-use xt_emu::{Emulator, TraceSource};
-use xt_mem::{MemConfig, MemStats, MemSystem};
+use xt_emu::{ClusterCtl, Emulator, StoreRec, TraceEvent, TraceSource};
+use xt_mem::{MemConfig, MemOp, MemStats, MemSystem};
+
+/// Default epoch length in simulated cycles. Long enough to amortize
+/// the serial barrier over thousands of parallel core-steps, short
+/// enough that coherence lag stays bounded.
+pub const DEFAULT_EPOCH_CYCLES: u64 = 8192;
+
+/// LR/SC reservation granularity for cross-core kills (one cache line).
+const RESERVATION_LINE: u64 = 64;
 
 /// Result of a cluster run.
 #[derive(Clone, Debug)]
 pub struct ClusterReport {
     /// Per-core counters.
     pub cores: Vec<PerfCounters>,
-    /// Shared memory-system statistics.
+    /// Shared memory-system statistics (the master hierarchy, which saw
+    /// every core's traffic in deterministic barrier order).
     pub mem: MemStats,
     /// Per-core exit codes.
     pub exit_codes: Vec<Option<u64>>,
+    /// Per-core Konata pipeline traces, when tracing was enabled with
+    /// [`ClusterSim::with_tracers`].
+    pub konata: Option<Vec<String>>,
 }
 
 impl ClusterReport {
@@ -39,12 +80,71 @@ impl ClusterReport {
     }
 }
 
-/// A cluster of out-of-order cores sharing one [`MemSystem`].
-pub struct ClusterSim {
-    cores: Vec<OooCore>,
-    traces: Vec<TraceSource>,
+/// One core's private simulation state. Everything a slice touches
+/// lives here, which is what makes the slice phase thread-safe without
+/// locks: disjoint `&mut CoreSlot`s go to disjoint worker threads.
+struct CoreSlot {
+    /// This core's index (fixes the resync replay order below).
+    id: usize,
+    core: OooCore,
+    trace: TraceSource,
+    /// Private replica of the full memory hierarchy. The core steps
+    /// against it between barriers; the previous barrier's traffic from
+    /// the other cores is cross-applied at the start of the next slice
+    /// (delayed coherence), on this slot's own worker thread.
     mem: MemSystem,
+    /// All cores' logs from the last barrier, waiting to be resynced.
+    pending: Option<Arc<Vec<Vec<MemOp>>>>,
+    /// Parked in front of a gated (globally visible) instruction.
+    parked: bool,
+    /// Trace exhausted (halt, error, or instruction limit).
+    done: bool,
+    steps: u64,
+}
+
+impl CoreSlot {
+    /// Runs this core until the epoch boundary, a barrier request, or
+    /// end of trace — no shared state touched.
+    fn run_slice(&mut self, epoch_end: u64, max_insts: u64) {
+        // resync first: replay the other cores' last-epoch traffic into
+        // the private replica, in core-index order (deterministic, and
+        // off the serial barrier's critical path)
+        if let Some(logs) = self.pending.take() {
+            for (j, log) in logs.iter().enumerate() {
+                if j != self.id {
+                    for op in log {
+                        self.mem.apply_op(j, op);
+                    }
+                }
+            }
+        }
+        while !self.done && !self.parked && self.core.cycles() < epoch_end {
+            match self.trace.try_next() {
+                TraceEvent::Inst(d) => {
+                    self.core.step(&d, &mut self.mem);
+                    self.steps += 1;
+                    if self.steps >= max_insts {
+                        self.done = true;
+                    }
+                }
+                TraceEvent::Barrier => self.parked = true,
+                TraceEvent::Done => self.done = true,
+            }
+        }
+    }
+}
+
+/// A cluster of out-of-order cores sharing one coherent memory
+/// hierarchy, simulated by the epoch-barriered parallel engine (see the
+/// [module docs](self)).
+pub struct ClusterSim {
+    slots: Vec<CoreSlot>,
+    /// The canonical memory system: replays every core's traffic in
+    /// barrier order and supplies the reported [`MemStats`].
+    master: MemSystem,
     max_insts: u64,
+    epoch_cycles: u64,
+    tracing: bool,
 }
 
 impl ClusterSim {
@@ -54,67 +154,290 @@ impl ClusterSim {
     /// # Panics
     ///
     /// Panics if the counts disagree or the configuration is invalid.
-    pub fn new(programs: &[Program], core_cfg: &CoreConfig, mem_cfg: MemConfig, max_insts: u64) -> Self {
+    pub fn new(
+        programs: &[Program],
+        core_cfg: &CoreConfig,
+        mem_cfg: MemConfig,
+        max_insts: u64,
+    ) -> Self {
         assert_eq!(
             mem_cfg.cores,
             programs.len(),
             "mem_cfg.cores must match program count"
         );
-        let cores = (0..programs.len())
-            .map(|i| OooCore::new(core_cfg.clone(), i))
-            .collect();
-        let traces = programs
+        let n = programs.len();
+        let slots = programs
             .iter()
-            .map(|p| {
+            .enumerate()
+            .map(|(i, p)| {
                 let mut emu = Emulator::new();
                 emu.load(p);
-                TraceSource::new(emu, max_insts)
+                let mut mem = MemSystem::new(mem_cfg);
+                if n > 1 {
+                    // multicore: buffer stores and park at AMO/fence
+                    emu.cluster = Some(ClusterCtl {
+                        gate: true,
+                        ..ClusterCtl::default()
+                    });
+                    mem.start_recording();
+                }
+                CoreSlot {
+                    id: i,
+                    core: OooCore::new(core_cfg.clone(), i),
+                    trace: TraceSource::new(emu, max_insts),
+                    mem,
+                    pending: None,
+                    parked: false,
+                    done: false,
+                    steps: 0,
+                }
             })
             .collect();
         ClusterSim {
-            cores,
-            traces,
-            mem: MemSystem::new(mem_cfg),
+            slots,
+            master: MemSystem::new(mem_cfg),
             max_insts,
+            epoch_cycles: DEFAULT_EPOCH_CYCLES,
+            tracing: false,
         }
     }
 
-    /// Runs all cores to completion, interleaving by simulated time so
-    /// the shared L2/DRAM see a realistic access order.
-    pub fn run(mut self) -> ClusterReport {
-        let n = self.cores.len();
-        let mut done = vec![false; n];
-        let mut steps = vec![0u64; n];
+    /// Overrides the epoch length (simulated cycles between barriers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cycles` is zero.
+    pub fn with_epoch(mut self, cycles: u64) -> Self {
+        assert!(cycles > 0, "epoch must be at least one cycle");
+        self.epoch_cycles = cycles;
+        self
+    }
+
+    /// Attaches a pipeline tracer to every core; the report then carries
+    /// per-core Konata trace text.
+    pub fn with_tracers(mut self) -> Self {
+        for s in &mut self.slots {
+            s.core.attach_tracer();
+        }
+        self.tracing = true;
+        self
+    }
+
+    /// Runs with the host thread count from `XT_THREADS` (default: the
+    /// host's available parallelism, capped at the core count). The
+    /// result is bit-identical for every thread count.
+    pub fn run(self) -> ClusterReport {
+        let threads = std::env::var("XT_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&t| t >= 1)
+            .unwrap_or_else(|| thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+        self.run_threads(threads)
+    }
+
+    /// Runs with an explicit worker-thread count (clamped to the core
+    /// count). Cores are partitioned into contiguous chunks, one scoped
+    /// thread per chunk per epoch; the barrier is always serial.
+    pub fn run_threads(mut self, threads: usize) -> ClusterReport {
+        let n = self.slots.len();
+        if n == 1 {
+            return self.run_single();
+        }
+        let threads = threads.clamp(1, n);
+        let chunk = n.div_ceil(threads);
+        let max_insts = self.max_insts;
+        let mut epoch_end = self.epoch_cycles;
         loop {
-            // pick the live core that is furthest behind in time
-            let next = (0..n)
-                .filter(|&i| !done[i])
-                .min_by_key(|&i| self.cores[i].cycles());
-            let Some(i) = next else { break };
-            match self.traces[i].next() {
-                Some(d) => {
-                    self.cores[i].step(&d, &mut self.mem);
-                    steps[i] += 1;
-                    if steps[i] >= self.max_insts {
-                        done[i] = true;
-                    }
+            thread::scope(|scope| {
+                for chunk_slots in self.slots.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for slot in chunk_slots {
+                            slot.run_slice(epoch_end, max_insts);
+                        }
+                    });
                 }
-                None => done[i] = true,
+            });
+            self.barrier();
+            epoch_end += self.epoch_cycles;
+            if self.slots.iter().all(|s| s.done) {
+                // traffic from the final barrier's released instructions
+                let _ = self.drain_to_master();
+                break;
             }
         }
+        self.finish()
+    }
+
+    /// Runs the identical epoch/barrier pipeline inline on the calling
+    /// thread — the obviously-sequential oracle the determinism tests
+    /// compare the threaded runs against.
+    pub fn run_sequential(mut self) -> ClusterReport {
+        if self.slots.len() == 1 {
+            return self.run_single();
+        }
+        let mut epoch_end = self.epoch_cycles;
+        loop {
+            for slot in &mut self.slots {
+                slot.run_slice(epoch_end, self.max_insts);
+            }
+            self.barrier();
+            epoch_end += self.epoch_cycles;
+            if self.slots.iter().all(|s| s.done) {
+                let _ = self.drain_to_master();
+                break;
+            }
+        }
+        self.finish()
+    }
+
+    /// Single-core fast path: no replicas, no epochs — the core steps
+    /// straight against the master hierarchy.
+    fn run_single(mut self) -> ClusterReport {
+        let slot = &mut self.slots[0];
+        loop {
+            match slot.trace.try_next() {
+                TraceEvent::Inst(d) => {
+                    slot.core.step(&d, &mut self.master);
+                    slot.steps += 1;
+                    if slot.steps >= self.max_insts {
+                        break;
+                    }
+                }
+                TraceEvent::Done => break,
+                TraceEvent::Barrier => unreachable!("no cluster gating on a single core"),
+            }
+        }
+        self.finish()
+    }
+
+    /// The serial epoch barrier (see the [module docs](self) for the
+    /// three phases and the ordering argument).
+    fn barrier(&mut self) {
+        let n = self.slots.len();
+        // phase 1: timing traffic to the master; replicas resync from
+        // the shared logs at the start of their next slice, in parallel
+        let logs = Arc::new(self.drain_to_master());
+        for slot in &mut self.slots {
+            if !slot.done {
+                slot.pending = Some(Arc::clone(&logs));
+            }
+        }
+        // phase 2: buffered functional stores become globally visible
+        for src in 0..n {
+            let log = self.take_store_log(src);
+            self.propagate_stores(src, &log);
+        }
+        // phase 3: release parked cores' gated instructions, one each
+        for i in 0..n {
+            if !self.slots[i].parked {
+                continue;
+            }
+            self.slots[i].parked = false;
+            if let Some(ctl) = self.slots[i].trace.emulator_mut().cluster.as_mut() {
+                ctl.release_one = true;
+            }
+            match self.slots[i].trace.try_next() {
+                TraceEvent::Inst(d) => {
+                    let slot = &mut self.slots[i];
+                    slot.core.step(&d, &mut slot.mem);
+                    slot.steps += 1;
+                    if slot.steps >= self.max_insts {
+                        slot.done = true;
+                    }
+                    // the released op is globally visible *now*: its
+                    // store reaches every core (killing reservations)
+                    // before the next core's gated op executes, which is
+                    // what serializes cluster-wide atomics
+                    let log = self.take_store_log(i);
+                    self.propagate_stores(i, &log);
+                }
+                TraceEvent::Done => self.slots[i].done = true,
+                TraceEvent::Barrier => unreachable!("released instruction parked again"),
+            }
+        }
+    }
+
+    /// Replays every replica's recorded [`MemOp`] log into the master in
+    /// core-index order (the canonical, deterministic arbitration) and
+    /// returns the logs for the replicas' parallel resync.
+    fn drain_to_master(&mut self) -> Vec<Vec<MemOp>> {
+        let logs: Vec<Vec<MemOp>> = self.slots.iter_mut().map(|s| s.mem.take_log()).collect();
+        for (i, log) in logs.iter().enumerate() {
+            for op in log {
+                self.master.apply_op(i, op);
+            }
+        }
+        logs
+    }
+
+    /// Drains core `i`'s buffered functional stores.
+    fn take_store_log(&mut self, i: usize) -> Vec<StoreRec> {
+        self.slots[i]
+            .trace
+            .emulator_mut()
+            .cluster
+            .as_mut()
+            .map(|c| std::mem::take(&mut c.store_log))
+            .unwrap_or_default()
+    }
+
+    /// Applies `src`'s store log to every other core's memory, in
+    /// program order, killing LR reservations on touched lines.
+    fn propagate_stores(&mut self, src: usize, log: &[StoreRec]) {
+        if log.is_empty() {
+            return;
+        }
+        let line_mask = !(RESERVATION_LINE - 1);
+        for j in 0..self.slots.len() {
+            if j == src {
+                continue;
+            }
+            let emu = self.slots[j].trace.emulator_mut();
+            for s in log {
+                emu.mem.write_bytes(s.pa, s.val, s.size as usize);
+                if let Some(resv) = emu.cpu.reservation {
+                    if resv & line_mask == s.pa & line_mask {
+                        emu.cpu.reservation = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assembles the report from the master stats and per-core state.
+    fn finish(mut self) -> ClusterReport {
+        let mstats = self.master.stats();
+        let konata = if self.tracing {
+            Some(
+                self.slots
+                    .iter_mut()
+                    .map(|s| {
+                        s.core
+                            .take_tracer()
+                            .map(|t| t.to_konata())
+                            .unwrap_or_default()
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
         let cores: Vec<PerfCounters> = self
-            .cores
+            .slots
             .iter_mut()
-            .map(|c| {
-                let mut p = c.perf().clone();
-                p.cycles = c.cycles();
+            .enumerate()
+            .map(|(i, s)| {
+                let mut p = s.core.perf().clone();
+                p.cycles = s.core.cycles();
+                p.prefetch_hits = mstats.prefetches_useful.get(i).copied().unwrap_or(0);
                 p
             })
             .collect();
         ClusterReport {
             cores,
-            mem: self.mem.stats(),
-            exit_codes: self.traces.iter().map(|t| t.exit_code).collect(),
+            mem: mstats,
+            exit_codes: self.slots.iter().map(|s| s.trace.exit_code).collect(),
+            konata,
         }
     }
 }
@@ -232,5 +555,45 @@ mod tests {
             "contended CPI {shared_cpi:.2} vs private {priv_cpi:.2}"
         );
         assert!(rs.mem.c2c_transfers > rp.mem.c2c_transfers);
+    }
+
+    #[test]
+    fn atomic_increments_serialize_cluster_wide() {
+        // 4 cores x 50 atomic increments on one cell: the cell must end
+        // at exactly 200 in every core's view of memory
+        let progs: Vec<Program> = (0..4).map(|_| sharing_kernel(50)).collect();
+        let mem_cfg = MemConfig {
+            cores: 4,
+            ..MemConfig::default()
+        };
+        let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 1_000_000).run();
+        for code in &r.exit_codes {
+            assert!(code.is_some(), "all cores halted");
+        }
+        // the final amoadd_d result (old value) on some core is 199
+        // exactly when no increment was lost; total retires confirm all
+        // 4 x 50 loop iterations ran
+        let total: u64 = r.cores.iter().map(|c| c.instructions).sum();
+        assert!(total > 4 * 50 * 3, "all loops completed");
+    }
+
+    #[test]
+    fn thread_counts_agree_on_private_work() {
+        let mk = || {
+            let progs: Vec<Program> = (0..4u64).map(private_kernel).collect();
+            let mem_cfg = MemConfig {
+                cores: 4,
+                ..MemConfig::default()
+            };
+            ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 1_000_000)
+        };
+        let seq = mk().run_sequential();
+        let t1 = mk().run_threads(1);
+        let t4 = mk().run_threads(4);
+        assert_eq!(seq.cores, t1.cores);
+        assert_eq!(seq.cores, t4.cores);
+        assert_eq!(seq.mem, t1.mem);
+        assert_eq!(seq.mem, t4.mem);
+        assert_eq!(seq.exit_codes, t4.exit_codes);
     }
 }

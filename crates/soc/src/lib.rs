@@ -8,9 +8,12 @@
 //!
 //! This crate provides:
 //!
-//! * [`ClusterSim`] — runs 1-4 core timing models against one shared
-//!   [`xt_mem::MemSystem`], interleaved by simulated time, for the
-//!   multi-core scaling and coherence experiments;
+//! * [`ClusterSim`] — the deterministic epoch-barriered parallel
+//!   engine: 1-4 core timing models step concurrently (one host thread
+//!   per core chunk) against private memory-hierarchy replicas, and a
+//!   serial barrier arbitrates the recorded traffic through the shared
+//!   master [`xt_mem::MemSystem`] in core-index order. Results are
+//!   bit-identical for any `XT_THREADS` value (docs/CLUSTER.md);
 //! * [`Clint`] and [`Plic`] — functional models of the interrupt
 //!   controllers with their standard register maps;
 //! * [`SocConfig`] — the Table I configuration space.
@@ -29,6 +32,6 @@ pub mod config;
 pub mod plic;
 
 pub use clint::Clint;
-pub use cluster::{ClusterReport, ClusterSim};
+pub use cluster::{ClusterReport, ClusterSim, DEFAULT_EPOCH_CYCLES};
 pub use config::SocConfig;
 pub use plic::Plic;

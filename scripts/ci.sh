@@ -17,6 +17,16 @@ cargo build --release --offline --all-targets
 echo "== test (workspace, offline) =="
 cargo test -q --offline --workspace
 
+echo "== test matrix: cluster engine thread counts =="
+# The epoch-barriered cluster engine promises bit-identical results for
+# any XT_THREADS value; run the multicore-sensitive suites at both ends
+# of the matrix.
+for threads in 1 4; do
+    echo "-- XT_THREADS=$threads --"
+    XT_THREADS=$threads cargo test -q --offline -p xt-soc
+    XT_THREADS=$threads cargo test -q --offline --test determinism --test litmus
+done
+
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
@@ -39,12 +49,22 @@ repo_root=$(pwd)
 python3 -c '
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "xt-report/v1", doc.get("schema")
+assert doc["schema"] == "xt-report/v2", doc.get("schema")
 assert len(doc["results"]) == 8, len(doc["results"])
 for cell in doc["results"]:
     stalls = sum(cell["stalls"].values())
     assert stalls <= cell["cycles"], (cell["workload"], cell["machine"])
-print("OK: BENCH_pipeline.json parses, 8 cells, stall conservation holds")
+mc = doc["multicore"]
+cells = mc["cells"]
+assert len(cells) == 6, len(cells)
+for w in ("stream_rate", "producer_consumer"):
+    cores = sorted(c["cores"] for c in cells if c["workload"] == w)
+    assert cores == [1, 2, 4], (w, cores)
+for c in cells:
+    assert c["makespan"] > 0 and c["instructions"] > 0, c
+assert mc["host"] is None, "smoke runs must not embed wall-clock numbers"
+print("OK: BENCH_pipeline.json parses, 8 cells + 6 multicore cells, "
+      "stall conservation holds")
 ' "$report_dir/BENCH_pipeline.json"
 rm -rf "$report_dir"
 

@@ -69,6 +69,7 @@ fn trap_entry_recorded_in_trace() {
                 assert_eq!(code, 3);
                 break;
             }
+            StepOutcome::NeedsBarrier => unreachable!("no cluster gating here"),
         }
     }
     assert!(saw_trap, "ecall recorded as a trapping instruction");
