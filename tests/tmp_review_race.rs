@@ -1,0 +1,34 @@
+//! Reviewer scratch test: write-write race coherence check.
+
+use xt_asm::{Asm, Program};
+use xt_core::CoreConfig;
+use xt_isa::reg::Gpr;
+use xt_mem::MemConfig;
+use xt_soc::ClusterSim;
+
+fn racer(val: i64) -> Program {
+    let mut a = Asm::new();
+    let x = a.data_u64("x", &[0]);
+    a.la(Gpr::A1, x);
+    a.li(Gpr::A3, val);
+    a.sd(Gpr::A3, Gpr::A1, 0); // race: both cores store X in the same epoch
+    a.fence(); // park; stores propagate at the barrier
+    a.ld(Gpr::A0, Gpr::A1, 0); // final value of X as seen by this core
+    a.halt();
+    a.finish().unwrap()
+}
+
+#[test]
+fn racing_plain_stores_converge_to_one_value() {
+    let progs = vec![racer(1), racer(2)];
+    let mem_cfg = MemConfig {
+        cores: 2,
+        ..MemConfig::default()
+    };
+    let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 1_000_000).run_threads(1);
+    let c0 = r.exit_codes[0].expect("core 0 halted");
+    let c1 = r.exit_codes[1].expect("core 1 halted");
+    // Coherence: after both stores are globally ordered, every core must
+    // agree on the final value of X.
+    assert_eq!(c0, c1, "cores disagree on the final value of X forever");
+}
