@@ -11,15 +11,24 @@
 //!    cycles,
 //! 3. `IPC ≤ issue width` (and the tighter retire-width bound),
 //! 4. on dependency-free straight-line code the in-order baseline is
-//!    never faster than the out-of-order core.
+//!    never faster than the out-of-order core,
+//! 5. telemetry conservation — an [`xt_perf::Sampler`] riding along the
+//!    OoO replay must produce interval deltas that sum exactly to the
+//!    final counters, with every interval's top-down buckets summing
+//!    (signed) to its cycle delta.
 
 use crate::progen::ProgSpec;
 use xt_core::{CoreConfig, InOrderCore, OooCore};
 use xt_emu::{Emulator, TraceSource};
 use xt_mem::MemSystem;
+use xt_perf::Sampler;
 
 /// Dynamic instruction budget per checked program (specs are tiny).
 const MAX_INSTS: u64 = 1_000_000;
+
+/// Sampling interval for the telemetry-conservation check: short, so
+/// even tiny generated programs cross several boundaries.
+const SAMPLE_INTERVAL: u64 = 64;
 
 /// Per-stage timing summary for the replay artifact.
 #[derive(Clone, Debug)]
@@ -65,10 +74,14 @@ pub fn check_invariants(spec: &ProgSpec) -> Result<TimingSummary, String> {
     let mut trace = TraceSource::new(emu, MAX_INSTS);
     let mut mem = MemSystem::new(cfg.mem);
     let mut core = OooCore::new(cfg.clone(), 0);
+    let mut sampler = Sampler::new(0, SAMPLE_INTERVAL);
     let mut last_retire = 0u64;
     let mut insts = 0u64;
     for d in trace.by_ref() {
         core.step(&d, &mut mem);
+        if sampler.due(core.cycles()) {
+            sampler.observe(core.cycles(), core.perf(), &mem.stats());
+        }
         let r = core.last_retire_cycle();
         if r < last_retire {
             return Err(format!(
@@ -80,8 +93,16 @@ pub fn check_invariants(spec: &ProgSpec) -> Result<TimingSummary, String> {
         last_retire = r;
         insts += 1;
     }
-    let cycles = core.cycles();
-    let perf = core.perf();
+    let report = core.finish_report(&mem, trace.exit_code);
+    let cycles = report.perf.cycles;
+    let perf = &report.perf;
+
+    let series = sampler.finish(cycles, perf, &report.mem);
+    if let Err(e) = series.conserves(perf, &report.mem, 0) {
+        return Err(format!(
+            "telemetry conservation violated (interval {SAMPLE_INTERVAL}): {e}"
+        ));
+    }
 
     if perf.attributed_stall_cycles() > cycles {
         return Err(format!(

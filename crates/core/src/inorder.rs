@@ -72,6 +72,12 @@ impl InOrderCore {
         for d in trace.by_ref() {
             self.step(&d, mem);
         }
+        self.finish_report(mem, trace.exit_code)
+    }
+
+    /// Seals the counters after the last [`Self::step`] and produces the
+    /// report (see [`crate::OooCore::finish_report`]).
+    pub fn finish_report(&mut self, mem: &MemSystem, exit_code: Option<u64>) -> RunReport {
         self.perf.cycles = self.max_complete.max(self.last_issue);
         self.perf.prefetch_hits = mem
             .stats()
@@ -89,7 +95,7 @@ impl InOrderCore {
             machine: self.cfg.name,
             perf: self.perf.clone(),
             mem: mem.stats(),
-            exit_code: trace.exit_code,
+            exit_code,
         }
     }
 

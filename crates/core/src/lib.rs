@@ -61,7 +61,7 @@ pub mod resources;
 pub use config::CoreConfig;
 pub use inorder::InOrderCore;
 pub use ooo::OooCore;
-pub use perf::{PerfCounters, RunReport, StallCause};
+pub use perf::{PerfCounters, RunReport, StallCause, NUM_STALL_CAUSES};
 pub use xt_trace::TraceBuffer;
 
 use xt_asm::Program;

@@ -123,6 +123,14 @@ impl OooCore {
         for d in trace.by_ref() {
             self.step(&d, mem);
         }
+        self.finish_report(mem, trace.exit_code)
+    }
+
+    /// Seals the counters after the last [`Self::step`] and produces the
+    /// report. External drivers (the `xt-perf` sampled runners, the
+    /// epoch engine) that step the core themselves call this instead of
+    /// [`Self::run_to_end`].
+    pub fn finish_report(&mut self, mem: &MemSystem, exit_code: Option<u64>) -> RunReport {
         self.perf.cycles = self.last_retire.max(self.max_complete);
         self.perf.prefetch_hits = mem
             .stats()
@@ -140,7 +148,7 @@ impl OooCore {
             machine: self.cfg.name,
             perf: self.perf.clone(),
             mem: mem.stats(),
-            exit_code: trace.exit_code,
+            exit_code,
         }
     }
 

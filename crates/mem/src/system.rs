@@ -72,12 +72,20 @@ pub struct MemSystem {
     dram: Dram,
     /// Prefetches still in flight: PA line address -> ready cycle.
     inflight: HashMap<u64, u64>,
+    /// Per-core contributions to shared-L2 demand (hits, misses).
+    l2_demand: Vec<(u64, u64)>,
+    /// Per-core late prefetches (demand arrived while the fill was
+    /// still in flight).
+    prefetches_late: Vec<u64>,
     /// Coherence stats.
     snoops_filtered: u64,
     snoops_sent: u64,
     probe_candidates: u64,
     snoops_suppressed: u64,
     c2c_transfers: u64,
+    coh_invalidations: u64,
+    coh_downgrades: u64,
+    coh_upgrades: u64,
     walk_cycles: u64,
     line_bytes: u64,
     /// When `Some`, every public access is appended here (epoch replay).
@@ -111,11 +119,16 @@ impl MemSystem {
             dir: HashMap::new(),
             dram: Dram::new(cfg.dram_latency, cfg.dram_transfer),
             inflight: HashMap::new(),
+            l2_demand: vec![(0, 0); cores],
+            prefetches_late: vec![0; cores],
             snoops_filtered: 0,
             snoops_sent: 0,
             probe_candidates: 0,
             snoops_suppressed: 0,
             c2c_transfers: 0,
+            coh_invalidations: 0,
+            coh_downgrades: 0,
+            coh_upgrades: 0,
             walk_cycles: 0,
             line_bytes: cfg.line_bytes as u64,
             recorder: None,
@@ -193,12 +206,17 @@ impl MemSystem {
     }
 
     /// Brings a line into the L2 (if absent), returning the ready cycle.
-    /// Handles inclusive back-invalidation on L2 eviction.
-    fn l2_fill_path(&mut self, cycle: u64, pa: u64, prefetched: bool) -> u64 {
+    /// Handles inclusive back-invalidation on L2 eviction. The access is
+    /// demand traffic attributed to `core` (see [`MemStats::l2_demand`]).
+    fn l2_fill_path(&mut self, core: usize, cycle: u64, pa: u64, prefetched: bool) -> u64 {
         let line = self.line_of(pa);
         match self.l2.access(pa, false) {
-            ProbeResult::Hit { .. } => cycle + self.cfg.l2_hit,
+            ProbeResult::Hit { .. } => {
+                self.l2_demand[core].0 += 1;
+                cycle + self.cfg.l2_hit
+            }
             _ => {
+                self.l2_demand[core].1 += 1;
                 // merge with an in-flight prefetch if present
                 if let Some(&ready) = self.inflight.get(&line) {
                     if ready > cycle {
@@ -261,15 +279,20 @@ impl MemSystem {
         }
         let line = self.line_of(pa);
         let done = match self.l1i[core].access(pa, false) {
-            ProbeResult::Hit { .. } => match self.inflight.get(&line) {
-                Some(&ready) if ready > cycle => ready,
+            ProbeResult::Hit { was_prefetched } => match self.inflight.get(&line) {
+                Some(&ready) if ready > cycle => {
+                    if was_prefetched {
+                        self.prefetches_late[core] += 1;
+                    }
+                    ready
+                }
                 _ => {
                     self.inflight.remove(&line);
                     cycle
                 }
             },
             _ => {
-                let done = self.l2_fill_path(cycle, pa, false);
+                let done = self.l2_fill_path(core, cycle, pa, false);
                 let _ = self.l1i[core].fill(pa, LineState::Shared, false);
                 done
             }
@@ -347,8 +370,7 @@ impl MemSystem {
     /// are not installed in the L1D, as in most real walkers), so later
     /// walks to nearby pages hit the L2.
     fn pte_read(&mut self, core: usize, cycle: u64, pa: u64) -> u64 {
-        let _ = core;
-        self.l2_fill_path(cycle, pa, false)
+        self.l2_fill_path(core, cycle, pa, false)
     }
 
     /// Data load at (`va`, `pa`). Returns the completion cycle.
@@ -375,10 +397,13 @@ impl MemSystem {
     fn data_path(&mut self, core: usize, cycle: u64, pa: u64, is_store: bool) -> u64 {
         let line = self.line_of(pa);
         match self.l1d[core].access(pa, is_store) {
-            ProbeResult::Hit { .. } => {
+            ProbeResult::Hit { was_prefetched } => {
                 // if the line is an in-flight prefetch, wait for it
                 if let Some(&ready) = self.inflight.get(&line) {
                     if ready > cycle {
+                        if was_prefetched {
+                            self.prefetches_late[core] += 1;
+                        }
                         return ready.max(cycle + self.cfg.l1_hit);
                     }
                     self.inflight.remove(&line);
@@ -387,6 +412,7 @@ impl MemSystem {
             }
             ProbeResult::UpgradeNeeded => {
                 // invalidate other sharers through the snoop filter
+                self.coh_upgrades += 1;
                 let sharers = self.sharers(core, line);
                 let mut extra = self.cfg.l2_hit; // upgrade round-trip
                 for c in sharers {
@@ -396,6 +422,7 @@ impl MemSystem {
                     }
                     self.l1d[c].set_state(line, LineState::Invalid);
                     self.note_l1d_evict(c, line);
+                    self.coh_invalidations += 1;
                 }
                 self.l1d[core].set_state(line, LineState::Modified);
                 cycle + self.cfg.l1_hit + extra
@@ -419,18 +446,21 @@ impl MemSystem {
                         }
                         self.l1d[*c].set_state(line, LineState::Invalid);
                         self.note_l1d_evict(*c, line);
+                        self.coh_invalidations += 1;
                     } else if st == LineState::Modified {
                         // dirty sharing: supplier keeps an Owned copy
                         self.l1d[*c].set_state(line, LineState::Owned);
                         c2c = self.cfg.c2c_penalty;
                         self.c2c_transfers += 1;
                         fill_state = LineState::Shared;
+                        self.coh_downgrades += 1;
                     } else if st == LineState::Exclusive {
                         self.l1d[*c].set_state(line, LineState::Shared);
                         fill_state = LineState::Shared;
+                        self.coh_downgrades += 1;
                     }
                 }
-                let done = self.l2_fill_path(cycle + self.cfg.l1_hit, pa, false);
+                let done = self.l2_fill_path(core, cycle + self.cfg.l1_hit, pa, false);
                 if let Some(v) = self.l1d[core].fill(pa, fill_state, false) {
                     self.note_l1d_evict(core, v.addr);
                     if v.state.is_dirty() {
@@ -578,13 +608,15 @@ impl MemSystem {
         MemStats {
             l1i: self.l1i.iter().map(|c| (c.hits, c.misses)).collect(),
             l1d: self.l1d.iter().map(|c| (c.hits, c.misses)).collect(),
-            l2: (self.l2.hits, self.l2.misses),
+            l2_demand: self.l2_demand.clone(),
             tlb_micro_hits: self.tlbs.iter().map(|t| t.micro_hits).collect(),
             tlb_joint_hits: self.tlbs.iter().map(|t| t.joint_hits).collect(),
             tlb_walks: self.tlbs.iter().map(|t| t.walks).collect(),
             tlb_flushes: self.tlbs.iter().map(|t| t.flushes).collect(),
             prefetches_issued: self.pfs.iter().map(|p| p.issued).collect(),
             prefetches_useful: self.l1d.iter().map(|c| c.useful_prefetches).collect(),
+            prefetches_late: self.prefetches_late.clone(),
+            prefetch_streams: self.pfs.iter().map(|p| p.streams_confirmed).collect(),
             dram_requests: self.dram.requests,
             dram_queued: self.dram.queued,
             snoops_filtered: self.snoops_filtered,
@@ -592,6 +624,9 @@ impl MemSystem {
             probe_candidates: self.probe_candidates,
             snoops_suppressed: self.snoops_suppressed,
             c2c_transfers: self.c2c_transfers,
+            coh_invalidations: self.coh_invalidations,
+            coh_downgrades: self.coh_downgrades,
+            coh_upgrades: self.coh_upgrades,
             walk_cycles: self.walk_cycles,
         }
     }

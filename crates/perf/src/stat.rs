@@ -1,0 +1,836 @@
+//! The `xt-stat` dashboard and regression gate.
+//!
+//! `run_all` runs the observability workload matrix with interval
+//! sampling, `render_json` emits the `BENCH_perf.json` artifact
+//! (schema `xt-stat/v1`), `render_markdown` the sparkline dashboard,
+//! and `diff_documents` / `selftest` implement the CI gate that
+//! compares a candidate run against a committed baseline.
+//!
+//! Everything except the full-mode `engine` block (measured host time,
+//! explicitly informational) is deterministic: same binary, same
+//! flags → byte-identical artifacts. The smoke artifact sets
+//! `"engine": null` and is therefore byte-reproducible end to end —
+//! that is what `scripts/ci.sh` pins with `diff --tolerance 0`.
+
+use crate::json::{json_f64, Value};
+use crate::sampler::TimeSeries;
+use crate::topdown::TopDown;
+use crate::{run_inorder_sampled, run_ooo_sampled};
+use xt_asm::{Asm, Program};
+use xt_core::{CoreConfig, RunReport};
+use xt_isa::reg::Gpr;
+use xt_mem::{MemConfig, PrefetchConfig};
+use xt_soc::ClusterSim;
+use xt_workloads::stream::{stream, STREAM_ELEMS};
+
+/// Dynamic-instruction budget per run.
+const MAX_INSTS: u64 = 500_000_000;
+
+/// Sampling interval (simulated cycles) for smoke / full runs.
+pub fn sampling_interval(smoke: bool) -> u64 {
+    if smoke {
+        1024
+    } else {
+        8192
+    }
+}
+
+/// One sampled (workload, machine) run.
+#[derive(Clone, Debug)]
+pub struct StatRun {
+    /// Workload id (stable JSON key).
+    pub workload: &'static str,
+    /// Machine name.
+    pub machine: &'static str,
+    /// Final report.
+    pub report: RunReport,
+    /// Interval time-series.
+    pub series: TimeSeries,
+}
+
+/// One cluster cell (multicore throughput under the epoch engine).
+#[derive(Clone, Debug)]
+pub struct ClusterCell {
+    /// Workload id.
+    pub workload: &'static str,
+    /// Simulated cores.
+    pub cores: usize,
+    /// Slowest core's cycles.
+    pub makespan: u64,
+    /// Aggregate instructions.
+    pub instructions: u64,
+    /// Aggregate throughput.
+    pub ipc: f64,
+    /// Snoop probes sent.
+    pub snoops_sent: u64,
+    /// Coherence transitions (invalidations + downgrades + upgrades).
+    pub coh_transitions: u64,
+}
+
+/// Measured engine host time (full mode only; informational).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineSection {
+    /// Epoch barriers crossed.
+    pub epochs: u64,
+    /// Host ns in the serial barrier.
+    pub serial_ns: u64,
+    /// Host ns in the parallel slice phase.
+    pub parallel_ns: u64,
+    /// serial / (serial + parallel).
+    pub serial_share: f64,
+}
+
+/// The cluster section of the report.
+#[derive(Clone, Debug)]
+pub struct ClusterSection {
+    /// Deterministic cells.
+    pub cells: Vec<ClusterCell>,
+    /// Host-time block (`None` in smoke mode → `"engine": null`).
+    pub engine: Option<EngineSection>,
+}
+
+/// Dependency-chain microbench: one long serial ALU chain per
+/// iteration, so IPC pins near 1 and the issue queue fills behind it.
+fn depchain(iters: i64) -> Program {
+    let mut a = Asm::new();
+    a.li(Gpr::S0, iters);
+    let top = a.here();
+    for _ in 0..16 {
+        a.addi(Gpr::A1, Gpr::A1, 1);
+    }
+    a.addi(Gpr::S0, Gpr::S0, -1);
+    a.bnez(Gpr::S0, top);
+    a.halt();
+    a.finish().expect("depchain assembles")
+}
+
+/// Branchy microbench: an LCG-parity data-dependent branch per
+/// iteration — essentially unpredictable, mispredict-flush dominated.
+fn branchy(iters: i64) -> Program {
+    let mut a = Asm::new();
+    a.li(Gpr::S0, 12345);
+    a.li(Gpr::S1, 1103515245);
+    a.li(Gpr::S2, 12345);
+    a.li(Gpr::A2, 0);
+    a.li(Gpr::A3, iters);
+    let top = a.new_label();
+    a.bind(top).expect("label binds");
+    a.mul(Gpr::S0, Gpr::S0, Gpr::S1);
+    a.add(Gpr::S0, Gpr::S0, Gpr::S2);
+    a.srli(Gpr::T0, Gpr::S0, 17);
+    a.andi(Gpr::T0, Gpr::T0, 1);
+    let skip = a.new_label();
+    a.beqz(Gpr::T0, skip);
+    a.addi(Gpr::A2, Gpr::A2, 1);
+    a.bind(skip).expect("label binds");
+    a.addi(Gpr::A3, Gpr::A3, -1);
+    a.bnez(Gpr::A3, top);
+    a.halt();
+    a.finish().expect("branchy assembles")
+}
+
+/// Three-phase workload built to exercise the *time-series*: an ALU
+/// phase (high IPC), a pointer-chase phase (memory-bound, 4 KiB hops so
+/// every load misses), then a branchy phase (mispredict-bound). The
+/// dashboard's sparklines show the three regimes as distinct plateaus.
+fn phased(alu_iters: i64, chase_iters: i64, branchy_iters: i64, chain_len: u64) -> Program {
+    let mut a = Asm::new();
+    let base_addr = xt_asm::DEFAULT_DATA_BASE;
+    let mut chain = vec![0u64; chain_len as usize * 512];
+    for k in 0..chain_len {
+        let next_idx = ((k + 1) % chain_len) * 512;
+        chain[(k * 512) as usize] = base_addr + next_idx * 8;
+    }
+    let base = a.data_u64("chain", &chain);
+    assert_eq!(base, base_addr, "chain is the first data symbol");
+    // phase 1: independent ALU
+    a.li(Gpr::A3, alu_iters);
+    let p1 = a.here();
+    a.addi(Gpr::A1, Gpr::A1, 1);
+    a.addi(Gpr::A2, Gpr::A2, 1);
+    a.addi(Gpr::A4, Gpr::A4, 1);
+    a.addi(Gpr::A3, Gpr::A3, -1);
+    a.bnez(Gpr::A3, p1);
+    // phase 2: pointer chase
+    a.la(Gpr::A1, base);
+    a.li(Gpr::A3, chase_iters);
+    let p2 = a.here();
+    a.ld(Gpr::A1, Gpr::A1, 0);
+    a.addi(Gpr::A3, Gpr::A3, -1);
+    a.bnez(Gpr::A3, p2);
+    // phase 3: unpredictable branches
+    a.li(Gpr::S0, 12345);
+    a.li(Gpr::S1, 1103515245);
+    a.li(Gpr::S2, 12345);
+    a.li(Gpr::A3, branchy_iters);
+    let p3 = a.new_label();
+    a.bind(p3).expect("label binds");
+    a.mul(Gpr::S0, Gpr::S0, Gpr::S1);
+    a.add(Gpr::S0, Gpr::S0, Gpr::S2);
+    a.srli(Gpr::T0, Gpr::S0, 17);
+    a.andi(Gpr::T0, Gpr::T0, 1);
+    let skip = a.new_label();
+    a.beqz(Gpr::T0, skip);
+    a.addi(Gpr::A2, Gpr::A2, 1);
+    a.bind(skip).expect("label binds");
+    a.addi(Gpr::A3, Gpr::A3, -1);
+    a.bnez(Gpr::A3, p3);
+    a.halt();
+    a.finish().expect("phased assembles")
+}
+
+/// Per-core private streaming kernel for the cluster section.
+fn cluster_kernel(id: u64, loads: i64) -> Program {
+    let mut a = Asm::new().with_data_base(0x8100_0000 + id * 0x0010_0000);
+    let buf = a.data_zeros("buf", 64 * 1024);
+    a.la(Gpr::A1, buf);
+    a.li(Gpr::A2, loads);
+    let top = a.here();
+    a.ld(Gpr::A4, Gpr::A1, 0);
+    a.add(Gpr::A5, Gpr::A5, Gpr::A4);
+    a.addi(Gpr::A1, Gpr::A1, 8);
+    a.addi(Gpr::A2, Gpr::A2, -1);
+    a.bnez(Gpr::A2, top);
+    a.halt();
+    a.finish().expect("cluster kernel assembles")
+}
+
+fn mem_cfg(prefetch: PrefetchConfig) -> MemConfig {
+    MemConfig {
+        prefetch,
+        ..MemConfig::default()
+    }
+}
+
+/// Runs the sampled workload matrix. `smoke` shrinks every workload so
+/// the matrix finishes in seconds (the CI gate size).
+pub fn run_all(smoke: bool) -> Vec<StatRun> {
+    let interval = sampling_interval(smoke);
+    let stream_elems = if smoke { 2048 } else { STREAM_ELEMS };
+    let depchain_iters = if smoke { 200 } else { 5000 };
+    let branchy_iters = if smoke { 500 } else { 5000 };
+    let (alu_i, chase_i, brn_i, chain) = if smoke {
+        (300, 200, 300, 64)
+    } else {
+        (5000, 2000, 5000, 256)
+    };
+
+    let xt910 = CoreConfig::xt910();
+    let u74 = CoreConfig::u74_like();
+    let stream_k = stream(stream_elems);
+    let dep = depchain(depchain_iters);
+    let brn = branchy(branchy_iters);
+    let phs = phased(alu_i, chase_i, brn_i, chain);
+
+    let ooo = |workload, prog: &Program, mc: MemConfig| {
+        let (report, series) = run_ooo_sampled(prog, &xt910, mc, MAX_INSTS, interval);
+        StatRun {
+            workload,
+            machine: report.machine,
+            report,
+            series,
+        }
+    };
+    let ino = |workload, prog: &Program, mc: MemConfig| {
+        let (report, series) = run_inorder_sampled(prog, &u74, mc, MAX_INSTS, interval);
+        StatRun {
+            workload,
+            machine: report.machine,
+            report,
+            series,
+        }
+    };
+
+    vec![
+        ooo("stream_pf_off", &stream_k.program, mem_cfg(PrefetchConfig::off())),
+        ooo("stream_pf_on", &stream_k.program, mem_cfg(PrefetchConfig::all_large())),
+        ooo("depchain", &dep, xt910.mem),
+        ino("depchain", &dep, u74.mem),
+        ooo("branchy", &brn, xt910.mem),
+        ooo("phased", &phs, xt910.mem),
+    ]
+}
+
+/// Runs the 4-core cluster cell. Simulated-cycle results are
+/// deterministic for any thread count; host time is only reported in
+/// full mode.
+pub fn run_cluster(smoke: bool) -> ClusterSection {
+    let loads = if smoke { 512 } else { 8192 };
+    let progs: Vec<Program> = (0..4u64).map(|i| cluster_kernel(i, loads)).collect();
+    let mc = MemConfig {
+        cores: 4,
+        ..MemConfig::default()
+    };
+    let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mc, MAX_INSTS).run_threads(4);
+    let cells = vec![ClusterCell {
+        workload: "stream4",
+        cores: 4,
+        makespan: r.makespan(),
+        instructions: r.total_instructions(),
+        ipc: r.throughput_ipc(),
+        snoops_sent: r.mem.snoops_sent,
+        coh_transitions: r.mem.coh_transitions(),
+    }];
+    let engine = if smoke {
+        None
+    } else {
+        Some(EngineSection {
+            epochs: r.engine.epochs,
+            serial_ns: r.engine.serial_ns,
+            parallel_ns: r.engine.parallel_ns,
+            serial_share: r.engine.serial_share(),
+        })
+    };
+    ClusterSection { cells, engine }
+}
+
+fn topdown_json(td: &TopDown, indent: &str) -> String {
+    format!(
+        "{indent}\"topdown\": {{ \"frontend\": {}, \"bad_speculation\": {}, \
+         \"backend_core\": {}, \"backend_memory\": {}, \"retiring\": {} }}",
+        td.frontend, td.bad_speculation, td.backend_core, td.backend_memory, td.retiring
+    )
+}
+
+fn num_array<T: std::fmt::Display>(items: impl Iterator<Item = T>) -> String {
+    let v: Vec<String> = items.map(|x| x.to_string()).collect();
+    format!("[{}]", v.join(", "))
+}
+
+fn f64_array(items: impl Iterator<Item = f64>) -> String {
+    let v: Vec<String> = items.map(json_f64).collect();
+    format!("[{}]", v.join(", "))
+}
+
+/// Renders the `BENCH_perf.json` document (schema `xt-stat/v1`).
+pub fn render_json(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"xt-stat/v1\",\n");
+    s.push_str(&format!("  \"smoke\": {smoke},\n"));
+    s.push_str(&format!(
+        "  \"interval\": {},\n",
+        sampling_interval(smoke)
+    ));
+    s.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        let p = &r.report.perf;
+        let td = r.series.aggregate_topdown();
+        let tm = r.series.total_mem();
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"workload\": \"{}\",\n", r.workload));
+        s.push_str(&format!("      \"machine\": \"{}\",\n", r.machine));
+        s.push_str("      \"totals\": {\n");
+        s.push_str(&format!("        \"cycles\": {},\n", p.cycles));
+        s.push_str(&format!("        \"instructions\": {},\n", p.instructions));
+        s.push_str(&format!("        \"ipc\": {},\n", json_f64(p.ipc())));
+        s.push_str(&format!(
+            "        \"pf_accuracy\": {},\n",
+            json_f64(tm.pf_accuracy())
+        ));
+        s.push_str(&format!(
+            "        \"pf_coverage\": {},\n",
+            json_f64(tm.pf_coverage())
+        ));
+        s.push_str(&format!(
+            "        \"pf_streams\": {},\n",
+            tm.pf_streams
+        ));
+        s.push_str(&format!(
+            "        \"coh_transitions\": {},\n",
+            tm.coh_transitions
+        ));
+        s.push_str(&topdown_json(&td, "        "));
+        s.push('\n');
+        s.push_str("      },\n");
+        s.push_str("      \"series\": {\n");
+        s.push_str(&format!(
+            "        \"end_cycle\": {},\n",
+            num_array(r.series.samples.iter().map(|x| x.end_cycle))
+        ));
+        s.push_str(&format!(
+            "        \"ipc\": {},\n",
+            f64_array(r.series.samples.iter().map(|x| x.perf.ipc()))
+        ));
+        s.push_str(&format!(
+            "        \"l1d_miss_rate\": {},\n",
+            f64_array(r.series.samples.iter().map(|x| x.mem.l1d_miss_rate()))
+        ));
+        s.push_str(&format!(
+            "        \"pf_accuracy\": {},\n",
+            f64_array(r.series.samples.iter().map(|x| x.mem.pf_accuracy()))
+        ));
+        s.push_str(&format!(
+            "        \"backend_memory\": {},\n",
+            num_array(r.series.samples.iter().map(|x| x.topdown.backend_memory))
+        ));
+        s.push_str(&format!(
+            "        \"retiring\": {}\n",
+            num_array(r.series.samples.iter().map(|x| x.topdown.retiring))
+        ));
+        s.push_str("      }\n");
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        s.push_str(&format!("    }}{comma}\n"));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"cluster\": {\n");
+    s.push_str("    \"cells\": [\n");
+    for (i, c) in cluster.cells.iter().enumerate() {
+        let comma = if i + 1 < cluster.cells.len() { "," } else { "" };
+        s.push_str(&format!(
+            "      {{ \"workload\": \"{}\", \"cores\": {}, \"makespan\": {}, \
+             \"instructions\": {}, \"ipc\": {}, \"snoops_sent\": {}, \
+             \"coh_transitions\": {} }}{}\n",
+            c.workload,
+            c.cores,
+            c.makespan,
+            c.instructions,
+            json_f64(c.ipc),
+            c.snoops_sent,
+            c.coh_transitions,
+            comma
+        ));
+    }
+    s.push_str("    ],\n");
+    match &cluster.engine {
+        Some(e) => s.push_str(&format!(
+            "    \"engine\": {{ \"epochs\": {}, \"serial_ns\": {}, \"parallel_ns\": {}, \
+             \"serial_share\": {} }}\n",
+            e.epochs,
+            e.serial_ns,
+            e.parallel_ns,
+            json_f64(e.serial_share)
+        )),
+        None => s.push_str("    \"engine\": null\n"),
+    }
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Renders a unicode sparkline of `vals` scaled to the series maximum,
+/// chunk-averaged down to at most 64 glyphs.
+pub fn spark(vals: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if vals.is_empty() {
+        return String::new();
+    }
+    let points: Vec<f64> = if vals.len() <= 64 {
+        vals.to_vec()
+    } else {
+        // average fixed-size chunks so the line stays readable
+        let chunk = vals.len().div_ceil(64);
+        vals.chunks(chunk)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    };
+    let max = points.iter().cloned().fold(0.0f64, f64::max);
+    points
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                LEVELS[0]
+            } else {
+                let idx = ((v / max) * 7.0).round() as usize;
+                LEVELS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+/// Renders the Markdown dashboard.
+pub fn render_markdown(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) -> String {
+    let mut s = String::new();
+    s.push_str("# xt-stat performance dashboard\n\n");
+    s.push_str(if smoke {
+        "Smoke-sized run (`xt-stat --smoke`): shapes are meaningful, magnitudes are not.\n\n"
+    } else {
+        "Generated by `cargo run --release -p xt-perf --bin xt-stat`.\n\n"
+    });
+    s.push_str(&format!(
+        "Sampling interval: {} cycles. See docs/OBSERVABILITY.md for \
+         definitions and the baseline-refresh workflow.\n\n",
+        sampling_interval(smoke)
+    ));
+
+    s.push_str("## Summary\n\n");
+    s.push_str("| workload | machine | cycles | insts | IPC | intervals |\n");
+    s.push_str("|---|---|---:|---:|---:|---:|\n");
+    for r in runs {
+        let p = &r.report.perf;
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {:.3} | {} |\n",
+            r.workload,
+            r.machine,
+            p.cycles,
+            p.instructions,
+            p.ipc(),
+            r.series.samples.len()
+        ));
+    }
+
+    s.push_str("\n## Top-down cycle accounting (aggregate)\n\n");
+    s.push_str("| workload | machine | frontend | bad-spec | backend-core | backend-mem | retiring |\n");
+    s.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    for r in runs {
+        let td = r.series.aggregate_topdown();
+        let sh = td.shares(r.report.perf.cycles);
+        s.push_str(&format!(
+            "| {} | {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% |\n",
+            r.workload,
+            r.machine,
+            sh[0] * 100.0,
+            sh[1] * 100.0,
+            sh[2] * 100.0,
+            sh[3] * 100.0,
+            sh[4] * 100.0,
+        ));
+    }
+
+    s.push_str("\n## Time series\n\n");
+    s.push_str(
+        "Per-interval sparklines, each scaled to its own maximum \
+         (leftmost = run start).\n\n",
+    );
+    for r in runs {
+        let ipc: Vec<f64> = r.series.samples.iter().map(|x| x.perf.ipc()).collect();
+        let miss: Vec<f64> = r
+            .series
+            .samples
+            .iter()
+            .map(|x| x.mem.l1d_miss_rate())
+            .collect();
+        let mem_share: Vec<f64> = r
+            .series
+            .samples
+            .iter()
+            .map(|x| x.topdown.backend_memory as f64 / x.perf.cycles.max(1) as f64)
+            .collect();
+        let fmax = |v: &[f64]| v.iter().cloned().fold(0.0f64, f64::max);
+        s.push_str(&format!("### {} @ {}\n\n", r.workload, r.machine));
+        s.push_str("```text\n");
+        s.push_str(&format!("IPC          {}  (max {:.3})\n", spark(&ipc), fmax(&ipc)));
+        s.push_str(&format!(
+            "L1D miss     {}  (max {:.3})\n",
+            spark(&miss),
+            fmax(&miss)
+        ));
+        s.push_str(&format!(
+            "mem-bound    {}  (max {:.3})\n",
+            spark(&mem_share),
+            fmax(&mem_share)
+        ));
+        s.push_str("```\n\n");
+    }
+
+    s.push_str("## Multicore (epoch-barriered cluster engine)\n\n");
+    s.push_str("| workload | cores | makespan | insts | IPC | snoops | coh-transitions |\n");
+    s.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
+    for c in &cluster.cells {
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {:.3} | {} | {} |\n",
+            c.workload, c.cores, c.makespan, c.instructions, c.ipc, c.snoops_sent, c.coh_transitions
+        ));
+    }
+    match &cluster.engine {
+        Some(e) => s.push_str(&format!(
+            "\nEngine host time: {} epochs, serial barrier {:.1}% of engine wall \
+             clock ({} ns serial / {} ns parallel). Informational: host time is \
+             not part of the determinism contract.\n",
+            e.epochs,
+            e.serial_share * 100.0,
+            e.serial_ns,
+            e.parallel_ns
+        )),
+        None => s.push_str("\nEngine host time: not measured in smoke mode.\n"),
+    }
+    s
+}
+
+// ---- the diff gate ----
+
+/// Outcome of a baseline/candidate comparison.
+#[derive(Clone, Debug, Default)]
+pub struct DiffOutcome {
+    /// Out-of-tolerance metrics, human-readable.
+    pub issues: Vec<String>,
+    /// Metrics compared.
+    pub compared: usize,
+}
+
+fn rel_exceeds(base: f64, cand: f64, tol: f64) -> bool {
+    (cand - base).abs() > tol * base.abs().max(1.0)
+}
+
+fn compare_num(
+    out: &mut DiffOutcome,
+    ctx: &str,
+    key: &str,
+    base: &Value,
+    cand: &Value,
+    tol: f64,
+) -> Result<(), String> {
+    let b = base
+        .get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("{ctx}: baseline missing numeric \"{key}\""))?;
+    let c = cand
+        .get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("{ctx}: candidate missing numeric \"{key}\""))?;
+    out.compared += 1;
+    if rel_exceeds(b, c, tol) {
+        let dir = if (key == "ipc") == (c < b) {
+            "regression"
+        } else {
+            "change (refresh baseline if intended)"
+        };
+        out.issues.push(format!(
+            "{ctx}: {key} {b} -> {c} ({:+.2}%) — {dir}",
+            (c - b) / b.abs().max(1e-12) * 100.0
+        ));
+    }
+    Ok(())
+}
+
+/// Finds the run object matching (workload, machine).
+fn find_run<'a>(doc: &'a Value, workload: &str, machine: &str) -> Option<&'a Value> {
+    doc.get("runs")?.as_arr()?.iter().find(|r| {
+        r.get("workload").and_then(Value::as_str) == Some(workload)
+            && r.get("machine").and_then(Value::as_str) == Some(machine)
+    })
+}
+
+/// Compares `cand` against `base` with relative tolerance `tol`.
+/// Simulated-cycle metrics (totals, top-down buckets, cluster cells)
+/// are compared; `engine` host-time blocks and the raw series are
+/// informational and ignored. `Err` means the documents are
+/// structurally incomparable (missing runs, wrong schema) — the CI
+/// gate treats that as failure too.
+pub fn diff_documents(base: &Value, cand: &Value, tol: f64) -> Result<DiffOutcome, String> {
+    for (doc, who) in [(base, "baseline"), (cand, "candidate")] {
+        match doc.get("schema").and_then(Value::as_str) {
+            Some("xt-stat/v1") => {}
+            other => return Err(format!("{who}: unsupported schema {other:?}")),
+        }
+    }
+    let mut out = DiffOutcome::default();
+    let base_runs = base
+        .get("runs")
+        .and_then(Value::as_arr)
+        .ok_or("baseline: no runs array")?;
+    for br in base_runs {
+        let w = br
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or("baseline run without workload")?;
+        let m = br
+            .get("machine")
+            .and_then(Value::as_str)
+            .ok_or("baseline run without machine")?;
+        let ctx = format!("{w}@{m}");
+        let cr = find_run(cand, w, m)
+            .ok_or_else(|| format!("candidate is missing run {ctx}"))?;
+        let bt = br.get("totals").ok_or_else(|| format!("{ctx}: baseline has no totals"))?;
+        let ct = cr.get("totals").ok_or_else(|| format!("{ctx}: candidate has no totals"))?;
+        for key in ["cycles", "instructions", "ipc"] {
+            compare_num(&mut out, &ctx, key, bt, ct, tol)?;
+        }
+        let btd = bt.get("topdown").ok_or_else(|| format!("{ctx}: baseline has no topdown"))?;
+        let ctd = ct.get("topdown").ok_or_else(|| format!("{ctx}: candidate has no topdown"))?;
+        for key in TopDown::NAMES {
+            compare_num(&mut out, &format!("{ctx} topdown"), key, btd, ctd, tol)?;
+        }
+    }
+    let base_cells = base
+        .get("cluster")
+        .and_then(|c| c.get("cells"))
+        .and_then(Value::as_arr)
+        .ok_or("baseline: no cluster cells")?;
+    let cand_cells = cand
+        .get("cluster")
+        .and_then(|c| c.get("cells"))
+        .and_then(Value::as_arr)
+        .ok_or("candidate: no cluster cells")?;
+    for bc in base_cells {
+        let w = bc
+            .get("workload")
+            .and_then(Value::as_str)
+            .ok_or("baseline cell without workload")?;
+        let cc = cand_cells
+            .iter()
+            .find(|c| c.get("workload").and_then(Value::as_str) == Some(w))
+            .ok_or_else(|| format!("candidate is missing cluster cell {w}"))?;
+        for key in ["makespan", "instructions", "ipc"] {
+            compare_num(&mut out, &format!("cluster {w}"), key, bc, cc, tol)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Deep-copies `doc` with every run's `totals.ipc` scaled by `ipc_mul`
+/// and `totals.cycles` by `cycle_mul` (the injected regression for
+/// [`selftest`]).
+fn perturb(doc: &Value, ipc_mul: f64, cycle_mul: f64) -> Value {
+    fn walk(v: &Value, in_totals: bool, ipc_mul: f64, cycle_mul: f64) -> Value {
+        match v {
+            Value::Obj(fields) => Value::Obj(
+                fields
+                    .iter()
+                    .map(|(k, val)| {
+                        let scaled = match (in_totals, k.as_str(), val) {
+                            (true, "ipc", Value::Num(n)) => Value::Num(n * ipc_mul),
+                            (true, "cycles", Value::Num(n)) => Value::Num(n * cycle_mul),
+                            _ => walk(val, k == "totals", ipc_mul, cycle_mul),
+                        };
+                        (k.clone(), scaled)
+                    })
+                    .collect(),
+            ),
+            Value::Arr(items) => Value::Arr(
+                items
+                    .iter()
+                    .map(|x| walk(x, in_totals, ipc_mul, cycle_mul))
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+    walk(doc, false, ipc_mul, cycle_mul)
+}
+
+/// Self-test of the gate: a baseline must diff clean against itself,
+/// and an injected ≥tolerance IPC/cycle regression must be flagged.
+/// Returns `Err` if either direction fails — CI runs this so a broken
+/// comparator can never silently wave regressions through.
+pub fn selftest(base: &Value, tol: f64) -> Result<(), String> {
+    let clean = diff_documents(base, base, tol)?;
+    if !clean.issues.is_empty() {
+        return Err(format!(
+            "baseline differs from itself: {}",
+            clean.issues.join("; ")
+        ));
+    }
+    if clean.compared == 0 {
+        return Err("self-diff compared zero metrics".into());
+    }
+    // inject a regression comfortably past the tolerance band
+    let factor = 2.0 * tol + 0.2;
+    let hurt = perturb(base, 1.0 - factor, 1.0 + factor);
+    let flagged = diff_documents(base, &hurt, tol)?;
+    if flagged.issues.is_empty() {
+        return Err(format!(
+            "injected {:.0}% IPC regression was not flagged at tolerance {tol}",
+            factor * 100.0
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn smoke_artifacts() -> (Vec<StatRun>, ClusterSection) {
+        (run_all(true), run_cluster(true))
+    }
+
+    #[test]
+    fn smoke_is_deterministic_and_conserved() {
+        let (r1, c1) = smoke_artifacts();
+        let (r2, c2) = smoke_artifacts();
+        assert_eq!(
+            render_json(&r1, &c1, true),
+            render_json(&r2, &c2, true),
+            "byte-identical JSON"
+        );
+        assert_eq!(render_markdown(&r1, &c1, true), render_markdown(&r2, &c2, true));
+        for r in &r1 {
+            r.series
+                .conserves(&r.report.perf, &r.report.mem, 0)
+                .unwrap_or_else(|e| panic!("{}@{}: {e}", r.workload, r.machine));
+        }
+    }
+
+    #[test]
+    fn smoke_json_parses_and_diffs_clean_against_itself() {
+        let (runs, cluster) = smoke_artifacts();
+        let doc = parse(&render_json(&runs, &cluster, true)).expect("own JSON parses");
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("xt-stat/v1"));
+        assert!(doc.get("cluster").and_then(|c| c.get("engine")) == Some(&Value::Null));
+        let out = diff_documents(&doc, &doc, 0.0).expect("comparable");
+        assert!(out.issues.is_empty());
+        assert!(out.compared > 0);
+        selftest(&doc, 0.0).expect("gate self-test");
+        selftest(&doc, 0.05).expect("gate self-test with a tolerance band");
+    }
+
+    #[test]
+    fn diff_flags_an_injected_ipc_regression() {
+        let (runs, cluster) = smoke_artifacts();
+        let doc = parse(&render_json(&runs, &cluster, true)).unwrap();
+        let hurt = perturb(&doc, 0.8, 1.0);
+        let out = diff_documents(&doc, &hurt, 0.05).expect("comparable");
+        assert!(
+            out.issues.iter().any(|i| i.contains("ipc") && i.contains("regression")),
+            "20% IPC drop flagged at 5% tolerance: {:?}",
+            out.issues
+        );
+        // within tolerance: clean
+        let nudge = perturb(&doc, 0.999, 1.0);
+        let out = diff_documents(&doc, &nudge, 0.05).expect("comparable");
+        assert!(out.issues.is_empty(), "0.1% wiggle passes 5%: {:?}", out.issues);
+    }
+
+    #[test]
+    fn phased_workload_shows_distinct_regimes() {
+        let (runs, _) = smoke_artifacts();
+        let phased = runs
+            .iter()
+            .find(|r| r.workload == "phased")
+            .expect("phased run exists");
+        let ipc: Vec<f64> = phased.series.samples.iter().map(|s| s.perf.ipc()).collect();
+        assert!(ipc.len() >= 3, "phased run spans several intervals");
+        let max = ipc.iter().cloned().fold(0.0f64, f64::max);
+        let min = ipc.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            max > 2.0 * min.max(0.01),
+            "phases should differ in IPC: min {min:.3} max {max:.3}"
+        );
+    }
+
+    #[test]
+    fn prefetch_story_visible_in_totals() {
+        let (runs, _) = smoke_artifacts();
+        let cyc = |w: &str| {
+            runs.iter()
+                .find(|r| r.workload == w && r.machine == "XT-910")
+                .map(|r| r.report.perf.cycles)
+                .expect("cell exists")
+        };
+        assert!(cyc("stream_pf_on") < cyc("stream_pf_off"));
+        let tm = |w: &str| {
+            runs.iter()
+                .find(|r| r.workload == w && r.machine == "XT-910")
+                .map(|r| r.series.total_mem())
+                .expect("cell exists")
+        };
+        let on = tm("stream_pf_on");
+        assert!(on.pf_issued > 0, "prefetcher ran");
+        assert!(on.pf_useful > 0, "some prefetched lines were demanded");
+        assert!(on.pf_streams > 0, "STREAM confirms prefetch streams");
+        assert_eq!(tm("stream_pf_off").pf_issued, 0, "ablation actually off");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(spark(&[]), "");
+        assert_eq!(spark(&[0.0, 0.0]), "▁▁");
+        let line = spark(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.ends_with('█'));
+        let long: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+        assert!(spark(&long).chars().count() <= 64);
+    }
+}

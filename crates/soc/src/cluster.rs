@@ -30,6 +30,7 @@
 
 use std::sync::Arc;
 use std::thread;
+use std::time::Instant;
 use xt_asm::Program;
 use xt_core::{CoreConfig, OooCore, PerfCounters};
 use xt_emu::{ClusterCtl, Emulator, StoreRec, TraceEvent, TraceSource};
@@ -42,6 +43,36 @@ pub const DEFAULT_EPOCH_CYCLES: u64 = 8192;
 
 /// LR/SC reservation granularity for cross-core kills (one cache line).
 const RESERVATION_LINE: u64 = 64;
+
+/// Host-time breakdown of the epoch engine for one run: how much wall
+/// clock went to the parallelizable slice phase versus the serial
+/// barrier. This is *measured host time* — informational, excluded from
+/// the determinism contract (every simulated-cycle field stays
+/// bit-identical across thread counts; these nanoseconds do not).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Epoch barriers executed.
+    pub epochs: u64,
+    /// Host nanoseconds inside the serial barrier (drain/replay,
+    /// store propagation, gated-instruction release).
+    pub serial_ns: u64,
+    /// Host nanoseconds inside the slice phase (worker threads or the
+    /// inline sequential oracle).
+    pub parallel_ns: u64,
+}
+
+impl EngineStats {
+    /// Fraction of engine wall clock spent in the serial barrier — the
+    /// Amdahl term that bounds host-parallel speedup.
+    pub fn serial_share(&self) -> f64 {
+        let total = self.serial_ns + self.parallel_ns;
+        if total == 0 {
+            0.0
+        } else {
+            self.serial_ns as f64 / total as f64
+        }
+    }
+}
 
 /// Result of a cluster run.
 #[derive(Clone, Debug)]
@@ -56,6 +87,9 @@ pub struct ClusterReport {
     /// Per-core Konata pipeline traces, when tracing was enabled with
     /// [`ClusterSim::with_tracers`].
     pub konata: Option<Vec<String>>,
+    /// Engine host-time breakdown (measured, non-deterministic; see
+    /// [`EngineStats`]).
+    pub engine: EngineStats,
 }
 
 impl ClusterReport {
@@ -145,6 +179,7 @@ pub struct ClusterSim {
     max_insts: u64,
     epoch_cycles: u64,
     tracing: bool,
+    engine: EngineStats,
 }
 
 impl ClusterSim {
@@ -199,6 +234,7 @@ impl ClusterSim {
             max_insts,
             epoch_cycles: DEFAULT_EPOCH_CYCLES,
             tracing: false,
+            engine: EngineStats::default(),
         }
     }
 
@@ -248,6 +284,7 @@ impl ClusterSim {
         let max_insts = self.max_insts;
         let mut epoch_end = self.epoch_cycles;
         loop {
+            let t0 = Instant::now();
             thread::scope(|scope| {
                 for chunk_slots in self.slots.chunks_mut(chunk) {
                     scope.spawn(move || {
@@ -257,7 +294,11 @@ impl ClusterSim {
                     });
                 }
             });
+            let t1 = Instant::now();
             self.barrier();
+            self.engine.parallel_ns += (t1 - t0).as_nanos() as u64;
+            self.engine.serial_ns += t1.elapsed().as_nanos() as u64;
+            self.engine.epochs += 1;
             epoch_end += self.epoch_cycles;
             if self.slots.iter().all(|s| s.done) {
                 // traffic from the final barrier's released instructions
@@ -277,10 +318,15 @@ impl ClusterSim {
         }
         let mut epoch_end = self.epoch_cycles;
         loop {
+            let t0 = Instant::now();
             for slot in &mut self.slots {
                 slot.run_slice(epoch_end, self.max_insts);
             }
+            let t1 = Instant::now();
             self.barrier();
+            self.engine.parallel_ns += (t1 - t0).as_nanos() as u64;
+            self.engine.serial_ns += t1.elapsed().as_nanos() as u64;
+            self.engine.epochs += 1;
             epoch_end += self.epoch_cycles;
             if self.slots.iter().all(|s| s.done) {
                 let _ = self.drain_to_master();
@@ -293,6 +339,7 @@ impl ClusterSim {
     /// Single-core fast path: no replicas, no epochs — the core steps
     /// straight against the master hierarchy.
     fn run_single(mut self) -> ClusterReport {
+        let t0 = Instant::now();
         let slot = &mut self.slots[0];
         loop {
             match slot.trace.try_next() {
@@ -307,6 +354,7 @@ impl ClusterSim {
                 TraceEvent::Barrier => unreachable!("no cluster gating on a single core"),
             }
         }
+        self.engine.parallel_ns += t0.elapsed().as_nanos() as u64;
         self.finish()
     }
 
@@ -381,20 +429,28 @@ impl ClusterSim {
             .unwrap_or_default()
     }
 
-    /// Applies `src`'s store log to every other core's memory, in
-    /// program order, killing LR reservations on touched lines.
+    /// Applies `src`'s store log to every core's memory, in program
+    /// order, killing LR reservations on touched lines (a core's own
+    /// stores never kill its own reservation). The source core is
+    /// included — its values are already present, so its own writes are
+    /// no-ops value-wise — because the barrier propagates all logs in
+    /// core-index order: when two cores raced on the same address in
+    /// one epoch, re-applying every log in the canonical order leaves
+    /// *every* core holding the same winner (the highest-index writer,
+    /// matching [`ClusterSim::drain_to_master`]'s arbitration).
     fn propagate_stores(&mut self, src: usize, log: &[StoreRec]) {
         if log.is_empty() {
             return;
         }
         let line_mask = !(RESERVATION_LINE - 1);
         for j in 0..self.slots.len() {
-            if j == src {
-                continue;
-            }
+            let own = j == src;
             let emu = self.slots[j].trace.emulator_mut();
             for s in log {
                 emu.mem.write_bytes(s.pa, s.val, s.size as usize);
+                if own {
+                    continue;
+                }
                 if let Some(resv) = emu.cpu.reservation {
                     if resv & line_mask == s.pa & line_mask {
                         emu.cpu.reservation = None;
@@ -438,6 +494,7 @@ impl ClusterSim {
             mem: mstats,
             exit_codes: self.slots.iter().map(|s| s.trace.exit_code).collect(),
             konata,
+            engine: self.engine,
         }
     }
 }
@@ -575,6 +632,21 @@ mod tests {
         // 4 x 50 loop iterations ran
         let total: u64 = r.cores.iter().map(|c| c.instructions).sum();
         assert!(total > 4 * 50 * 3, "all loops completed");
+    }
+
+    #[test]
+    fn engine_stats_record_epochs_and_host_time() {
+        let progs: Vec<Program> = (0..2u64).map(private_kernel).collect();
+        let mem_cfg = MemConfig {
+            cores: 2,
+            ..MemConfig::default()
+        };
+        let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 1_000_000)
+            .run_threads(2);
+        assert!(r.engine.epochs > 0, "multicore run crosses barriers");
+        assert!(r.engine.parallel_ns > 0, "slice phase takes host time");
+        let share = r.engine.serial_share();
+        assert!((0.0..=1.0).contains(&share), "share in [0,1]: {share}");
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod config;
 pub mod plic;
 
 pub use clint::Clint;
-pub use cluster::{ClusterReport, ClusterSim, DEFAULT_EPOCH_CYCLES};
+pub use cluster::{ClusterReport, ClusterSim, EngineStats, DEFAULT_EPOCH_CYCLES};
 pub use config::SocConfig;
 pub use plic::Plic;

@@ -68,6 +68,45 @@ print("OK: BENCH_pipeline.json parses, 8 cells + 6 multicore cells, "
 ' "$report_dir/BENCH_pipeline.json"
 rm -rf "$report_dir"
 
+echo "== xt-stat smoke (telemetry dashboard + regression gate) =="
+# The sampled dashboard must run end-to-end, emit parseable JSON whose
+# top-down buckets sum (signed) to each interval's cycles, match the
+# committed smoke baseline exactly (simulated-cycle determinism), and
+# prove its own diff gate catches injected regressions.
+stat_dir=$(mktemp -d)
+repo_root=$(pwd)
+(cd "$stat_dir" && "$repo_root/target/release/xt-stat" --smoke)
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "xt-stat/v1", doc.get("schema")
+assert doc["smoke"] is True
+assert len(doc["runs"]) == 6, len(doc["runs"])
+for run in doc["runs"]:
+    t = run["totals"]
+    td = t["topdown"]
+    s = run["series"]
+    n = len(s["end_cycle"])
+    assert n > 0, run["workload"]
+    assert all(len(s[k]) == n for k in s), run["workload"]
+    # aggregate signed top-down identity: buckets sum to total cycles
+    # (the per-interval identity is enforced in-process by xt-check
+    # and the xt-perf test suite)
+    agg_cycles = t["cycles"]
+    assert sum(td.values()) == agg_cycles, (run["workload"], run["machine"])
+    assert t["instructions"] > 0 and t["cycles"] > 0
+cl = doc["cluster"]
+assert len(cl["cells"]) == 1 and cl["cells"][0]["cores"] == 4
+assert cl["engine"] is None, "smoke runs must not embed host time"
+print("OK: BENCH_perf.json parses, 6 sampled runs + cluster cell, "
+      "top-down buckets sum to cycles")
+' "$stat_dir/BENCH_perf.json"
+"$repo_root/target/release/xt-stat" diff \
+    baselines/BENCH_perf_smoke.json "$stat_dir/BENCH_perf.json" --tolerance 0
+"$repo_root/target/release/xt-stat" selftest \
+    baselines/BENCH_perf_smoke.json --tolerance 0.05
+rm -rf "$stat_dir"
+
 echo "== hermetic dependency check =="
 # Workspace-local (path) packages have "source": null in cargo metadata;
 # anything from a registry, git, or vendored source is a policy violation.

@@ -10,6 +10,7 @@ pub use xt_core as core_model;
 pub use xt_emu as emu;
 pub use xt_isa as isa;
 pub use xt_mem as mem;
+pub use xt_perf as perf;
 pub use xt_soc as soc;
 pub use xt_uarch_model as uarch_model;
 pub use xt_vector as vector;

@@ -1,8 +1,13 @@
 //! Multi-core coherence integration (paper §VI): MOSEI transitions,
-//! snoop-filter behaviour, inclusive back-invalidation, and TLB
-//! broadcast maintenance across a 4-core cluster.
+//! snoop-filter behaviour, inclusive back-invalidation, TLB broadcast
+//! maintenance across a 4-core cluster, and write-write race
+//! convergence under the epoch-barriered cluster engine.
 
+use xt_asm::{Asm, Program};
+use xt_core::CoreConfig;
+use xt_isa::reg::Gpr;
 use xt_mem::{LineState, MemConfig, MemSystem, PrefetchConfig};
+use xt_soc::ClusterSim;
 
 fn sys() -> MemSystem {
     MemSystem::new(MemConfig {
@@ -94,6 +99,39 @@ fn tlb_broadcast_is_cluster_wide() {
         let _ = m.dload(c, 2000, va, va);
     }
     assert_eq!(m.stats().total_walks(), 8, "every core re-walked");
+}
+
+fn racer(val: i64) -> Program {
+    let mut a = Asm::new();
+    let x = a.data_u64("x", &[0]);
+    a.la(Gpr::A1, x);
+    a.li(Gpr::A3, val);
+    a.sd(Gpr::A3, Gpr::A1, 0); // race: both cores store X in the same epoch
+    a.fence(); // park; stores propagate at the barrier
+    a.ld(Gpr::A0, Gpr::A1, 0); // final value of X as seen by this core
+    a.halt();
+    a.finish().unwrap()
+}
+
+#[test]
+fn racing_plain_stores_converge_to_one_value() {
+    let progs = vec![racer(1), racer(2)];
+    let mem_cfg = MemConfig {
+        cores: 2,
+        ..MemConfig::default()
+    };
+    let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 1_000_000).run_threads(1);
+    let c0 = r.exit_codes[0].expect("core 0 halted");
+    let c1 = r.exit_codes[1].expect("core 1 halted");
+    // Coherence: after both stores are globally ordered, every core must
+    // agree on the final value of X, and the winning store must also
+    // have performed the MOSEI invalidation the stats now expose.
+    assert_eq!(c0, c1, "cores disagree on the final value of X forever");
+    assert!(c0 == 1 || c0 == 2, "winner is one of the two stored values");
+    assert!(
+        r.mem.coh_transitions() > 0,
+        "the race forces at least one coherence transition"
+    );
 }
 
 #[test]
