@@ -711,6 +711,12 @@ impl Asm {
         self.push(Inst::new(Op::Fence))
     }
 
+    /// `fence.i` — instruction-stream synchronization after
+    /// self-modifying code (tests/smc.rs exercises the semantics).
+    pub fn fence_i(&mut self) -> &mut Self {
+        self.push(Inst::new(Op::FenceI))
+    }
+
     /// `sfence.vma rs1, rs2`
     pub fn sfence_vma(&mut self, rs1: Gpr, rs2: Gpr) -> &mut Self {
         self.push(Inst::new(Op::SfenceVma).rs1(rs1.index()).rs2(rs2.index()))

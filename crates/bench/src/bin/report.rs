@@ -11,10 +11,15 @@
 //! * `REPORT_pipeline.md` — the same matrix as Markdown tables.
 //!
 //! Flags:
-//!   --smoke   shrink every workload (CI gate; seconds instead of minutes)
-//!   --trace   additionally dump the depchain microbench pipeline trace as
-//!             `TRACE_depchain.kanata` (Konata) and
-//!             `TRACE_depchain_chrome.json` (chrome://tracing)
+//!   --smoke        shrink every workload (CI gate; seconds instead of
+//!                  minutes)
+//!   --trace        additionally dump the depchain microbench pipeline
+//!                  trace as `TRACE_depchain.kanata` (Konata) and
+//!                  `TRACE_depchain_chrome.json` (chrome://tracing)
+//!   --mips-sanity  measure the functional emulator's MIPS with the
+//!                  decoded-block cache on vs. off, print both, and exit
+//!                  non-zero if the cache made it slower (CI guard; writes
+//!                  no files)
 //!
 //! Output is deterministic: same binary, same flags → byte-identical
 //! files (no timestamps, no ambient randomness). The one exception is
@@ -27,12 +32,27 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let trace = args.iter().any(|a| a == "--trace");
+    let mips_sanity = args.iter().any(|a| a == "--mips-sanity");
     if let Some(bad) = args
         .iter()
-        .find(|a| *a != "--smoke" && *a != "--trace")
+        .find(|a| *a != "--smoke" && *a != "--trace" && *a != "--mips-sanity")
     {
-        eprintln!("xt-report: unknown flag {bad} (known: --smoke --trace)");
+        eprintln!("xt-report: unknown flag {bad} (known: --smoke --trace --mips-sanity)");
         std::process::exit(2);
+    }
+
+    if mips_sanity {
+        let (fast, slow) = multicore::emu_speed();
+        println!(
+            "emulator speed: {fast:.2} MIPS with the decoded-block cache, \
+             {slow:.2} MIPS per-step decode ({:.2}x)",
+            fast / slow
+        );
+        if fast < slow {
+            eprintln!("xt-report: MIPS sanity FAILED — fast path slower than per-step decode");
+            std::process::exit(1);
+        }
+        return;
     }
 
     let results = report::run_all(smoke);

@@ -216,6 +216,14 @@ pub struct HostSpeed {
     pub mips_4_threads: f64,
     /// `mips_4_threads / mips_1_thread`.
     pub speedup: f64,
+    /// Single-core functional-emulator MIPS with the decoded-block
+    /// cache enabled (docs/FASTPATH.md).
+    pub emu_mips_fastpath: f64,
+    /// Single-core functional-emulator MIPS decoding every step (the
+    /// seed interpreter).
+    pub emu_mips_slowpath: f64,
+    /// `emu_mips_fastpath / emu_mips_slowpath`.
+    pub emu_speedup: f64,
 }
 
 /// The report's multicore section: deterministic cells plus the
@@ -312,11 +320,47 @@ pub fn host_speed() -> HostSpeed {
     };
     let mips_1_thread = mips(1);
     let mips_4_threads = mips(4);
+    let (emu_mips_fastpath, emu_mips_slowpath) = emu_speed();
     HostSpeed {
         mips_1_thread,
         mips_4_threads,
         speedup: mips_4_threads / mips_1_thread,
+        emu_mips_fastpath,
+        emu_mips_slowpath,
+        emu_speedup: emu_mips_fastpath / emu_mips_slowpath,
     }
+}
+
+/// Measures the functional emulator's raw host MIPS with the
+/// decoded-block cache on vs. off (docs/FASTPATH.md), on a single-core
+/// ALU/branch loop. Returns `(fastpath, slowpath)` MIPS. Also used by
+/// `xt-report --mips-sanity`, the CI guard that the cache never makes
+/// the emulator slower.
+pub fn emu_speed() -> (f64, f64) {
+    let mut a = Asm::new();
+    a.li(Gpr::A2, 2_000_000);
+    let top = a.here();
+    a.addi(Gpr::A3, Gpr::A3, 3);
+    a.xor_(Gpr::A4, Gpr::A3, Gpr::A2);
+    a.add(Gpr::A5, Gpr::A5, Gpr::A4);
+    a.addi(Gpr::A2, Gpr::A2, -1);
+    a.bnez(Gpr::A2, top);
+    a.halt();
+    let p = a.finish().unwrap();
+    let mips = |fastpath: bool| {
+        let mut emu = xt_emu::Emulator::new();
+        emu.set_fastpath(fastpath);
+        emu.load(&p);
+        let t0 = std::time::Instant::now();
+        emu.run(100_000_000).expect("bench loop halts");
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        emu.cpu.instret as f64 / secs / 1e6
+    };
+    // the slow path is the reference interpreter: measure it first so
+    // the fast number never benefits from a warmer cache hierarchy
+    let slow = mips(false);
+    let fast = mips(true);
+    (fast, slow)
 }
 
 #[cfg(test)]

@@ -211,10 +211,14 @@ fn render_multicore_json(mc: &MulticoreSection) -> String {
     match &mc.host {
         Some(h) => s.push_str(&format!(
             "    \"host\": {{ \"mips_1_thread\": {}, \"mips_4_threads\": {}, \
-             \"speedup\": {} }}\n",
+             \"speedup\": {}, \"emu_mips_fastpath\": {}, \
+             \"emu_mips_slowpath\": {}, \"emu_speedup\": {} }}\n",
             json_f64(h.mips_1_thread),
             json_f64(h.mips_4_threads),
-            json_f64(h.speedup)
+            json_f64(h.speedup),
+            json_f64(h.emu_mips_fastpath),
+            json_f64(h.emu_mips_slowpath),
+            json_f64(h.emu_speedup)
         )),
         None => s.push_str("    \"host\": null\n"),
     }
@@ -338,8 +342,15 @@ pub fn render_markdown(
         Some(h) => s.push_str(&format!(
             "\nHost simulation speed (4 simulated cores): {:.2} MIPS at 1 worker \
              thread, {:.2} MIPS at 4 — **{:.2}x** parallel speedup with \
-             bit-identical results.\n",
-            h.mips_1_thread, h.mips_4_threads, h.speedup
+             bit-identical results.\n\nFunctional-emulator speed (1 core): \
+             {:.2} MIPS with the decoded-block cache (docs/FASTPATH.md), \
+             {:.2} MIPS decoding per step — **{:.2}x**.\n",
+            h.mips_1_thread,
+            h.mips_4_threads,
+            h.speedup,
+            h.emu_mips_fastpath,
+            h.emu_mips_slowpath,
+            h.emu_speedup
         )),
         None => s.push_str("\nHost simulation speed: not measured in smoke mode.\n"),
     }

@@ -19,6 +19,7 @@
 //! binary with `--seed`).
 
 pub mod cluster;
+pub mod fastpath;
 pub mod invariants;
 pub mod oracle;
 pub mod progen;

@@ -15,6 +15,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::process::ExitCode;
 
 use xt_check::cluster::{check_cluster_invariants, ClusterGen};
+use xt_check::fastpath::{check_fastpath, FastGen};
 use xt_check::oracle::Fault;
 use xt_check::progen::ProgGen;
 use xt_check::{check_program, SUITE_SEED};
@@ -117,6 +118,35 @@ fn main() -> ExitCode {
             "xt-check: OK — {} cluster workloads, determinism + makespan + \
              snoop conservation hold",
             cluster_checked.get()
+        ),
+        Err(payload) => {
+            eprintln!("{}", panic_text(&payload));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Fast-path differential: decoded-block engine vs. per-step decode
+    // on self-modifying programs (the host oracle cannot model SMC, so
+    // the slow interpreter is the reference here).
+    let fp_cfg = Config::seeded_cases(seed ^ 0xFA57_0B10, cases);
+    println!(
+        "xt-check: {} fast-path differential programs, seed {:#x}",
+        fp_cfg.cases, fp_cfg.seed
+    );
+    let fp_checked = std::cell::Cell::new(0u32);
+    let fp_result = catch_unwind(AssertUnwindSafe(|| {
+        check_with(&fp_cfg, "xt_check_fastpath", &FastGen::default(), |spec| {
+            if let Err(e) = check_fastpath(spec) {
+                panic!("{e}");
+            }
+            fp_checked.set(fp_checked.get() + 1);
+        });
+    }));
+    match fp_result {
+        Ok(()) => println!(
+            "xt-check: OK — {} self-modifying programs, block cache \
+             architecturally invisible",
+            fp_checked.get()
         ),
         Err(payload) => {
             eprintln!("{}", panic_text(&payload));

@@ -224,22 +224,30 @@ impl ProgSpec {
             .with_data_base(data_base);
         let scratch = a.data_zeros("scratch", NSLOTS * 8);
         a.la(Gpr::S0, scratch);
+        self.emit_ops(&mut a);
+        a.halt();
+        (a.finish().expect("generated spec assembles"), scratch)
+    }
+
+    /// Emits just the spec's operations into an in-progress assembly
+    /// (scratch base already in `s0`). The fast-path differential phase
+    /// ([`crate::fastpath`]) uses this to splice a generated workload in
+    /// front of its self-modifying epilogue.
+    pub fn emit_ops(&self, a: &mut Asm) {
         for op in &self.ops {
             match op {
                 SpecOp::Loop { count, body } => {
                     a.li(Gpr::S1, *count as i64);
                     let top = a.here();
                     for b in body {
-                        emit_one(&mut a, b);
+                        emit_one(a, b);
                     }
                     a.addi(Gpr::S1, Gpr::S1, -1);
                     a.bnez(Gpr::S1, top);
                 }
-                other => emit_one(&mut a, other),
+                other => emit_one(a, other),
             }
         }
-        a.halt();
-        (a.finish().expect("generated spec assembles"), scratch)
     }
 }
 

@@ -1,6 +1,7 @@
 //! The instruction-execution engine (scalar part) and the [`Emulator`]
 //! front door.
 
+use crate::blockcache::{self, BlockCache, BlockEntry, CacheStats, Cursor, DecodedBlock};
 use crate::cpu::{Cpu, PrivMode};
 use crate::gmem::GuestMem;
 use crate::mmu::{self, Access};
@@ -134,6 +135,13 @@ pub struct Emulator {
     /// Cluster-mode hooks (store logging, barrier gating). `None` for
     /// ordinary single-core use.
     pub cluster: Option<ClusterCtl>,
+    /// Decoded-block fast path enabled (default: on unless
+    /// `XT_FASTPATH=0`; see [`Emulator::set_fastpath`]).
+    fastpath: bool,
+    /// The decoded-block cache (see [`crate::blockcache`]).
+    icache: BlockCache,
+    /// Resumption point inside the block being executed, if any.
+    cursor: Option<Cursor>,
 }
 
 impl Default for Emulator {
@@ -145,6 +153,7 @@ impl Default for Emulator {
 impl Emulator {
     /// Creates an emulator with empty memory.
     pub fn new() -> Self {
+        let fastpath = std::env::var("XT_FASTPATH").map(|v| v != "0").unwrap_or(true);
         Emulator {
             cpu: Cpu::new(0),
             mem: GuestMem::new(),
@@ -152,36 +161,172 @@ impl Emulator {
             console: Vec::new(),
             pmp: Pmp::new(16),
             cluster: None,
+            fastpath,
+            icache: BlockCache::new(),
+            cursor: None,
         }
     }
 
+    /// Enables or disables the decoded-block fast path (see
+    /// [`crate::blockcache`] and docs/FASTPATH.md). Both settings are
+    /// architecturally identical; disabling forces the per-step
+    /// fetch-decode reference path. Safe mid-run: disabling drops every
+    /// cached block.
+    pub fn set_fastpath(&mut self, on: bool) {
+        if !on {
+            self.icache.invalidate_all();
+            self.cursor = None;
+        }
+        self.fastpath = on;
+    }
+
+    /// Whether the decoded-block fast path is enabled.
+    pub fn fastpath(&self) -> bool {
+        self.fastpath
+    }
+
+    /// Decoded-block cache hit/miss/invalidation telemetry.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.icache.stats
+    }
+
     /// Loads a program image and points the PC at its entry.
+    ///
+    /// Drops every cached decoded block: the image may overwrite pages
+    /// that were executed before.
     pub fn load(&mut self, prog: &Program) {
         for (addr, bytes) in prog.load_chunks() {
             self.mem.write_slice(addr, bytes);
         }
+        self.icache.invalidate_all();
+        self.cursor = None;
         self.cpu.pc = prog.entry;
         // Give the guest a stack well away from text/data.
         self.cpu.wx(2, 0x8f00_0000);
     }
 
+    /// Applies a store that originated outside this hart — the cluster
+    /// barrier propagating another core's buffered stores — keeping the
+    /// decoded-block cache coherent. Cross-core stores MUST come through
+    /// here, not `mem.write_bytes`, or stale blocks would keep executing
+    /// overwritten code (see docs/FASTPATH.md).
+    pub fn apply_external_store(&mut self, pa: u64, val: u64, size: usize) {
+        self.mem.write_bytes(pa, val, size);
+        if self.fastpath {
+            self.icache.invalidate_span(pa, size);
+        }
+    }
+
     /// Runs until halt, returning the exit code.
+    ///
+    /// When the decoded-block fast path is eligible (and no cluster
+    /// hooks are attached), whole cached blocks execute in a batched
+    /// inner loop — the per-step [`StepOutcome`] plumbing is skipped
+    /// entirely. The architectural effect is identical to stepping.
     ///
     /// # Errors
     ///
     /// Returns [`ExecError::OutOfFuel`] after `fuel` instructions, or any
     /// fatal decode/trap error.
     pub fn run(&mut self, fuel: u64) -> Result<u64, ExecError> {
-        for _ in 0..fuel {
-            match self.step()? {
-                StepOutcome::Halted(code) => return Ok(code),
-                StepOutcome::Retired(_) => {}
-                StepOutcome::NeedsBarrier => {
-                    unreachable!("Emulator::run is not cluster-aware; clear ClusterCtl::gate")
+        let mut left = fuel;
+        // last-block memo: (start pa, slot, epoch); pa u64::MAX = none
+        let mut memo = (u64::MAX, 0u32, 0u64);
+        while left > 0 {
+            if let Some(code) = self.halted {
+                return Ok(code);
+            }
+            if !(self.fastpath && self.cpu.mode == PrivMode::Machine && self.pmp.is_empty())
+                || self.cluster.is_some()
+            {
+                match self.step()? {
+                    StepOutcome::Halted(code) => return Ok(code),
+                    StepOutcome::Retired(_) => left -= 1,
+                    StepOutcome::NeedsBarrier => {
+                        unreachable!("Emulator::run is not cluster-aware; clear ClusterCtl::gate")
+                    }
+                }
+                continue;
+            }
+            left = self.run_block(left, &mut memo)?;
+        }
+        Err(ExecError::OutOfFuel)
+    }
+
+    /// Batched fast path for [`Emulator::run`]: executes (up to) one
+    /// cached block with `left` fuel remaining, returning the fuel left
+    /// over. Caller guarantees eligibility (machine mode, no PMP, no
+    /// cluster hooks, not halted), so `pc == fetch_pa`. `memo` caches
+    /// the last block executed so tight loops (branch back to the same
+    /// block) skip the page-map lookup.
+    fn run_block(&mut self, mut left: u64, memo: &mut (u64, u32, u64)) -> Result<u64, ExecError> {
+        let pc0 = self.cpu.pc;
+        let (slot, epoch) = if memo.0 == pc0 && self.icache.slot_live(memo.1, memo.2) {
+            (memo.1, memo.2)
+        } else {
+            match self.icache.lookup(pc0) {
+                Some(se) => se,
+                None => {
+                    self.icache.stats.misses += 1;
+                    match self.build_block(pc0) {
+                        Some(se) => se,
+                        // undecodable or page-straddling first instruction:
+                        // one reference step for the exact error/trap shape
+                        None => {
+                            if let StepOutcome::Retired(_) = self.step_slow()? {
+                                left -= 1;
+                            }
+                            return Ok(left);
+                        }
+                    }
+                }
+            }
+        };
+        *memo = (pc0, slot, epoch);
+        // Move the entries out while executing them: a store inside the
+        // block may invalidate the very slot that holds it (the epoch
+        // check below catches that; `restore_entries` then drops them).
+        let entries = self.icache.take_entries(slot);
+        let mut pc = pc0;
+        let mut executed = 0u64;
+        let mut fatal = None;
+        for e in &entries {
+            if left == 0 {
+                break;
+            }
+            match self.execute(pc, e.inst) {
+                Ok(d) => {
+                    self.cpu.instret += 1;
+                    left -= 1;
+                    executed += 1;
+                    pc = d.next_pc;
+                    self.cpu.pc = pc;
+                    if self.halted.is_some() {
+                        break;
+                    }
+                    // self-modifying code dropped this block: the rest
+                    // of the moved-out entries are stale bytes
+                    if !self.icache.slot_live(slot, epoch) {
+                        break;
+                    }
+                }
+                Err(trap) => {
+                    left -= 1;
+                    executed += 1;
+                    match self.take_trap(pc, trap) {
+                        Ok(target) => self.cpu.pc = target,
+                        Err(e) => fatal = Some(e),
+                    }
+                    break;
                 }
             }
         }
-        Err(ExecError::OutOfFuel)
+        self.icache.stats.hits += executed;
+        self.icache.restore_entries(slot, epoch, entries);
+        match fatal {
+            Some(e) => Err(e),
+            None => Ok(left),
+        }
     }
 
     fn translate(&self, va: u64, access: Access) -> Result<u64, Trap> {
@@ -239,6 +384,13 @@ impl Emulator {
             return Ok(pa);
         }
         self.mem.write_bytes(pa, val, size);
+        // Store-to-code: drop any decoded blocks on the touched page(s)
+        // so the next fetch re-decodes the new bytes — this is what
+        // keeps the fast path byte-identical to per-step decode, which
+        // sees self-modifying code immediately.
+        if self.fastpath {
+            self.icache.invalidate_span(pa, size);
+        }
         if let Some(ctl) = self.cluster.as_mut() {
             ctl.store_log.push(StoreRec {
                 pa,
@@ -270,6 +422,12 @@ impl Emulator {
 
     /// Fetches, decodes and executes one instruction.
     ///
+    /// Dispatches to the decoded-block fast path when it is enabled and
+    /// the step is eligible (machine mode — so instruction fetch is
+    /// untranslated — and no PMP regions configured); otherwise takes
+    /// the per-step fetch-decode reference path. Both paths produce
+    /// bit-identical architectural state, retired records and traps.
+    ///
     /// # Errors
     ///
     /// Fatal errors only; architectural traps are delivered to the guest.
@@ -277,6 +435,146 @@ impl Emulator {
         if let Some(code) = self.halted {
             return Ok(StepOutcome::Halted(code));
         }
+        if self.fastpath && self.cpu.mode == PrivMode::Machine && self.pmp.is_empty() {
+            self.step_fast()
+        } else {
+            self.step_slow()
+        }
+    }
+
+    /// The decoded-block fast path. Eligibility (machine mode, no PMP)
+    /// was checked by [`Emulator::step`], so `pc == fetch_pa` and the
+    /// fetch can neither fault nor be translated.
+    fn step_fast(&mut self) -> Result<StepOutcome, ExecError> {
+        let pc = self.cpu.pc;
+        // Cursor hit: the previous step retired entry `idx-1` of this
+        // block and fell through. Validity is address + epoch based, so
+        // branches out of the block and invalidations both miss here.
+        let (slot, epoch, idx) = match self.cursor {
+            Some(c) if c.next_va == pc && self.icache.slot_live(c.slot, c.epoch) => {
+                (c.slot, c.epoch, c.idx)
+            }
+            _ => match self.icache.lookup(pc) {
+                Some((slot, epoch)) => (slot, epoch, 0),
+                None => {
+                    self.icache.stats.misses += 1;
+                    match self.build_block(pc) {
+                        Some((slot, epoch)) => (slot, epoch, 0),
+                        // First instruction undecodable or page-straddling:
+                        // one-shot reference step (exact error/trap shape).
+                        None => {
+                            self.cursor = None;
+                            return self.step_slow();
+                        }
+                    }
+                }
+            },
+        };
+        self.icache.stats.hits += 1;
+        let BlockEntry { inst, barrier } = self.icache.entry(slot, idx);
+        // Cluster gating, identical to the reference path but on the
+        // precomputed flag. The cursor is parked *at* the gated entry:
+        // the PC does not advance, and the post-release step re-enters
+        // the block right here.
+        if barrier {
+            if let Some(ctl) = self.cluster.as_mut() {
+                if ctl.gate {
+                    if ctl.release_one {
+                        ctl.release_one = false;
+                    } else {
+                        self.cursor = Some(Cursor {
+                            slot,
+                            epoch,
+                            idx,
+                            next_va: pc,
+                        });
+                        return Ok(StepOutcome::NeedsBarrier);
+                    }
+                }
+            }
+        }
+        match self.execute(pc, inst) {
+            Ok(mut dyninst) => {
+                dyninst.fetch_pa = pc;
+                self.cpu.instret += 1;
+                self.cpu.pc = dyninst.next_pc;
+                let next_idx = idx + 1;
+                // Fall-through entries advance the cursor; block ends
+                // (and mid-block stores that bumped the epoch) resolve
+                // on the next step's validity check.
+                self.cursor = if next_idx < self.icache.block_len(slot) {
+                    Some(Cursor {
+                        slot,
+                        epoch,
+                        idx: next_idx,
+                        next_va: pc.wrapping_add(inst.len as u64),
+                    })
+                } else {
+                    None
+                };
+                Ok(StepOutcome::Retired(dyninst))
+            }
+            Err(trap) => {
+                self.cursor = None;
+                let target = self.take_trap(pc, trap)?;
+                self.cpu.pc = target;
+                let mut d = DynInst::trapping(pc, inst, target);
+                d.fetch_pa = pc;
+                Ok(StepOutcome::Retired(d))
+            }
+        }
+    }
+
+    /// Lowers the straight-line run starting at `pa` into a cached
+    /// [`DecodedBlock`]. Returns `None` when the first instruction does
+    /// not decode or straddles the page end (those execute via the
+    /// reference path, one step at a time).
+    fn build_block(&mut self, pa: u64) -> Option<(u32, u64)> {
+        let page_end = (pa | (blockcache::PAGE_SIZE - 1)) + 1;
+        let mut entries = Vec::new();
+        let mut addr = pa;
+        while addr < page_end {
+            let lo = self.mem.read_u16(addr);
+            let inst = if lo & 3 == 3 {
+                if addr + 4 > page_end {
+                    // 4-byte instruction straddling the page: never
+                    // cached (its tail lives on a page this block's
+                    // invalidation would not cover).
+                    break;
+                }
+                match decode(self.mem.read_u32(addr)) {
+                    Ok(i) => i,
+                    Err(_) => break,
+                }
+            } else {
+                match decode_compressed(lo) {
+                    Ok(i) => i,
+                    Err(_) => break,
+                }
+            };
+            let ends = blockcache::ends_block(inst.op);
+            entries.push(BlockEntry {
+                inst,
+                barrier: is_barrier_op(inst.op),
+            });
+            addr += inst.len as u64;
+            if ends {
+                break;
+            }
+        }
+        if entries.is_empty() {
+            return None;
+        }
+        Some(self.icache.insert(DecodedBlock {
+            base_pa: pa,
+            entries,
+        }))
+    }
+
+    /// The per-step fetch-translate-decode reference path (the seed
+    /// interpreter, unchanged) — also the differential oracle the fast
+    /// path is tested against.
+    fn step_slow(&mut self) -> Result<StepOutcome, ExecError> {
         let pc = self.cpu.pc;
         let fetch_pa = match self.translate(pc, Access::Fetch) {
             Ok(pa) => pa,

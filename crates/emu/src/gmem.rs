@@ -2,7 +2,9 @@
 
 use std::collections::HashMap;
 
-const PAGE_BITS: u32 = 12;
+/// log2 of the guest page size; shared with the decoded-block cache
+/// ([`crate::blockcache`]), whose invalidation is page-granular.
+pub const PAGE_BITS: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_BITS;
 
 /// Sparse, page-granular guest physical memory supporting unaligned
@@ -52,8 +54,24 @@ impl GuestMem {
     }
 
     /// Reads `N <= 8` bytes little-endian (may straddle pages).
+    ///
+    /// The common same-page case resolves the page once; only accesses
+    /// that actually straddle a boundary fall back to per-byte reads.
     pub fn read_bytes(&self, addr: u64, n: usize) -> u64 {
         debug_assert!(n <= 8);
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        if off + n <= PAGE_SIZE {
+            return match self.pages.get(&(addr >> PAGE_BITS)) {
+                Some(p) => {
+                    let mut v = 0u64;
+                    for (k, b) in p[off..off + n].iter().enumerate() {
+                        v |= (*b as u64) << (8 * k);
+                    }
+                    v
+                }
+                None => 0,
+            };
+        }
         let mut v = 0u64;
         for k in 0..n {
             v |= (self.read_u8(addr + k as u64) as u64) << (8 * k);
@@ -62,8 +80,18 @@ impl GuestMem {
     }
 
     /// Writes `n <= 8` bytes little-endian (may straddle pages).
+    ///
+    /// Same-page writes resolve the page once (see [`Self::read_bytes`]).
     pub fn write_bytes(&mut self, addr: u64, val: u64, n: usize) {
         debug_assert!(n <= 8);
+        let off = (addr & (PAGE_SIZE as u64 - 1)) as usize;
+        if off + n <= PAGE_SIZE {
+            let p = self.page_mut(addr);
+            for (k, b) in p[off..off + n].iter_mut().enumerate() {
+                *b = (val >> (8 * k)) as u8;
+            }
+            return;
+        }
         for k in 0..n {
             self.write_u8(addr + k as u64, (val >> (8 * k)) as u8);
         }
@@ -104,6 +132,23 @@ impl GuestMem {
     /// Copies `len` bytes out of memory into a fresh vector.
     pub fn read_vec(&self, addr: u64, len: usize) -> Vec<u8> {
         (0..len).map(|k| self.read_u8(addr + k as u64)).collect()
+    }
+
+    /// Sorted `(page index, contents)` snapshot of every page holding a
+    /// nonzero byte. All-zero pages are skipped: they are architecturally
+    /// indistinguishable from unmapped ones (reads return zero either
+    /// way), and two executions may differ in which zero pages they
+    /// happened to allocate. Used by the fast-path differential suites
+    /// to compare whole-memory state.
+    pub fn snapshot_nonzero(&self) -> Vec<(u64, Vec<u8>)> {
+        let mut pages: Vec<(u64, Vec<u8>)> = self
+            .pages
+            .iter()
+            .filter(|(_, p)| p.iter().any(|&b| b != 0))
+            .map(|(idx, p)| (*idx, p.to_vec()))
+            .collect();
+        pages.sort_by_key(|(idx, _)| *idx);
+        pages
     }
 }
 

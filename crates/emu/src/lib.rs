@@ -37,6 +37,7 @@
 //! # }
 //! ```
 
+pub mod blockcache;
 pub mod cpu;
 pub mod exec;
 pub mod f16;
@@ -47,6 +48,7 @@ pub mod softfp;
 pub mod trace;
 pub mod vecexec;
 
+pub use blockcache::CacheStats;
 pub use cpu::{Cpu, PrivMode};
 pub use exec::{ClusterCtl, Emulator, ExecError, StepOutcome, StoreRec};
 pub use gmem::GuestMem;

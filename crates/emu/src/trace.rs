@@ -40,7 +40,11 @@ impl MemAccess {
 }
 
 /// One committed instruction with everything the timing model needs.
-#[derive(Clone, Copy, Debug)]
+///
+/// `PartialEq` lets the fast-path differential suites compare the
+/// decoded-block engine's retired records against the per-step decode
+/// reference, field for field.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct DynInst {
     /// Fetch PC (virtual).
     pub pc: u64,

@@ -1,0 +1,270 @@
+//! Decoded-block fast path vs. per-step decode: property-based state
+//! equivalence (the "pure-speed refactor" contract, docs/FASTPATH.md).
+//!
+//! Random programs — including self-patching ones that store freshly
+//! encoded instruction words over their own loop bodies at random
+//! positions (random invalidation points) — run twice, once with the
+//! block cache enabled and once on the seed interpreter, and the entire
+//! architectural outcome must match: integer/FP registers, PC, instret,
+//! privilege mode, CSR file (trap causes included), LR reservation,
+//! console bytes, exit code, and every nonzero page of guest memory.
+//!
+//! Seed for this suite: `0xFA57_0001`; override/replay with
+//! `XT_HARNESS_SEED=<seed> cargo test`.
+
+use xt_asm::{Asm, Program};
+use xt_emu::{Emulator, StepOutcome, TraceSource};
+use xt_harness::gen;
+use xt_harness::prop::{check_with, Config};
+use xt_harness::rng::Rng;
+use xt_isa::reg::Gpr;
+use xt_isa::{Inst, Op};
+
+const SEED: u64 = 0xFA57_0001;
+const FUEL: u64 = 200_000;
+
+fn cfg(cases: u32) -> Config {
+    Config::seeded_cases(SEED, cases)
+}
+
+/// Runs `p` to completion twice — fast path on and off — and asserts
+/// bit-identical architectural state. Returns the fast emulator for
+/// extra assertions.
+fn assert_fast_equals_slow(p: &Program, ctx: &str) -> Emulator {
+    let mut fast = Emulator::new();
+    fast.set_fastpath(true);
+    fast.load(p);
+    let r_fast = fast.run(FUEL);
+
+    let mut slow = Emulator::new();
+    slow.set_fastpath(false);
+    slow.load(p);
+    let r_slow = slow.run(FUEL);
+
+    assert_eq!(r_fast, r_slow, "{ctx}: run outcome");
+    assert_eq!(fast.halted, slow.halted, "{ctx}: exit code");
+    assert_eq!(fast.cpu.pc, slow.cpu.pc, "{ctx}: pc");
+    assert_eq!(fast.cpu.x, slow.cpu.x, "{ctx}: integer registers");
+    assert_eq!(fast.cpu.f, slow.cpu.f, "{ctx}: fp registers");
+    assert_eq!(fast.cpu.instret, slow.cpu.instret, "{ctx}: instret");
+    assert_eq!(fast.cpu.mode, slow.cpu.mode, "{ctx}: privilege mode");
+    assert_eq!(fast.cpu.csrs, slow.cpu.csrs, "{ctx}: CSR file");
+    assert_eq!(fast.cpu.reservation, slow.cpu.reservation, "{ctx}: LR reservation");
+    assert_eq!(fast.console, slow.console, "{ctx}: console bytes");
+    assert_eq!(
+        fast.mem.snapshot_nonzero(),
+        slow.mem.snapshot_nonzero(),
+        "{ctx}: guest memory"
+    );
+    fast
+}
+
+/// Encodes `addi rd, x0, k` — the patch word the SMC generators store
+/// over their own code.
+fn addi_word(rd: Gpr, k: i64) -> u32 {
+    xt_isa::encode::encode(&Inst::new(Op::Addi).rd(rd.index()).rs1(0).imm(k)).unwrap()
+}
+
+/// Builds a random straight-line-plus-loop program. When `smc` is set,
+/// the loop body also patches one of its own earlier instructions (a
+/// random invalidation point) with a freshly encoded `addi`, so the
+/// block executing the store is itself invalidated mid-flight.
+///
+/// Register budget: a2-a7 computation pool, a1 data base, t0/t1 patch
+/// plumbing, t2 loop counter.
+fn gen_program(seed: u64, smc: bool) -> Program {
+    let mut rng = Rng::new(seed);
+    let pool = [Gpr::A2, Gpr::A3, Gpr::A4, Gpr::A5, Gpr::A6, Gpr::A7];
+    let mut a = Asm::new();
+    let data = a.data_zeros("scratch", 256);
+    a.la(Gpr::A1, data);
+    for &r in &pool {
+        a.li(r, rng.gen_range(-512, 512));
+    }
+    a.li(Gpr::T2, rng.gen_range(2, 6)); // loop iterations
+
+    // jump over the loop body to the setup tail (the backward-jump
+    // layout: patch-site addresses are known once the body is emitted)
+    let top = a.here();
+    let mut sites: Vec<(u64, Gpr)> = Vec::new();
+    let n_ops = rng.gen_range(4, 16);
+    for _ in 0..n_ops {
+        let rd = *rng.choose(&pool);
+        let rs = *rng.choose(&pool);
+        let rt = *rng.choose(&pool);
+        match rng.below(8) {
+            0 => {
+                sites.push((a.pc(), rd));
+                a.li(rd, rng.gen_range(0, 2048)); // patchable site (addi rd, x0, k)
+            }
+            1 => {
+                a.add(rd, rs, rt);
+            }
+            2 => {
+                a.xor_(rd, rs, rt);
+            }
+            3 => {
+                a.addi(rd, rs, rng.gen_range(-100, 100));
+            }
+            4 => {
+                a.sd(rs, Gpr::A1, rng.gen_range(0, 31) * 8);
+            }
+            5 => {
+                a.ld(rd, Gpr::A1, rng.gen_range(0, 31) * 8);
+            }
+            6 => {
+                a.mul(rd, rs, rt);
+            }
+            _ => {
+                a.sltu(rd, rs, rt);
+            }
+        }
+    }
+    if smc && !sites.is_empty() {
+        // patch a random earlier site in this very loop body: the next
+        // iteration must execute the new instruction
+        let (site_pc, site_rd) = sites[rng.below(sites.len() as u64) as usize];
+        let word = addi_word(site_rd, rng.gen_range(0, 2048));
+        a.li(Gpr::T0, site_pc as i64);
+        a.li(Gpr::T1, word as i64);
+        a.sw(Gpr::T1, Gpr::T0, 0);
+        if rng.gen_bool(0.5) {
+            a.fence_i();
+        }
+    }
+    a.addi(Gpr::T2, Gpr::T2, -1);
+    a.bnez(Gpr::T2, top);
+    // fold the pool into the exit code
+    a.li(Gpr::A0, 0);
+    for &r in &pool {
+        a.xor_(Gpr::A0, Gpr::A0, r);
+    }
+    a.halt();
+    a.finish().unwrap()
+}
+
+#[test]
+fn random_programs_state_identical() {
+    check_with(
+        &cfg(64),
+        "random_programs_state_identical",
+        &gen::any::<u64>(),
+        |&seed| {
+            let p = gen_program(seed, false);
+            assert_fast_equals_slow(&p, &format!("seed {seed:#x}"));
+        },
+    );
+}
+
+#[test]
+fn random_smc_programs_state_identical() {
+    check_with(
+        &cfg(64),
+        "random_smc_programs_state_identical",
+        &gen::any::<u64>(),
+        |&seed| {
+            let p = gen_program(seed, true);
+            let fast = assert_fast_equals_slow(&p, &format!("smc seed {seed:#x}"));
+            let stats = fast.cache_stats();
+            assert!(stats.blocks_built > 0, "fast path actually engaged");
+        },
+    );
+}
+
+/// The per-step engine (cursor path, used by `TraceSource`) must yield
+/// the same retired-record stream as the reference, record for record.
+#[test]
+fn stepwise_records_identical() {
+    check_with(
+        &cfg(24),
+        "stepwise_records_identical",
+        &gen::any::<u64>(),
+        |&seed| {
+            let p = gen_program(seed, true);
+            let mut fast = Emulator::new();
+            fast.set_fastpath(true);
+            fast.load(&p);
+            let mut slow = Emulator::new();
+            slow.set_fastpath(false);
+            slow.load(&p);
+            for k in 0..FUEL {
+                let (a, b) = (fast.step(), slow.step());
+                match (&a, &b) {
+                    (Ok(StepOutcome::Retired(da)), Ok(StepOutcome::Retired(db))) => {
+                        assert_eq!(da, db, "seed {seed:#x}: record #{k} diverged")
+                    }
+                    (Ok(StepOutcome::Halted(ca)), Ok(StepOutcome::Halted(cb))) => {
+                        assert_eq!(ca, cb, "seed {seed:#x}: exit codes");
+                        return;
+                    }
+                    _ => panic!("seed {seed:#x}: step #{k} outcome {a:?} vs {b:?}"),
+                }
+            }
+            panic!("seed {seed:#x}: program did not halt in {FUEL} steps");
+        },
+    );
+}
+
+/// Trap delivery (cause/tval CSRs, handler redirect) is identical on
+/// both paths: ecall from a cached block, then a misaligned AMO.
+#[test]
+fn trap_causes_identical() {
+    let mut a = Asm::new();
+    let handler = a.new_label();
+    let main = a.new_label();
+    a.jump(main);
+    a.bind(handler).unwrap();
+    // mcause accumulates into a6; return past the faulting instruction
+    a.csrr(Gpr::A4, xt_isa::csr::MCAUSE);
+    a.add(Gpr::A6, Gpr::A6, Gpr::A4);
+    a.csrr(Gpr::A5, xt_isa::csr::MEPC);
+    a.addi(Gpr::A5, Gpr::A5, 4);
+    a.csrw(xt_isa::csr::MEPC, Gpr::A5);
+    a.mret();
+    a.bind(main).unwrap();
+    a.li(Gpr::T0, (xt_asm::DEFAULT_TEXT_BASE + 4) as i64);
+    a.csrw(xt_isa::csr::MTVEC, Gpr::T0);
+    a.ecall(); // cause 11 (M-mode ecall)
+    let cell = a.data_zeros("cell", 16);
+    a.la(Gpr::A1, cell);
+    a.addi(Gpr::A1, Gpr::A1, 2); // misalign
+    a.amoadd_w(Gpr::A2, Gpr::A3, Gpr::A1); // cause 6 (store misaligned)
+    a.mv(Gpr::A0, Gpr::A6);
+    a.halt();
+    let p = a.finish().unwrap();
+    let fast = assert_fast_equals_slow(&p, "trap causes");
+    assert_eq!(fast.halted, Some(11 + 6), "both trap causes observed");
+}
+
+/// The block cache's own telemetry: an SMC loop must record hits,
+/// misses, builds and store-to-code invalidations.
+#[test]
+fn cache_stats_observe_smc() {
+    let p = gen_program(0x5EED, true);
+    let mut emu = Emulator::new();
+    emu.set_fastpath(true);
+    emu.load(&p);
+    emu.run(FUEL).unwrap();
+    let s = emu.cache_stats();
+    assert!(s.hits > 0, "cached execution happened: {s:?}");
+    assert!(s.misses > 0, "cold lookups happened: {s:?}");
+    assert!(s.blocks_built > 0, "blocks were lowered: {s:?}");
+    assert!(s.blocks_invalidated > 0, "store-to-code invalidated: {s:?}");
+}
+
+/// `TraceSource` (the timing models' input) sees the same stream with
+/// caching on and off — cursor path included.
+#[test]
+fn trace_source_stream_identical() {
+    let p = gen_program(0xBEEF, true);
+    let mk = |on: bool| {
+        let mut emu = Emulator::new();
+        emu.set_fastpath(on);
+        emu.load(&p);
+        TraceSource::new(emu, FUEL)
+    };
+    let fast: Vec<_> = mk(true).collect();
+    let slow: Vec<_> = mk(false).collect();
+    assert_eq!(fast, slow, "retired streams diverge");
+    assert!(!fast.is_empty());
+}

@@ -249,6 +249,16 @@ impl ClusterSim {
         self
     }
 
+    /// Forces every core's emulator fast path on or off (overriding the
+    /// `XT_FASTPATH` default). Architecturally a no-op either way — the
+    /// determinism suite runs both settings against each other.
+    pub fn with_fastpath(mut self, on: bool) -> Self {
+        for s in &mut self.slots {
+            s.trace.emulator_mut().set_fastpath(on);
+        }
+        self
+    }
+
     /// Attaches a pipeline tracer to every core; the report then carries
     /// per-core Konata trace text.
     pub fn with_tracers(mut self) -> Self {
@@ -447,7 +457,10 @@ impl ClusterSim {
             let own = j == src;
             let emu = self.slots[j].trace.emulator_mut();
             for s in log {
-                emu.mem.write_bytes(s.pa, s.val, s.size as usize);
+                // through the emulator, not raw memory: a cross-core
+                // store to a cached code page must invalidate the
+                // receiving core's decoded blocks (docs/FASTPATH.md)
+                emu.apply_external_store(s.pa, s.val, s.size as usize);
                 if own {
                     continue;
                 }

@@ -27,6 +27,17 @@ for threads in 1 4; do
     XT_THREADS=$threads cargo test -q --offline --test determinism --test litmus
 done
 
+echo "== test matrix: decoded-block fast path on/off =="
+# The block-cache execution engine (docs/FASTPATH.md) must be
+# architecturally invisible; run the SMC/differential/trace-sensitive
+# suites with it force-disabled and force-enabled.
+for fp in 0 1; do
+    echo "-- XT_FASTPATH=$fp --"
+    XT_FASTPATH=$fp cargo test -q --offline -p xt-emu
+    XT_FASTPATH=$fp cargo test -q --offline \
+        --test smc --test determinism --test golden_trace
+done
+
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
@@ -67,6 +78,11 @@ print("OK: BENCH_pipeline.json parses, 8 cells + 6 multicore cells, "
       "stall conservation holds")
 ' "$report_dir/BENCH_pipeline.json"
 rm -rf "$report_dir"
+
+echo "== xt-report MIPS sanity (fast path never slower) =="
+# Wall-clock guard on the decoded-block engine: the cached emulator must
+# be at least as fast as per-step decode (in practice ~5-10x).
+"$repo_root/target/release/xt-report" --mips-sanity
 
 echo "== xt-stat smoke (telemetry dashboard + regression gate) =="
 # The sampled dashboard must run end-to-end, emit parseable JSON whose

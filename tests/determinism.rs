@@ -130,3 +130,19 @@ fn repeated_runs_are_reproducible() {
     let b = build().run_threads(4);
     assert_identical(&a, &b, "repeated 4-thread runs");
 }
+
+/// The decoded-block cache (docs/FASTPATH.md) is a per-core speed
+/// optimization and must not perturb the cluster contract: with caching
+/// forced off, every thread count still reproduces the cached runs'
+/// reports bit for bit — counters, memory stats, exit codes, and Konata
+/// traces.
+#[test]
+fn fastpath_does_not_change_cluster_results() {
+    let fast = build().with_fastpath(true).run_sequential();
+    for threads in [1, 2, 4] {
+        let on = build().with_fastpath(true).run_threads(threads);
+        let off = build().with_fastpath(false).run_threads(threads);
+        assert_identical(&fast, &on, &format!("fast, {threads} threads"));
+        assert_identical(&fast, &off, &format!("slow, {threads} threads"));
+    }
+}

@@ -147,6 +147,37 @@ fn golden_renders_match_fixtures() {
     );
 }
 
+/// The decoded-block cache (docs/FASTPATH.md) must be invisible to the
+/// timing models: the committed fixtures render byte-identically with
+/// the fast path forced off (the suite's other tests run with it on —
+/// the default — so together they pin both engines to one trace).
+#[test]
+fn golden_renders_identical_without_fastpath() {
+    let p = golden_program();
+    let cfg = CoreConfig::xt910();
+    let mut emu = xt_emu::Emulator::new();
+    emu.set_fastpath(false);
+    emu.load(&p);
+    let trace = xt_emu::TraceSource::new(emu, 1000);
+    let mut mem = xt_mem::MemSystem::new(cfg.mem);
+    let mut core = xt_core::OooCore::new(cfg.clone(), 0);
+    core.attach_tracer();
+    let report = core.run_to_end(trace, &mut mem);
+    let buf = core.take_tracer().expect("tracer was attached");
+    assert_eq!(report.perf.cycles, 227, "slow-path timing unchanged");
+    assert_table(buf.records(), &GOLDEN_OOO, "ooo-slowpath");
+    assert_eq!(
+        buf.to_konata(),
+        include_str!("fixtures/golden.kanata"),
+        "Konata fixture must not depend on the block cache"
+    );
+    assert_eq!(
+        buf.to_chrome_json(),
+        include_str!("fixtures/golden_chrome.json"),
+        "Chrome fixture must not depend on the block cache"
+    );
+}
+
 #[test]
 fn tracing_does_not_change_timing() {
     // the tracer must be observational: cycle counts with and without it
