@@ -696,9 +696,29 @@ impl Asm {
         self.push(Inst::new(Op::Csrrw).rd(0).rs1(rs.index()).imm(csr as i64))
     }
 
+    /// `csrs csr, rs` (set the bits of `rs` in `csr`)
+    pub fn csrs(&mut self, csr: u16, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::Csrrs).rd(0).rs1(rs.index()).imm(csr as i64))
+    }
+
+    /// `csrc csr, rs` (clear the bits of `rs` in `csr`)
+    pub fn csrc(&mut self, csr: u16, rs: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::Csrrc).rd(0).rs1(rs.index()).imm(csr as i64))
+    }
+
     /// `mret`
     pub fn mret(&mut self) -> &mut Self {
         self.push(Inst::new(Op::Mret))
+    }
+
+    /// `sret`
+    pub fn sret(&mut self) -> &mut Self {
+        self.push(Inst::new(Op::Sret))
+    }
+
+    /// `wfi`
+    pub fn wfi(&mut self) -> &mut Self {
+        self.push(Inst::new(Op::Wfi))
     }
 
     /// `ecall`

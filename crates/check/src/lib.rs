@@ -6,8 +6,10 @@
 //! through both timing models under structural invariants
 //! ([`invariants`]); generated multi-core workloads additionally run
 //! through the epoch-barriered cluster engine under determinism,
-//! makespan, and snoop-conservation laws ([`cluster`]). Failures
-//! shrink through the `xt-harness` engine
+//! makespan, and snoop-conservation laws ([`cluster`]); and random
+//! workloads preempted by a re-arming CLINT timer must retire
+//! identically with the decoded-block engine on and off
+//! ([`interrupts`]). Failures shrink through the `xt-harness` engine
 //! and carry a replay artifact: the failing seed, the disassembled
 //! program, and a per-stage timing summary.
 //!
@@ -20,6 +22,7 @@
 
 pub mod cluster;
 pub mod fastpath;
+pub mod interrupts;
 pub mod invariants;
 pub mod oracle;
 pub mod progen;

@@ -16,6 +16,7 @@ use std::process::ExitCode;
 
 use xt_check::cluster::{check_cluster_invariants, ClusterGen};
 use xt_check::fastpath::{check_fastpath, FastGen};
+use xt_check::interrupts::{check_interrupts, IrqGen};
 use xt_check::oracle::Fault;
 use xt_check::progen::ProgGen;
 use xt_check::{check_program, SUITE_SEED};
@@ -147,6 +148,35 @@ fn main() -> ExitCode {
             "xt-check: OK — {} self-modifying programs, block cache \
              architecturally invisible",
             fp_checked.get()
+        ),
+        Err(payload) => {
+            eprintln!("{}", panic_text(&payload));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Interrupt differential: the same fast/slow comparison under a
+    // re-arming CLINT timer on the real device bus — asynchronous
+    // delivery must be architecturally invisible to the block cache.
+    let irq_cfg = Config::seeded_cases(seed ^ 0x1247_0B10, cases);
+    println!(
+        "xt-check: {} interrupt-delivery programs, seed {:#x}",
+        irq_cfg.cases, irq_cfg.seed
+    );
+    let irq_checked = std::cell::Cell::new(0u32);
+    let irq_result = catch_unwind(AssertUnwindSafe(|| {
+        check_with(&irq_cfg, "xt_check_interrupts", &IrqGen::default(), |spec| {
+            if let Err(e) = check_interrupts(spec) {
+                panic!("{e}");
+            }
+            irq_checked.set(irq_checked.get() + 1);
+        });
+    }));
+    match irq_result {
+        Ok(()) => println!(
+            "xt-check: OK — {} timer-preempted programs, fast and slow \
+             engines retire identical streams",
+            irq_checked.get()
         ),
         Err(payload) => {
             eprintln!("{}", panic_text(&payload));

@@ -5,6 +5,7 @@ use crate::blockcache::{self, BlockCache, BlockEntry, CacheStats, Cursor, Decode
 use crate::cpu::{Cpu, PrivMode};
 use crate::gmem::GuestMem;
 use crate::mmu::{self, Access};
+use crate::platform::Platform;
 use crate::pmp::Pmp;
 use crate::softfp;
 use crate::trace::{DynInst, MemAccess};
@@ -135,6 +136,11 @@ pub struct Emulator {
     /// Cluster-mode hooks (store logging, barrier gating). `None` for
     /// ordinary single-core use.
     pub cluster: Option<ClusterCtl>,
+    /// The MMIO device platform (bus), if attached: device-window
+    /// loads/stores route through it, `mtime` ticks per retired
+    /// instruction, and its interrupt lines are polled before every
+    /// instruction (see [`crate::platform`] and docs/INTERRUPTS.md).
+    pub platform: Option<Box<dyn Platform>>,
     /// Decoded-block fast path enabled (default: on unless
     /// `XT_FASTPATH=0`; see [`Emulator::set_fastpath`]).
     fastpath: bool,
@@ -161,6 +167,7 @@ impl Emulator {
             console: Vec::new(),
             pmp: Pmp::new(16),
             cluster: None,
+            platform: None,
             fastpath,
             icache: BlockCache::new(),
             cursor: None,
@@ -183,6 +190,16 @@ impl Emulator {
     /// Whether the decoded-block fast path is enabled.
     pub fn fastpath(&self) -> bool {
         self.fastpath
+    }
+
+    /// Attaches an MMIO device platform (see [`crate::platform`]).
+    pub fn attach_platform(&mut self, p: Box<dyn Platform>) {
+        self.platform = Some(p);
+    }
+
+    /// Whether physical address `pa` falls in an attached device window.
+    pub fn mmio_contains(&self, pa: u64) -> bool {
+        self.platform.as_ref().is_some_and(|p| p.contains(pa))
     }
 
     /// Decoded-block cache hit/miss/invalidation telemetry.
@@ -211,6 +228,15 @@ impl Emulator {
     /// here, not `mem.write_bytes`, or stale blocks would keep executing
     /// overwritten code (see docs/FASTPATH.md).
     pub fn apply_external_store(&mut self, pa: u64, val: u64, size: usize) {
+        if let Some(p) = self.platform.as_mut() {
+            if p.contains(pa) {
+                // Another core's device store (e.g. an MSIP IPI doorbell)
+                // lands on this core's bus replica. A denied width was
+                // already faulted on the source core; here it only drops.
+                let _ = p.write(pa, val, size);
+                return;
+            }
+        }
         self.mem.write_bytes(pa, val, size);
         if self.fastpath {
             self.icache.invalidate_span(pa, size);
@@ -294,9 +320,21 @@ impl Emulator {
             if left == 0 {
                 break;
             }
+            // Same delivery point as the step engines: poll before every
+            // instruction, not just at block boundaries — a store inside
+            // this very block may have raised a line (msip doorbell,
+            // mtimecmp crossing), and per-step delivery would preempt the
+            // following instruction.
+            if self.platform.is_some() && self.poll_interrupt().is_some() {
+                left -= 1;
+                break;
+            }
             match self.execute(pc, e.inst) {
                 Ok(d) => {
                     self.cpu.instret += 1;
+                    if let Some(p) = self.platform.as_mut() {
+                        p.tick(1);
+                    }
                     left -= 1;
                     executed += 1;
                     pc = d.next_pc;
@@ -366,9 +404,17 @@ impl Emulator {
         Ok(pa)
     }
 
-    /// Loads `size` bytes from virtual address `va`.
+    /// Loads `size` bytes from virtual address `va`, handling MMIO.
     fn load_mem(&mut self, va: u64, size: usize) -> Result<(u64, u64), Trap> {
         let pa = self.translate(va, Access::Load)?;
+        if let Some(p) = self.platform.as_mut() {
+            if p.contains(pa) {
+                // Denied device reads (bad width, unmapped hole) raise a
+                // load access fault; the bus records the diagnostic.
+                let v = p.read(pa, size).map_err(|_| Trap { cause: 5, tval: va })?;
+                return Ok((v, pa));
+            }
+        }
         Ok((self.mem.read_bytes(pa, size), pa))
     }
 
@@ -382,6 +428,23 @@ impl Emulator {
         if pa == CONSOLE_ADDR {
             self.console.push(val as u8);
             return Ok(pa);
+        }
+        if let Some(p) = self.platform.as_mut() {
+            if p.contains(pa) {
+                p.write(pa, val, size)
+                    .map_err(|_| Trap { cause: 7, tval: va })?;
+                // Device stores are logged like plain stores so the
+                // cluster barrier forwards them to the other cores' bus
+                // replicas — that is the MSIP IPI delivery path.
+                if let Some(ctl) = self.cluster.as_mut() {
+                    ctl.store_log.push(StoreRec {
+                        pa,
+                        val,
+                        size: size as u8,
+                    });
+                }
+                return Ok(pa);
+            }
         }
         self.mem.write_bytes(pa, val, size);
         // Store-to-code: drop any decoded blocks on the touched page(s)
@@ -401,6 +464,20 @@ impl Emulator {
         Ok(pa)
     }
 
+    /// Pushes the M-mode interrupt-enable stack on trap entry
+    /// (privileged spec §3.1.6.1): `MPIE <- MIE`, `MIE <- 0`,
+    /// `MPP <- `interrupted mode. Must run *before* the mode switch.
+    fn push_mstatus_stack(&mut self) {
+        let mut mstatus = self.cpu.read_csr(csr::MSTATUS);
+        mstatus &= !(csr::mstatus::MPIE | csr::mstatus::MPP_MASK);
+        if mstatus & csr::mstatus::MIE != 0 {
+            mstatus |= csr::mstatus::MPIE;
+        }
+        mstatus &= !csr::mstatus::MIE;
+        mstatus |= (self.cpu.mode as u64) << csr::mstatus::MPP_SHIFT;
+        self.cpu.write_csr(csr::MSTATUS, mstatus);
+    }
+
     fn take_trap(&mut self, pc: u64, trap: Trap) -> Result<u64, ExecError> {
         let mtvec = self.cpu.read_csr(csr::MTVEC);
         if mtvec == 0 {
@@ -412,12 +489,72 @@ impl Emulator {
         self.cpu.write_csr(csr::MEPC, pc);
         self.cpu.write_csr(csr::MCAUSE, trap.cause);
         self.cpu.write_csr(csr::MTVAL, trap.tval);
-        // Remember the interrupted mode in a simplified mstatus.MPP.
-        let mpp = (self.cpu.mode as u64) << 11;
-        let mstatus = self.cpu.read_csr(csr::MSTATUS) & !(3 << 11) | mpp;
-        self.cpu.write_csr(csr::MSTATUS, mstatus);
+        self.push_mstatus_stack();
         self.cpu.mode = PrivMode::Machine;
-        Ok(mtvec & !3)
+        // Synchronous exceptions always enter at the vector base; only
+        // interrupts steer by cause in vectored mode (§3.1.7).
+        Ok(csr::mtvec::base(mtvec))
+    }
+
+    /// Delivers the pending interrupt `cause` (the `mip` bit number)
+    /// before the instruction at `pc` executes: `mepc` gets the first
+    /// unexecuted instruction, `mcause` the interrupt bit plus cause,
+    /// and vectored `mtvec` steers to `base + 4*cause`.
+    fn take_interrupt(&mut self, pc: u64, cause: u64) -> u64 {
+        self.cpu.write_csr(csr::MEPC, pc);
+        self.cpu.write_csr(csr::MCAUSE, csr::mcause::INTERRUPT | cause);
+        self.cpu.write_csr(csr::MTVAL, 0);
+        self.push_mstatus_stack();
+        self.cpu.mode = PrivMode::Machine;
+        let mtvec = self.cpu.read_csr(csr::MTVEC);
+        if csr::mtvec::mode(mtvec) == csr::mtvec::MODE_VECTORED {
+            csr::mtvec::base(mtvec) + 4 * cause
+        } else {
+            csr::mtvec::base(mtvec)
+        }
+    }
+
+    /// The highest-priority deliverable machine interrupt, if any:
+    /// `mip & mie` gated by `mstatus.MIE` in M-mode (interrupts to a
+    /// higher privilege are always deliverable from U/S — no delegation
+    /// is modeled), priority MEI > MSI > MTI (§3.1.9). Requires an
+    /// installed `mtvec` — without a vector nothing is deliverable.
+    fn pending_interrupt(&self) -> Option<u64> {
+        let p = self.platform.as_ref()?;
+        let mip = p.irq_lines(self.cpu.hart_id).as_mip();
+        if mip == 0 {
+            return None;
+        }
+        let ready = mip & self.cpu.read_csr(csr::MIE);
+        if ready == 0 {
+            return None;
+        }
+        if self.cpu.mode == PrivMode::Machine
+            && self.cpu.read_csr(csr::MSTATUS) & csr::mstatus::MIE == 0
+        {
+            return None;
+        }
+        if self.cpu.read_csr(csr::MTVEC) == 0 {
+            return None;
+        }
+        [csr::irq::MEI, csr::irq::MSI, csr::irq::MTI]
+            .into_iter()
+            .find(|&cause| ready & (1 << cause) != 0)
+    }
+
+    /// Polls the attached platform and, when an interrupt is
+    /// deliverable, redirects the PC to the handler and returns the
+    /// trap-entry record (`trapped` set, no instret increment). Runs
+    /// before *every* instruction on both execution engines, which is
+    /// what keeps the fast path bit-identical to per-step delivery
+    /// (docs/INTERRUPTS.md).
+    fn poll_interrupt(&mut self) -> Option<DynInst> {
+        let cause = self.pending_interrupt()?;
+        let pc = self.cpu.pc;
+        let target = self.take_interrupt(pc, cause);
+        self.cpu.pc = target;
+        self.cursor = None;
+        Some(DynInst::trap_entry(pc, target))
     }
 
     /// Fetches, decodes and executes one instruction.
@@ -446,6 +583,11 @@ impl Emulator {
     /// was checked by [`Emulator::step`], so `pc == fetch_pa` and the
     /// fetch can neither fault nor be translated.
     fn step_fast(&mut self) -> Result<StepOutcome, ExecError> {
+        if self.platform.is_some() {
+            if let Some(d) = self.poll_interrupt() {
+                return Ok(StepOutcome::Retired(d));
+            }
+        }
         let pc = self.cpu.pc;
         // Cursor hit: the previous step retired entry `idx-1` of this
         // block and fell through. Validity is address + epoch based, so
@@ -497,6 +639,9 @@ impl Emulator {
             Ok(mut dyninst) => {
                 dyninst.fetch_pa = pc;
                 self.cpu.instret += 1;
+                if let Some(p) = self.platform.as_mut() {
+                    p.tick(1);
+                }
                 self.cpu.pc = dyninst.next_pc;
                 let next_idx = idx + 1;
                 // Fall-through entries advance the cursor; block ends
@@ -575,6 +720,11 @@ impl Emulator {
     /// interpreter, unchanged) — also the differential oracle the fast
     /// path is tested against.
     fn step_slow(&mut self) -> Result<StepOutcome, ExecError> {
+        if self.platform.is_some() {
+            if let Some(d) = self.poll_interrupt() {
+                return Ok(StepOutcome::Retired(d));
+            }
+        }
         let pc = self.cpu.pc;
         let fetch_pa = match self.translate(pc, Access::Fetch) {
             Ok(pa) => pa,
@@ -610,6 +760,9 @@ impl Emulator {
             Ok(mut dyninst) => {
                 dyninst.fetch_pa = fetch_pa;
                 self.cpu.instret += 1;
+                if let Some(p) = self.platform.as_mut() {
+                    p.tick(1);
+                }
                 self.cpu.pc = dyninst.next_pc;
                 if let Some(code) = self.halted {
                     // The halting store still retires.
@@ -986,7 +1139,18 @@ impl Emulator {
             // ---- Zicsr ----
             Csrrw | Csrrs | Csrrc | Csrrwi | Csrrsi | Csrrci => {
                 let addr = imm as u16;
-                let old = self.cpu.read_csr(addr);
+                // With a platform attached, mip is a live view of the
+                // device interrupt lines (clear at the source: CLINT
+                // msip/mtimecmp, PLIC claim); guest writes are dropped.
+                let platform_mip = addr == csr::MIP && self.platform.is_some();
+                let old = if platform_mip {
+                    self.platform
+                        .as_ref()
+                        .map(|p| p.irq_lines(self.cpu.hart_id).as_mip())
+                        .unwrap_or(0)
+                } else {
+                    self.cpu.read_csr(addr)
+                };
                 let operand = match inst.op {
                     Csrrw | Csrrs | Csrrc => rs1,
                     _ => inst.rs1 as u64, // zimm
@@ -1000,26 +1164,72 @@ impl Emulator {
                     Csrrw | Csrrwi => true,
                     _ => operand != 0 || inst.rs1 != 0,
                 };
-                if write {
+                if write && !platform_mip {
                     self.cpu.write_csr(addr, new);
                 }
                 wd!(old);
             }
             Mret => {
-                let mstatus = self.cpu.read_csr(csr::MSTATUS);
-                let mpp = (mstatus >> 11) & 3;
+                // Pop the interrupt-enable stack (§3.1.6.1): mode from
+                // MPP, MIE from MPIE, then MPIE <- 1 and MPP <- U.
+                let mut mstatus = self.cpu.read_csr(csr::MSTATUS);
+                let mpp = (mstatus & csr::mstatus::MPP_MASK) >> csr::mstatus::MPP_SHIFT;
                 self.cpu.mode = match mpp {
                     0 => PrivMode::User,
                     1 => PrivMode::Supervisor,
                     _ => PrivMode::Machine,
                 };
+                mstatus &= !csr::mstatus::MIE;
+                if mstatus & csr::mstatus::MPIE != 0 {
+                    mstatus |= csr::mstatus::MIE;
+                }
+                mstatus |= csr::mstatus::MPIE;
+                mstatus &= !csr::mstatus::MPP_MASK;
+                self.cpu.write_csr(csr::MSTATUS, mstatus);
                 next = self.cpu.read_csr(csr::MEPC);
             }
             Sret => {
+                // Return mode comes from sstatus.SPP (S or U), and the
+                // supervisor enable stack pops: SIE <- SPIE, SPIE <- 1,
+                // SPP <- U (§3.3.2) — not an unconditional drop to User.
+                let mut sstatus = self.cpu.read_csr(csr::SSTATUS);
+                self.cpu.mode = if sstatus & csr::mstatus::SPP != 0 {
+                    PrivMode::Supervisor
+                } else {
+                    PrivMode::User
+                };
+                sstatus &= !csr::mstatus::SIE;
+                if sstatus & csr::mstatus::SPIE != 0 {
+                    sstatus |= csr::mstatus::SIE;
+                }
+                sstatus |= csr::mstatus::SPIE;
+                sstatus &= !csr::mstatus::SPP;
+                self.cpu.write_csr(csr::SSTATUS, sstatus);
                 next = self.cpu.read_csr(csr::SEPC);
-                self.cpu.mode = PrivMode::User;
             }
-            Wfi => {}
+            Wfi => {
+                // WFI retires as a hint. On a single core with a
+                // platform attached, park by fast-forwarding mtime to
+                // the next armed timer event when nothing is deliverable
+                // yet — wakeup needs only `mip & mie` (mstatus.MIE is
+                // ignored, §3.6.1). With no wake source armed, or in
+                // cluster mode (replica time stays in lockstep with the
+                // epoch barrier), WFI falls back to a legal nop and the
+                // surrounding guest loop spins.
+                if self.cluster.is_none() {
+                    if let Some(p) = self.platform.as_mut() {
+                        let hart = self.cpu.hart_id;
+                        let mie = self.cpu.read_csr(csr::MIE);
+                        if p.irq_lines(hart).as_mip() & mie == 0
+                            && mie & (1 << csr::irq::MTI) != 0
+                        {
+                            if let Some(dt) = p.ticks_to_timer(hart) {
+                                p.tick(dt);
+                            }
+                        }
+                    }
+                }
+            }
             // ---- vector ----
             op if op.is_vector() => {
                 let vm = vecexec::exec_vector(self, inst)?;

@@ -43,6 +43,7 @@ pub mod exec;
 pub mod f16;
 pub mod gmem;
 pub mod mmu;
+pub mod platform;
 pub mod pmp;
 pub mod softfp;
 pub mod trace;
@@ -52,4 +53,5 @@ pub use blockcache::CacheStats;
 pub use cpu::{Cpu, PrivMode};
 pub use exec::{ClusterCtl, Emulator, ExecError, StepOutcome, StoreRec};
 pub use gmem::GuestMem;
+pub use platform::{BusFault, IrqLines, Platform};
 pub use trace::{DynInst, MemAccess, TraceEvent, TraceSource};

@@ -1,0 +1,179 @@
+//! The hart-facing platform contract: MMIO device windows and
+//! asynchronous interrupt lines.
+//!
+//! The emulator is deliberately device-agnostic: `xt-soc` owns the
+//! concrete bus ([`MmioBus`](../../xt_soc/bus/index.html) hosting the
+//! CLINT, PLIC and UART), while this module defines the trait the
+//! emulator drives it through plus the *guest-visible address map* both
+//! sides (and guest programs, via `xt-workloads`) agree on. See
+//! docs/INTERRUPTS.md for the full contract and the determinism
+//! argument.
+//!
+//! With a platform attached ([`Emulator::attach_platform`]):
+//!
+//! * loads/stores whose **physical** address falls inside a device
+//!   window route to [`Platform::read`]/[`Platform::write`] instead of
+//!   guest RAM; a denied access (bad width, unmapped hole) raises a
+//!   load/store access fault (causes 5/7) in the guest;
+//! * `mtime` advances by exactly **one tick per retired instruction**
+//!   ([`Platform::tick`]), so interrupt delivery is a deterministic
+//!   function of the architectural instruction stream — not host time;
+//! * the step loop polls [`Platform::irq_lines`] before *every*
+//!   instruction on both execution engines, keeping the decoded-block
+//!   fast path bit-identical to per-step delivery;
+//! * `WFI` consults [`Platform::ticks_to_timer`] to fast-forward the
+//!   timer instead of spinning (single-core only; cluster replicas keep
+//!   lockstep time).
+//!
+//! [`Emulator::attach_platform`]: crate::Emulator::attach_platform
+
+use std::any::Any;
+use xt_isa::csr;
+
+/// Base physical address of the CLINT window (standard platform map).
+pub const CLINT_BASE: u64 = 0x0200_0000;
+/// Size of the CLINT window.
+pub const CLINT_SIZE: u64 = 0x1_0000;
+/// Base physical address of the PLIC window.
+pub const PLIC_BASE: u64 = 0x0C00_0000;
+/// Size of the PLIC window (covers contexts at `0x20_0000 + 0x1000*ctx`).
+pub const PLIC_SIZE: u64 = 0x40_0000;
+/// Base physical address of the UART window.
+pub const UART_BASE: u64 = 0x1000_0000;
+/// Size of the UART window.
+pub const UART_SIZE: u64 = 0x100;
+
+/// Guest-visible CLINT register offsets (shared by the `xt-soc` device
+/// model and guest programs built in `xt-workloads`).
+pub mod clint_map {
+    /// `msip[hart]` at `MSIP_BASE + 4*hart` — 32-bit access only.
+    pub const MSIP_BASE: u64 = 0x0000;
+    /// `mtimecmp[hart]` at `MTIMECMP_BASE + 8*hart` — 64-bit (or
+    /// 32-bit half) access.
+    pub const MTIMECMP_BASE: u64 = 0x4000;
+    /// Free-running `mtime` — 64-bit (or 32-bit half) access.
+    pub const MTIME: u64 = 0xBFF8;
+}
+
+/// Guest-visible PLIC register offsets (context = hart in this model).
+pub mod plic_map {
+    /// `priority[source]` at `4*source`, 32-bit.
+    pub const PRIORITY_BASE: u64 = 0x0000;
+    /// Pending bit words (read-only), `0x1000 + 4*word`.
+    pub const PENDING_BASE: u64 = 0x1000;
+    /// Enable bit words, `0x2000 + 0x80*ctx + 4*word`.
+    pub const ENABLE_BASE: u64 = 0x2000;
+    /// Per-context stride of the enable array.
+    pub const ENABLE_STRIDE: u64 = 0x80;
+    /// XT-910 permission-control extension: permission bit words,
+    /// `0x3000 + 0x80*ctx + 4*word` (1 = granted; write 0 to revoke).
+    pub const PERMISSION_BASE: u64 = 0x3000;
+    /// Per-context stride of the permission array.
+    pub const PERMISSION_STRIDE: u64 = 0x80;
+    /// `threshold[ctx]` at `0x20_0000 + 0x1000*ctx`, 32-bit.
+    pub const CONTEXT_BASE: u64 = 0x20_0000;
+    /// Per-context stride of the threshold/claim pair.
+    pub const CONTEXT_STRIDE: u64 = 0x1000;
+    /// Claim (read) / complete (write) register offset within a context.
+    pub const CLAIM_OFFSET: u64 = 4;
+}
+
+/// A denied device access (wrong width, unmapped hole, read-only
+/// register written…). The emulator turns this into a load/store access
+/// fault; the bus keeps the diagnostic detail.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BusFault;
+
+impl std::fmt::Display for BusFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "denied device access")
+    }
+}
+
+/// Machine interrupt lines presented to one hart, as level signals.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct IrqLines {
+    /// Machine software interrupt (CLINT `msip`).
+    pub msip: bool,
+    /// Machine timer interrupt (CLINT `mtime >= mtimecmp`).
+    pub mtip: bool,
+    /// Machine external interrupt (PLIC assertion for this context).
+    pub meip: bool,
+}
+
+impl IrqLines {
+    /// The lines as `mip` bits (MSIP=3, MTIP=7, MEIP=11).
+    pub fn as_mip(&self) -> u64 {
+        (self.msip as u64) << csr::irq::MSI
+            | (self.mtip as u64) << csr::irq::MTI
+            | (self.meip as u64) << csr::irq::MEI
+    }
+}
+
+/// The device bus as the emulator sees it: window routing, time, and
+/// interrupt lines. Implemented by `xt_soc::bus::MmioBus`; tests may
+/// supply minimal stand-ins (e.g. a bare timer).
+pub trait Platform: std::fmt::Debug + Send {
+    /// Whether physical address `pa` falls inside a device window.
+    /// Must be cheap: it is consulted on every load and store.
+    fn contains(&self, pa: u64) -> bool;
+
+    /// Device read of `size` bytes at `pa` (which satisfies
+    /// [`Platform::contains`]). `Err` becomes a load access fault.
+    fn read(&mut self, pa: u64, size: usize) -> Result<u64, BusFault>;
+
+    /// Device write of the low `size` bytes of `val` at `pa`. `Err`
+    /// becomes a store/AMO access fault.
+    fn write(&mut self, pa: u64, val: u64, size: usize) -> Result<(), BusFault>;
+
+    /// Advances platform time (the CLINT `mtime`). Called once per
+    /// retired instruction, and by `WFI` fast-forwarding.
+    fn tick(&mut self, ticks: u64);
+
+    /// Current interrupt lines into `hart`. Polled before every
+    /// instruction; must be cheap and side-effect free.
+    fn irq_lines(&self, hart: u64) -> IrqLines;
+
+    /// Ticks until `hart`'s timer interrupt would assert: `Some(n)` when
+    /// the compare is armed `n` ticks in the future, `None` when it is
+    /// already pending or effectively disarmed (`mtimecmp == u64::MAX`).
+    /// Drives `WFI` fast-forward on a single core.
+    fn ticks_to_timer(&self, hart: u64) -> Option<u64>;
+
+    /// Downcast support (e.g. `xt-soc` recovering its concrete bus).
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irq_lines_mip_bits() {
+        let all = IrqLines {
+            msip: true,
+            mtip: true,
+            meip: true,
+        };
+        assert_eq!(all.as_mip(), (1 << 3) | (1 << 7) | (1 << 11));
+        assert_eq!(IrqLines::default().as_mip(), 0);
+    }
+
+    #[test]
+    fn windows_do_not_overlap_ram_or_halt() {
+        let windows = [
+            (CLINT_BASE, CLINT_SIZE),
+            (PLIC_BASE, PLIC_SIZE),
+            (UART_BASE, UART_SIZE),
+        ];
+        for (base, size) in windows {
+            assert!(base + size <= xt_asm::HALT_ADDR, "below the halt MMIO page");
+        }
+        for w in windows.windows(2) {
+            assert!(w[0].0 + w[0].1 <= w[1].0, "windows ordered and disjoint");
+        }
+    }
+}

@@ -268,3 +268,198 @@ fn trace_source_stream_identical() {
     assert_eq!(fast, slow, "retired streams diverge");
     assert!(!fast.is_empty());
 }
+
+// ---------------------------------------------------------------------
+// asynchronous interrupts: block-boundary polling must be invisible
+// ---------------------------------------------------------------------
+
+/// Minimal hart-0 timer platform for interrupt-delivery tests (the full
+/// CLINT/PLIC bus lives in `xt-soc`; the emu crate tests only the
+/// delivery contract through the `Platform` trait).
+#[derive(Debug)]
+struct TimerPlatform {
+    mtime: u64,
+    mtimecmp: u64,
+}
+
+/// The mtimecmp MMIO doubleword, placed inside the CLINT window.
+const TIMER_CMP_PA: u64 =
+    xt_emu::platform::CLINT_BASE + xt_emu::platform::clint_map::MTIMECMP_BASE;
+const TIMER_MTIME_PA: u64 =
+    xt_emu::platform::CLINT_BASE + xt_emu::platform::clint_map::MTIME;
+
+impl xt_emu::Platform for TimerPlatform {
+    fn contains(&self, pa: u64) -> bool {
+        pa == TIMER_CMP_PA || pa == TIMER_MTIME_PA
+    }
+    fn read(&mut self, pa: u64, size: usize) -> Result<u64, xt_emu::BusFault> {
+        match (pa, size) {
+            (TIMER_CMP_PA, 8) => Ok(self.mtimecmp),
+            (TIMER_MTIME_PA, 8) => Ok(self.mtime),
+            _ => Err(xt_emu::BusFault),
+        }
+    }
+    fn write(&mut self, pa: u64, val: u64, size: usize) -> Result<(), xt_emu::BusFault> {
+        match (pa, size) {
+            (TIMER_CMP_PA, 8) => {
+                self.mtimecmp = val;
+                Ok(())
+            }
+            (TIMER_MTIME_PA, 8) => {
+                self.mtime = val;
+                Ok(())
+            }
+            _ => Err(xt_emu::BusFault),
+        }
+    }
+    fn tick(&mut self, t: u64) {
+        self.mtime += t;
+    }
+    fn irq_lines(&self, _hart: u64) -> xt_emu::IrqLines {
+        xt_emu::IrqLines {
+            msip: false,
+            mtip: self.mtime >= self.mtimecmp,
+            meip: false,
+        }
+    }
+    fn ticks_to_timer(&self, _hart: u64) -> Option<u64> {
+        if self.mtimecmp == u64::MAX || self.mtime >= self.mtimecmp {
+            None
+        } else {
+            Some(self.mtimecmp - self.mtime)
+        }
+    }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Like [`assert_fast_equals_slow`], with a fresh [`TimerPlatform`]
+/// attached to each emulator (`cmp0` pre-arms the compare).
+fn assert_fast_equals_slow_irq(p: &Program, cmp0: u64, ctx: &str) -> Emulator {
+    let mk = |on: bool| {
+        let mut emu = Emulator::new();
+        emu.set_fastpath(on);
+        emu.load(p);
+        emu.attach_platform(Box::new(TimerPlatform {
+            mtime: 0,
+            mtimecmp: cmp0,
+        }));
+        let r = emu.run(FUEL);
+        (emu, r)
+    };
+    let (fast, r_fast) = mk(true);
+    let (slow, r_slow) = mk(false);
+    assert_eq!(r_fast, r_slow, "{ctx}: run outcome");
+    assert_eq!(fast.halted, slow.halted, "{ctx}: exit code");
+    assert_eq!(fast.cpu.pc, slow.cpu.pc, "{ctx}: pc");
+    assert_eq!(fast.cpu.x, slow.cpu.x, "{ctx}: integer registers");
+    assert_eq!(fast.cpu.instret, slow.cpu.instret, "{ctx}: instret");
+    assert_eq!(fast.cpu.mode, slow.cpu.mode, "{ctx}: privilege mode");
+    assert_eq!(fast.cpu.csrs, slow.cpu.csrs, "{ctx}: CSR file");
+    assert_eq!(
+        fast.mem.snapshot_nonzero(),
+        slow.mem.snapshot_nonzero(),
+        "{ctx}: guest memory"
+    );
+    fast
+}
+
+/// A tight counted loop (the fast path's best case) preempted by a
+/// re-arming timer handler: interrupt delivery must hit the *same
+/// instruction boundary* with blocks on and off, because the poll runs
+/// before every instruction inside `run_block`, not just at block
+/// entry. The handler counts interrupts in s3; the loop counts down a5.
+#[test]
+fn timer_interrupt_delivery_identical() {
+    let mut a = Asm::new();
+    let boot = a.new_label();
+    a.jump(boot);
+    let handler = a.pc();
+    // count, re-arm 97 ticks ahead (odd stride so the preemption point
+    // walks across the loop body), return
+    a.addi(Gpr::S3, Gpr::S3, 1);
+    a.li(Gpr::T1, TIMER_MTIME_PA as i64);
+    a.ld(Gpr::T2, Gpr::T1, 0);
+    a.addi(Gpr::T2, Gpr::T2, 97);
+    a.li(Gpr::T1, TIMER_CMP_PA as i64);
+    a.sd(Gpr::T2, Gpr::T1, 0);
+    a.mret();
+    a.bind(boot).unwrap();
+    a.li(Gpr::T0, handler as i64);
+    a.csrw(xt_isa::csr::MTVEC, Gpr::T0);
+    a.li(Gpr::T0, 1 << xt_isa::csr::irq::MTI);
+    a.csrw(xt_isa::csr::MIE, Gpr::T0);
+    a.li(Gpr::T0, xt_isa::csr::mstatus::MIE as i64);
+    a.csrs(xt_isa::csr::MSTATUS, Gpr::T0);
+    a.li(Gpr::A5, 20_000);
+    let top = a.here();
+    a.addi(Gpr::A4, Gpr::A4, 3);
+    a.xori(Gpr::A4, Gpr::A4, 5);
+    a.addi(Gpr::A5, Gpr::A5, -1);
+    a.bnez(Gpr::A5, top);
+    a.mv(Gpr::A0, Gpr::S3);
+    a.halt();
+    let p = a.finish().unwrap();
+    let fast = assert_fast_equals_slow_irq(&p, 61, "timer preemption");
+    let hits = fast.halted.unwrap();
+    assert!(hits > 100, "the loop was preempted many times: {hits}");
+}
+
+/// Random loop bodies under a periodically re-armed timer: the
+/// interrupt boundary keeps moving through cached blocks (odd re-arm
+/// strides, random body lengths) and the architectural state must never
+/// diverge between the batched and per-step engines.
+#[test]
+fn random_programs_with_interrupts_identical() {
+    check_with(
+        &cfg(24),
+        "random_programs_with_interrupts_identical",
+        &gen::any::<u64>(),
+        |&seed| {
+            let mut rng = Rng::new(seed);
+            let pool = [Gpr::A2, Gpr::A3, Gpr::A4, Gpr::A6, Gpr::A7];
+            let mut a = Asm::new();
+            let boot = a.new_label();
+            a.jump(boot);
+            let handler = a.pc();
+            let stride = 101 + rng.gen_range(0, 200);
+            a.addi(Gpr::S3, Gpr::S3, 1);
+            a.li(Gpr::T5, TIMER_MTIME_PA as i64);
+            a.ld(Gpr::T6, Gpr::T5, 0);
+            a.addi(Gpr::T6, Gpr::T6, stride);
+            a.li(Gpr::T5, TIMER_CMP_PA as i64);
+            a.sd(Gpr::T6, Gpr::T5, 0);
+            a.mret();
+            a.bind(boot).unwrap();
+            a.li(Gpr::T0, handler as i64);
+            a.csrw(xt_isa::csr::MTVEC, Gpr::T0);
+            a.li(Gpr::T0, 1 << xt_isa::csr::irq::MTI);
+            a.csrw(xt_isa::csr::MIE, Gpr::T0);
+            a.li(Gpr::T0, xt_isa::csr::mstatus::MIE as i64);
+            a.csrs(xt_isa::csr::MSTATUS, Gpr::T0);
+            a.li(Gpr::A5, rng.gen_range(500, 4000));
+            let top = a.here();
+            for _ in 0..rng.gen_range(3, 12) {
+                let rd = *rng.choose(&pool);
+                let rs = *rng.choose(&pool);
+                match rng.below(4) {
+                    0 => a.addi(rd, rs, rng.gen_range(-64, 64)),
+                    1 => a.xori(rd, rs, rng.gen_range(0, 64)),
+                    2 => a.add(rd, rd, rs),
+                    _ => a.slli(rd, rs, rng.gen_range(0, 8)),
+                };
+            }
+            a.addi(Gpr::A5, Gpr::A5, -1);
+            a.bnez(Gpr::A5, top);
+            a.mv(Gpr::A0, Gpr::S3);
+            a.halt();
+            let p = a.finish().unwrap();
+            let cmp0 = 31 + seed % 97;
+            assert_fast_equals_slow_irq(&p, cmp0, &format!("irq seed {seed:#x}"));
+        },
+    );
+}

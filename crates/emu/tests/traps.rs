@@ -205,3 +205,103 @@ fn sc_without_reservation_fails() {
     });
     assert_eq!(emu.halted, Some(1042), "SC fails (1) and memory keeps 42");
 }
+
+// ---------------------------------------------------------------------
+// trap-entry mstatus stacking and Mret/Sret return semantics (ISSUE 7)
+// ---------------------------------------------------------------------
+
+use xt_isa::csr::mstatus;
+
+/// Regression: taking a trap must stack `mstatus.MIE` into `MPIE` and
+/// clear `MIE` (so the handler runs with interrupts masked), and `mret`
+/// must restore `MIE` from `MPIE` and set `MPIE` back to 1.
+#[test]
+fn trap_stacks_mie_and_mret_restores_it() {
+    let mut a = Asm::new();
+    let main = a.new_label();
+    a.jump(main);
+    // handler: capture mstatus as seen inside the trap, step past the
+    // ecall, and return
+    a.csrr(Gpr::A2, csr::MSTATUS);
+    a.csrr(Gpr::T1, csr::MEPC);
+    a.addi(Gpr::T1, Gpr::T1, 4);
+    a.csrw(csr::MEPC, Gpr::T1);
+    a.mret();
+    a.bind(main).unwrap();
+    a.li(Gpr::T0, (xt_asm::DEFAULT_TEXT_BASE + 4) as i64);
+    a.csrw(csr::MTVEC, Gpr::T0);
+    a.li(Gpr::T0, mstatus::MIE as i64);
+    a.csrs(csr::MSTATUS, Gpr::T0); // interrupts on before the trap
+    a.ecall();
+    a.csrr(Gpr::A0, csr::MSTATUS); // mstatus after the round trip
+    a.halt();
+    let p = a.finish().unwrap();
+    let mut emu = Emulator::new();
+    emu.load(&p);
+    let after = emu.run(100_000).unwrap();
+    let inside = emu.cpu.x[12]; // a2
+    assert_eq!(inside & mstatus::MIE, 0, "handler runs with MIE clear");
+    assert_ne!(inside & mstatus::MPIE, 0, "prior MIE stacked into MPIE");
+    assert_eq!(
+        inside & mstatus::MPP_MASK,
+        mstatus::MPP_MASK,
+        "MPP records the trapped-from mode (M = 3)"
+    );
+    assert_ne!(after & mstatus::MIE, 0, "mret restored MIE from MPIE");
+    assert_ne!(after & mstatus::MPIE, 0, "mret leaves MPIE set");
+}
+
+/// Regression: `mret` with MPP = U must actually drop to user mode.
+#[test]
+fn mret_honors_mpp_user() {
+    let mut a = Asm::new();
+    let setup = a.new_label();
+    a.jump(setup);
+    let target = a.pc();
+    a.li(Gpr::A0, 11);
+    a.halt();
+    a.bind(setup).unwrap();
+    a.li(Gpr::T0, mstatus::MPP_MASK as i64);
+    a.csrc(csr::MSTATUS, Gpr::T0); // MPP = 0 (U)
+    a.li(Gpr::T0, target as i64);
+    a.csrw(csr::MEPC, Gpr::T0);
+    a.mret();
+    let p = a.finish().unwrap();
+    let mut emu = Emulator::new();
+    emu.load(&p);
+    assert_eq!(emu.run(100_000).unwrap(), 11);
+    assert_eq!(emu.cpu.mode, xt_emu::PrivMode::User);
+}
+
+/// Regression: `sret` must read the return mode from `sstatus.SPP`
+/// (not mstatus.MPP), restore `SIE` from `SPIE`, set `SPIE`, and clear
+/// `SPP`.
+#[test]
+fn sret_returns_to_spp_mode_and_restores_sie() {
+    for (spp, want_mode) in [
+        (mstatus::SPP, xt_emu::PrivMode::Supervisor),
+        (0, xt_emu::PrivMode::User),
+    ] {
+        let mut a = Asm::new();
+        let setup = a.new_label();
+        a.jump(setup);
+        let target = a.pc();
+        a.li(Gpr::A0, 21);
+        a.halt();
+        a.bind(setup).unwrap();
+        a.li(Gpr::T0, (spp | mstatus::SPIE) as i64);
+        a.csrs(csr::SSTATUS, Gpr::T0);
+        a.li(Gpr::T0, target as i64);
+        a.csrw(csr::SEPC, Gpr::T0);
+        a.sret();
+        let p = a.finish().unwrap();
+        let mut emu = Emulator::new();
+        emu.load(&p);
+        assert_eq!(emu.run(100_000).unwrap(), 21, "spp={spp:#x}");
+        assert_eq!(emu.cpu.mode, want_mode, "spp={spp:#x}");
+        let ss = emu.cpu.read_csr(csr::SSTATUS);
+        assert_ne!(ss & mstatus::SIE, 0, "SIE restored from SPIE");
+        assert_ne!(ss & mstatus::SPIE, 0, "SPIE set by sret");
+        assert_eq!(ss & mstatus::SPP, 0, "SPP cleared by sret");
+    }
+}

@@ -45,6 +45,8 @@ pub const SATP: u16 = 0x180;
 pub const MSTATUS: u16 = 0x300;
 /// Machine ISA register.
 pub const MISA: u16 = 0x301;
+/// Machine interrupt enable.
+pub const MIE: u16 = 0x304;
 /// Machine trap vector.
 pub const MTVEC: u16 = 0x305;
 /// Machine scratch.
@@ -55,8 +57,66 @@ pub const MEPC: u16 = 0x341;
 pub const MCAUSE: u16 = 0x342;
 /// Machine trap value.
 pub const MTVAL: u16 = 0x343;
+/// Machine interrupt pending.
+pub const MIP: u16 = 0x344;
 /// Machine hart id.
 pub const MHARTID: u16 = 0xF14;
+
+/// Fields of `mstatus` (and the `sstatus` shadow bits) used by the trap
+/// machinery (privileged spec §3.1.6).
+pub mod mstatus {
+    /// Supervisor interrupt enable.
+    pub const SIE: u64 = 1 << 1;
+    /// Machine interrupt enable.
+    pub const MIE: u64 = 1 << 3;
+    /// Supervisor previous interrupt enable.
+    pub const SPIE: u64 = 1 << 5;
+    /// Machine previous interrupt enable.
+    pub const MPIE: u64 = 1 << 7;
+    /// Supervisor previous privilege (one bit: U or S).
+    pub const SPP: u64 = 1 << 8;
+    /// Machine previous privilege field shift (two bits at 12:11).
+    pub const MPP_SHIFT: u32 = 11;
+    /// Machine previous privilege field mask.
+    pub const MPP_MASK: u64 = 3 << MPP_SHIFT;
+}
+
+/// Interrupt numbers as they appear in `mip`/`mie` bit positions and in
+/// `mcause` (with [`mcause::INTERRUPT`] set).
+pub mod irq {
+    /// Machine software interrupt (CLINT `msip`).
+    pub const MSI: u64 = 3;
+    /// Machine timer interrupt (CLINT `mtime >= mtimecmp`).
+    pub const MTI: u64 = 7;
+    /// Machine external interrupt (PLIC).
+    pub const MEI: u64 = 11;
+}
+
+/// Fields of `mcause`.
+pub mod mcause {
+    /// Set when the trap is an asynchronous interrupt.
+    pub const INTERRUPT: u64 = 1 << 63;
+}
+
+/// Fields of `mtvec` (privileged spec §3.1.7).
+pub mod mtvec {
+    /// Mode bits mask (1:0).
+    pub const MODE_MASK: u64 = 3;
+    /// Direct mode: all traps jump to `base`.
+    pub const MODE_DIRECT: u64 = 0;
+    /// Vectored mode: interrupts jump to `base + 4*cause`.
+    pub const MODE_VECTORED: u64 = 1;
+
+    /// Extracts the (4-byte aligned) vector base.
+    pub fn base(v: u64) -> u64 {
+        v & !MODE_MASK
+    }
+
+    /// Extracts the mode field.
+    pub fn mode(v: u64) -> u64 {
+        v & MODE_MASK
+    }
+}
 
 /// Fields of `satp` for SV39 with the XT-910's widened 16-bit ASID (§V-E).
 pub mod satp {

@@ -1,0 +1,345 @@
+//! `MmioBus` — the synchronous, strongly-ordered device bus.
+//!
+//! The bus owns the platform devices and routes physical addresses
+//! through fixed, disjoint windows (the map lives in
+//! [`xt_emu::platform`] so guest programs share it):
+//!
+//! | window | base | device |
+//! |---|---|---|
+//! | CLINT | `0x0200_0000` | [`Clint`] — msip / mtimecmp / mtime |
+//! | PLIC  | `0x0C00_0000` | [`Plic`] — priorities, claim/complete |
+//! | UART  | `0x1000_0000` | [`Uart`] — TX-only console |
+//!
+//! Extra devices can be added with [`MmioBus::add_device`]. Every
+//! access is synchronous and strongly ordered: the device observes it
+//! before the next instruction executes, in program order — there is no
+//! posted-write buffering, which is what makes interrupt delivery a
+//! deterministic function of the retired-instruction stream
+//! (docs/INTERRUPTS.md).
+//!
+//! A denied access (bad width, unmapped hole, read-only register) makes
+//! the guest take a load/store access fault *and* is recorded in
+//! [`MmioBus::denied`] with the window name — the diagnostics that turn
+//! "my IPI vanished" into "64-bit store at CLINT+0x0 denied".
+//!
+//! The bus implements [`xt_emu::Platform`]; attach with
+//! [`attach_bus`] and inspect after a run with [`bus_of`].
+
+use crate::clint::Clint;
+use crate::plic::Plic;
+use crate::uart::Uart;
+use xt_emu::platform::{
+    CLINT_BASE, CLINT_SIZE, PLIC_BASE, PLIC_SIZE, UART_BASE, UART_SIZE,
+};
+use xt_emu::{BusFault, Emulator, IrqLines, Platform};
+
+/// Default number of PLIC sources on the bus (ids 1..=31).
+pub const DEFAULT_PLIC_SOURCES: usize = 31;
+
+/// Ceiling on retained denied-access diagnostics (a guest wedged in a
+/// faulting loop must not grow the log unboundedly).
+const MAX_DENIED: usize = 64;
+
+/// A device as the bus sees it: width-checked reads and writes at
+/// window-relative offsets.
+pub trait MmioDevice: std::fmt::Debug + Send {
+    /// Reads `size` bytes at `offset` within the device window.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault`] for a denied access (width, alignment, unmapped).
+    fn read(&mut self, offset: u64, size: usize) -> Result<u64, BusFault>;
+
+    /// Writes the low `size` bytes of `value` at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault`] for a denied access.
+    fn write(&mut self, offset: u64, value: u64, size: usize) -> Result<(), BusFault>;
+}
+
+/// One denied device access, for diagnostics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DeniedAccess {
+    /// Faulting physical address.
+    pub pa: u64,
+    /// Access size in bytes.
+    pub size: usize,
+    /// Store (true) or load (false).
+    pub is_write: bool,
+    /// Name of the window hit.
+    pub window: &'static str,
+}
+
+/// An extra (non-standard) device window.
+#[derive(Debug)]
+struct ExtraWindow {
+    base: u64,
+    size: u64,
+    name: &'static str,
+    dev: Box<dyn MmioDevice>,
+}
+
+/// The standard XT-910 device bus: CLINT + PLIC + UART, plus any extra
+/// windows. See the [module docs](self).
+#[derive(Debug)]
+pub struct MmioBus {
+    /// The core-local interruptor (timer + software interrupts).
+    pub clint: Clint,
+    /// The platform interrupt controller (context = hart).
+    pub plic: Plic,
+    /// The console UART.
+    pub uart: Uart,
+    /// Denied-access diagnostics, oldest first (capped).
+    pub denied: Vec<DeniedAccess>,
+    extra: Vec<ExtraWindow>,
+    harts: usize,
+}
+
+impl MmioBus {
+    /// Creates the standard bus for `harts` harts (PLIC contexts map
+    /// 1:1 to harts; [`DEFAULT_PLIC_SOURCES`] sources).
+    pub fn new(harts: usize) -> Self {
+        MmioBus {
+            clint: Clint::new(harts),
+            plic: Plic::new(DEFAULT_PLIC_SOURCES, harts),
+            uart: Uart::new(),
+            denied: Vec::new(),
+            extra: Vec::new(),
+            harts,
+        }
+    }
+
+    /// Number of harts the bus serves.
+    pub fn harts(&self) -> usize {
+        self.harts
+    }
+
+    /// Maps an extra device at `[base, base+size)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window overlaps an existing one or guest RAM
+    /// (anything at or above the halt MMIO page).
+    pub fn add_device(
+        &mut self,
+        base: u64,
+        size: u64,
+        name: &'static str,
+        dev: Box<dyn MmioDevice>,
+    ) {
+        assert!(size > 0, "empty device window");
+        assert!(
+            base + size <= xt_asm::HALT_ADDR,
+            "device window collides with the halt page or RAM"
+        );
+        let overlaps = |b: u64, s: u64| base < b + s && b < base + size;
+        assert!(
+            !overlaps(CLINT_BASE, CLINT_SIZE)
+                && !overlaps(PLIC_BASE, PLIC_SIZE)
+                && !overlaps(UART_BASE, UART_SIZE)
+                && !self.extra.iter().any(|w| overlaps(w.base, w.size)),
+            "device window {name} overlaps an existing window"
+        );
+        self.extra.push(ExtraWindow {
+            base,
+            size,
+            name,
+            dev,
+        });
+    }
+
+    /// Routes `pa` to (window name, window base, device).
+    fn route(&mut self, pa: u64) -> Option<(&'static str, u64, &mut dyn MmioDevice)> {
+        if (CLINT_BASE..CLINT_BASE + CLINT_SIZE).contains(&pa) {
+            return Some(("clint", CLINT_BASE, &mut self.clint));
+        }
+        if (PLIC_BASE..PLIC_BASE + PLIC_SIZE).contains(&pa) {
+            return Some(("plic", PLIC_BASE, &mut self.plic));
+        }
+        if (UART_BASE..UART_BASE + UART_SIZE).contains(&pa) {
+            return Some(("uart", UART_BASE, &mut self.uart));
+        }
+        self.extra
+            .iter_mut()
+            .find(|w| (w.base..w.base + w.size).contains(&pa))
+            .map(|w| (w.name, w.base, &mut *w.dev as &mut dyn MmioDevice))
+    }
+
+    fn record_denied(&mut self, pa: u64, size: usize, is_write: bool, window: &'static str) {
+        if self.denied.len() < MAX_DENIED {
+            self.denied.push(DeniedAccess {
+                pa,
+                size,
+                is_write,
+                window,
+            });
+        }
+    }
+}
+
+impl Platform for MmioBus {
+    fn contains(&self, pa: u64) -> bool {
+        (CLINT_BASE..CLINT_BASE + CLINT_SIZE).contains(&pa)
+            || (PLIC_BASE..PLIC_BASE + PLIC_SIZE).contains(&pa)
+            || (UART_BASE..UART_BASE + UART_SIZE).contains(&pa)
+            || self
+                .extra
+                .iter()
+                .any(|w| (w.base..w.base + w.size).contains(&pa))
+    }
+
+    fn read(&mut self, pa: u64, size: usize) -> Result<u64, BusFault> {
+        let (name, base, dev) = self.route(pa).ok_or(BusFault)?;
+        match dev.read(pa - base, size) {
+            Ok(v) => Ok(v),
+            Err(f) => {
+                self.record_denied(pa, size, false, name);
+                Err(f)
+            }
+        }
+    }
+
+    fn write(&mut self, pa: u64, val: u64, size: usize) -> Result<(), BusFault> {
+        let (name, base, dev) = self.route(pa).ok_or(BusFault)?;
+        match dev.write(pa - base, val, size) {
+            Ok(()) => Ok(()),
+            Err(f) => {
+                self.record_denied(pa, size, true, name);
+                Err(f)
+            }
+        }
+    }
+
+    fn tick(&mut self, ticks: u64) {
+        self.clint.tick(ticks);
+    }
+
+    fn irq_lines(&self, hart: u64) -> IrqLines {
+        let h = hart as usize;
+        IrqLines {
+            msip: self.clint.software_pending(h),
+            mtip: self.clint.timer_pending(h),
+            meip: h < self.plic.contexts() && self.plic.pending_for(h),
+        }
+    }
+
+    fn ticks_to_timer(&self, hart: u64) -> Option<u64> {
+        self.clint.ticks_to_timer(hart as usize)
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// Attaches a standard bus for `harts` harts to `emu` and returns a
+/// mutable borrow of it (configure devices, then run).
+pub fn attach_bus(emu: &mut Emulator, harts: usize) -> &mut MmioBus {
+    emu.attach_platform(Box::new(MmioBus::new(harts)));
+    bus_of_mut(emu).expect("just attached")
+}
+
+/// The emulator's attached [`MmioBus`], if any.
+pub fn bus_of(emu: &Emulator) -> Option<&MmioBus> {
+    emu.platform
+        .as_ref()
+        .and_then(|p| p.as_any().downcast_ref::<MmioBus>())
+}
+
+/// Mutable access to the emulator's attached [`MmioBus`], if any.
+pub fn bus_of_mut(emu: &mut Emulator) -> Option<&mut MmioBus> {
+    emu.platform
+        .as_mut()
+        .and_then(|p| p.as_any_mut().downcast_mut::<MmioBus>())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xt_emu::platform::{clint_map, plic_map};
+
+    #[test]
+    fn routes_to_standard_windows() {
+        let mut bus = MmioBus::new(2);
+        // CLINT msip[1]
+        bus.write(CLINT_BASE + clint_map::MSIP_BASE + 4, 1, 4).unwrap();
+        assert!(bus.clint.software_pending(1));
+        assert!(bus.irq_lines(1).msip);
+        // UART TX
+        bus.write(UART_BASE, b'x' as u64, 1).unwrap();
+        assert_eq!(bus.uart.tx, b"x");
+        // PLIC priority for source 3
+        bus.write(PLIC_BASE + 3 * 4, 5, 4).unwrap();
+        assert_eq!(bus.plic.priority(3), 5);
+    }
+
+    #[test]
+    fn plic_claim_complete_over_mmio() {
+        let mut bus = MmioBus::new(1);
+        bus.write(PLIC_BASE + 7 * 4, 3, 4).unwrap(); // priority[7] = 3
+        bus.write(PLIC_BASE + plic_map::ENABLE_BASE, 1 << 7, 4).unwrap();
+        bus.plic.raise(7);
+        assert!(bus.irq_lines(0).meip);
+        // pending word shows the raised line
+        assert_eq!(bus.read(PLIC_BASE + plic_map::PENDING_BASE, 4).unwrap(), 1 << 7);
+        // claim by read, line drops, complete by write
+        let claim_addr = PLIC_BASE + plic_map::CONTEXT_BASE + plic_map::CLAIM_OFFSET;
+        assert_eq!(bus.read(claim_addr, 4).unwrap(), 7);
+        assert!(!bus.irq_lines(0).meip);
+        bus.write(claim_addr, 7, 4).unwrap();
+    }
+
+    #[test]
+    fn denied_accesses_are_diagnosed() {
+        let mut bus = MmioBus::new(1);
+        assert_eq!(bus.write(CLINT_BASE + clint_map::MSIP_BASE, 1, 8), Err(BusFault));
+        assert_eq!(bus.read(PLIC_BASE + 2, 4), Err(BusFault)); // misaligned
+        assert_eq!(
+            bus.denied,
+            vec![
+                DeniedAccess {
+                    pa: CLINT_BASE,
+                    size: 8,
+                    is_write: true,
+                    window: "clint"
+                },
+                DeniedAccess {
+                    pa: PLIC_BASE + 2,
+                    size: 4,
+                    is_write: false,
+                    window: "plic"
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn extra_windows_route_and_reject_overlap() {
+        #[derive(Debug)]
+        struct Doorbell(u64);
+        impl MmioDevice for Doorbell {
+            fn read(&mut self, _o: u64, _s: usize) -> Result<u64, BusFault> {
+                Ok(self.0)
+            }
+            fn write(&mut self, _o: u64, v: u64, _s: usize) -> Result<(), BusFault> {
+                self.0 = v;
+                Ok(())
+            }
+        }
+        let mut bus = MmioBus::new(1);
+        bus.add_device(0x1100_0000, 0x10, "bell", Box::new(Doorbell(0)));
+        assert!(bus.contains(0x1100_0008));
+        bus.write(0x1100_0000, 42, 8).unwrap();
+        assert_eq!(bus.read(0x1100_0004, 4).unwrap(), 42);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut b = MmioBus::new(1);
+            b.add_device(UART_BASE + 8, 0x10, "bad", Box::new(Doorbell(0)));
+        }));
+        assert!(r.is_err(), "overlap with the UART window must panic");
+    }
+}

@@ -28,6 +28,7 @@
 //! oracle). `tests/determinism.rs` and the `xt-check` cluster suite
 //! enforce this; docs/CLUSTER.md derives it.
 
+use crate::bus::{bus_of, bus_of_mut, MmioBus};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
@@ -259,6 +260,24 @@ impl ClusterSim {
         self
     }
 
+    /// Attaches the interrupt platform: every core gets its hart id and
+    /// a private replica of the [`MmioBus`] (CLINT + PLIC + UART) sized
+    /// for the whole cluster. Device *stores* travel the same buffered
+    /// path as memory stores, so an MSIP write on core 0 lands on core
+    /// 1's replica at the next epoch barrier — the IPI latency is the
+    /// (bounded, deterministic) coherence lag. `mtime` advances with
+    /// each core's retired instructions and is resynced to the cluster
+    /// maximum at every barrier (docs/INTERRUPTS.md).
+    pub fn with_interrupts(mut self) -> Self {
+        let n = self.slots.len();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            let emu = s.trace.emulator_mut();
+            emu.cpu.hart_id = i as u64;
+            emu.attach_platform(Box::new(MmioBus::new(n)));
+        }
+        self
+    }
+
     /// Attaches a pipeline tracer to every core; the report then carries
     /// per-core Konata trace text.
     pub fn with_tracers(mut self) -> Self {
@@ -413,6 +432,28 @@ impl ClusterSim {
                 TraceEvent::Barrier => unreachable!("released instruction parked again"),
             }
         }
+        self.sync_mtime();
+    }
+
+    /// Resyncs every bus replica's `mtime` to the cluster maximum. Each
+    /// core ticks its private CLINT replica per retired instruction, so
+    /// between barriers the replicas drift apart by at most one epoch's
+    /// retirement; pinning them to the deterministic maximum here keeps
+    /// timer-interrupt delivery a function of the instruction streams
+    /// alone (not of which replica a compare was armed on).
+    fn sync_mtime(&mut self) {
+        let max = self
+            .slots
+            .iter()
+            .filter_map(|s| bus_of(s.trace.emulator()).map(|b| b.clint.mtime()))
+            .max();
+        if let Some(max) = max {
+            for s in &mut self.slots {
+                if let Some(b) = bus_of_mut(s.trace.emulator_mut()) {
+                    b.clint.set_mtime(max);
+                }
+            }
+        }
     }
 
     /// Replays every replica's recorded [`MemOp`] log into the master in
@@ -457,6 +498,14 @@ impl ClusterSim {
             let own = j == src;
             let emu = self.slots[j].trace.emulator_mut();
             for s in log {
+                // a device store already took effect on the source
+                // core's own bus replica at execute time; re-applying it
+                // here would double the side effect (MSIP toggles,
+                // claim/complete). Other cores' replicas do receive it —
+                // that is the IPI delivery path.
+                if own && emu.mmio_contains(s.pa) {
+                    continue;
+                }
                 // through the emulator, not raw memory: a cross-core
                 // store to a cached code page must invalidate the
                 // receiving core's decoded blocks (docs/FASTPATH.md)

@@ -14,8 +14,13 @@
 //!   serial barrier arbitrates the recorded traffic through the shared
 //!   master [`xt_mem::MemSystem`] in core-index order. Results are
 //!   bit-identical for any `XT_THREADS` value (docs/CLUSTER.md);
+//! * [`MmioBus`] — the synchronous, strongly-ordered device bus
+//!   implementing [`xt_emu::Platform`]: address-window routing to the
+//!   devices below plus denied-access diagnostics (docs/INTERRUPTS.md);
 //! * [`Clint`] and [`Plic`] — functional models of the interrupt
-//!   controllers with their standard register maps;
+//!   controllers with their standard register maps, exposed both as
+//!   direct method APIs and as width-checked MMIO devices;
+//! * [`Uart`] — a TX-only console UART;
 //! * [`SocConfig`] — the Table I configuration space.
 //!
 //! Functional note: each core executes its own program image (the
@@ -26,12 +31,16 @@
 //! configuration space; inter-cluster coherence timing is out of scope
 //! (DESIGN.md).
 
+pub mod bus;
 pub mod clint;
 pub mod cluster;
 pub mod config;
 pub mod plic;
+pub mod uart;
 
+pub use bus::{attach_bus, bus_of, bus_of_mut, DeniedAccess, MmioBus, MmioDevice};
 pub use clint::Clint;
 pub use cluster::{ClusterReport, ClusterSim, EngineStats, DEFAULT_EPOCH_CYCLES};
 pub use config::SocConfig;
 pub use plic::Plic;
+pub use uart::Uart;

@@ -1,6 +1,17 @@
 //! PLIC — the platform-level interrupt controller, with the XT-910's
 //! permission-control extension hook (§II mentions an interrupt
 //! controller extension "to support permission control").
+//!
+//! Besides the method API, the PLIC exposes the standard MMIO register
+//! map (offsets in [`xt_emu::platform::plic_map`], context = hart):
+//! source priorities, read-only pending words, per-context enable
+//! words, thresholds, and the claim/complete register — plus the XT-910
+//! extension's per-context permission words at `0x3000` (1 = granted).
+//! All registers are 32-bit; any other width faults.
+
+use crate::bus::MmioDevice;
+use xt_emu::platform::plic_map;
+use xt_emu::BusFault;
 
 /// The PLIC model: `sources` interrupt lines fanned out to `contexts`
 /// (hart x privilege) targets.
@@ -100,6 +111,199 @@ impl Plic {
         if self.claimed[context] == Some(source) {
             self.claimed[context] = None;
         }
+    }
+
+    /// Number of sources (excluding the reserved source 0).
+    pub fn sources(&self) -> usize {
+        self.priority.len() - 1
+    }
+
+    /// Number of contexts.
+    pub fn contexts(&self) -> usize {
+        self.threshold.len()
+    }
+
+    /// Whether `source` is enabled for `context`.
+    pub fn enabled(&self, context: usize, source: u32) -> bool {
+        self.enables[context][source as usize]
+    }
+
+    /// The priority of `source`.
+    pub fn priority(&self, source: u32) -> u32 {
+        self.priority[source as usize]
+    }
+
+    /// The claim threshold of `context`.
+    pub fn threshold(&self, context: usize) -> u32 {
+        self.threshold[context]
+    }
+
+    /// Whether `source`'s line is raised (gateway pending bit).
+    pub fn is_pending(&self, source: u32) -> bool {
+        self.pending[source as usize]
+    }
+
+    /// Reads a 32-bit word of per-source bits (bit = source id).
+    fn bit_word(bits: &[bool], word: u64) -> u64 {
+        let mut v = 0u64;
+        for b in 0..32 {
+            let s = word as usize * 32 + b;
+            if s < bits.len() && bits[s] {
+                v |= 1 << b;
+            }
+        }
+        v
+    }
+
+    /// Writes a 32-bit word of per-source bits (source 0 stays fixed:
+    /// it is reserved).
+    fn set_bit_word(bits: &mut [bool], word: u64, value: u64) {
+        for b in 0..32 {
+            let s = word as usize * 32 + b;
+            if s >= 1 && s < bits.len() {
+                bits[s] = value & (1 << b) != 0;
+            }
+        }
+    }
+
+    /// MMIO read at `offset` (see [`plic_map`]). The claim register
+    /// read *claims*: it acknowledges and returns the best source.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault`] on a bad width/alignment or unmapped offset.
+    pub fn mmio_read(&mut self, offset: u64, size: usize) -> Result<u64, BusFault> {
+        if size != 4 || !offset.is_multiple_of(4) {
+            return Err(BusFault);
+        }
+        let nwords = self.priority.len().div_ceil(32) as u64;
+        match offset {
+            o if o < plic_map::PENDING_BASE => {
+                let s = (o / 4) as usize;
+                match self.priority.get(s) {
+                    Some(&p) => Ok(p as u64),
+                    None => Err(BusFault),
+                }
+            }
+            o if (plic_map::PENDING_BASE..plic_map::ENABLE_BASE).contains(&o) => {
+                let w = (o - plic_map::PENDING_BASE) / 4;
+                if w >= nwords {
+                    return Err(BusFault);
+                }
+                Ok(Self::bit_word(&self.pending, w))
+            }
+            o if (plic_map::ENABLE_BASE..plic_map::PERMISSION_BASE).contains(&o) => {
+                let ctx = ((o - plic_map::ENABLE_BASE) / plic_map::ENABLE_STRIDE) as usize;
+                let w = (o - plic_map::ENABLE_BASE) % plic_map::ENABLE_STRIDE / 4;
+                match self.enables.get(ctx) {
+                    Some(e) if w < nwords => Ok(Self::bit_word(e, w)),
+                    _ => Err(BusFault),
+                }
+            }
+            o if (plic_map::PERMISSION_BASE..plic_map::PERMISSION_BASE + 0x1000)
+                .contains(&o) =>
+            {
+                let ctx = ((o - plic_map::PERMISSION_BASE) / plic_map::PERMISSION_STRIDE) as usize;
+                let w = (o - plic_map::PERMISSION_BASE) % plic_map::PERMISSION_STRIDE / 4;
+                match self.permission.get(ctx) {
+                    Some(p) if w < nwords => Ok(Self::bit_word(p, w)),
+                    _ => Err(BusFault),
+                }
+            }
+            o if o >= plic_map::CONTEXT_BASE => {
+                let ctx = ((o - plic_map::CONTEXT_BASE) / plic_map::CONTEXT_STRIDE) as usize;
+                if ctx >= self.contexts() {
+                    return Err(BusFault);
+                }
+                match (o - plic_map::CONTEXT_BASE) % plic_map::CONTEXT_STRIDE {
+                    0 => Ok(self.threshold[ctx] as u64),
+                    plic_map::CLAIM_OFFSET => Ok(self.claim(ctx) as u64),
+                    _ => Err(BusFault),
+                }
+            }
+            _ => Err(BusFault),
+        }
+    }
+
+    /// MMIO write at `offset`. Writing the claim register *completes*
+    /// handling of the written source id; pending words are read-only.
+    ///
+    /// # Errors
+    ///
+    /// [`BusFault`] on a bad width/alignment, a read-only register, or
+    /// an unmapped offset.
+    pub fn mmio_write(&mut self, offset: u64, value: u64, size: usize) -> Result<(), BusFault> {
+        if size != 4 || !offset.is_multiple_of(4) {
+            return Err(BusFault);
+        }
+        let nwords = self.priority.len().div_ceil(32) as u64;
+        match offset {
+            o if o < plic_map::PENDING_BASE => {
+                let s = (o / 4) as usize;
+                match self.priority.get_mut(s) {
+                    // source 0 is reserved: accept and ignore
+                    Some(p) => {
+                        if s != 0 {
+                            *p = value as u32;
+                        }
+                        Ok(())
+                    }
+                    None => Err(BusFault),
+                }
+            }
+            o if (plic_map::ENABLE_BASE..plic_map::PERMISSION_BASE).contains(&o) => {
+                let ctx = ((o - plic_map::ENABLE_BASE) / plic_map::ENABLE_STRIDE) as usize;
+                let w = (o - plic_map::ENABLE_BASE) % plic_map::ENABLE_STRIDE / 4;
+                match self.enables.get_mut(ctx) {
+                    Some(e) if w < nwords => {
+                        Self::set_bit_word(e, w, value);
+                        Ok(())
+                    }
+                    _ => Err(BusFault),
+                }
+            }
+            o if (plic_map::PERMISSION_BASE..plic_map::PERMISSION_BASE + 0x1000)
+                .contains(&o) =>
+            {
+                let ctx = ((o - plic_map::PERMISSION_BASE) / plic_map::PERMISSION_STRIDE) as usize;
+                let w = (o - plic_map::PERMISSION_BASE) % plic_map::PERMISSION_STRIDE / 4;
+                match self.permission.get_mut(ctx) {
+                    Some(p) if w < nwords => {
+                        Self::set_bit_word(p, w, value);
+                        Ok(())
+                    }
+                    _ => Err(BusFault),
+                }
+            }
+            o if o >= plic_map::CONTEXT_BASE => {
+                let ctx = ((o - plic_map::CONTEXT_BASE) / plic_map::CONTEXT_STRIDE) as usize;
+                if ctx >= self.contexts() {
+                    return Err(BusFault);
+                }
+                match (o - plic_map::CONTEXT_BASE) % plic_map::CONTEXT_STRIDE {
+                    0 => {
+                        self.threshold[ctx] = value as u32;
+                        Ok(())
+                    }
+                    plic_map::CLAIM_OFFSET => {
+                        self.complete(ctx, value as u32);
+                        Ok(())
+                    }
+                    _ => Err(BusFault),
+                }
+            }
+            _ => Err(BusFault),
+        }
+    }
+}
+
+impl MmioDevice for Plic {
+    fn read(&mut self, offset: u64, size: usize) -> Result<u64, BusFault> {
+        self.mmio_read(offset, size)
+    }
+
+    fn write(&mut self, offset: u64, value: u64, size: usize) -> Result<(), BusFault> {
+        self.mmio_write(offset, value, size)
     }
 }
 

@@ -1,0 +1,83 @@
+//! A minimal TX-only UART (8250-flavored register subset).
+//!
+//! Byte-wide registers at the [`xt_emu::platform::UART_BASE`] window:
+//!
+//! * `0x0` THR (write): transmit a byte — appended to [`Uart::tx`];
+//!   reading returns 0 (the receive FIFO is always empty).
+//! * `0x5` LSR (read): line status — always `0x60` (transmit holding
+//!   register empty + transmitter idle), so guest polling loops
+//!   terminate immediately.
+//!
+//! All accesses must be 1 byte wide; writes to any register but THR and
+//! accesses outside the 8-byte register file fault (and land in the
+//! bus's denied-access diagnostics).
+
+use crate::bus::MmioDevice;
+use xt_emu::BusFault;
+
+/// LSR value: THR empty | transmitter idle.
+const LSR_IDLE: u64 = 0x60;
+
+/// The UART device model.
+#[derive(Clone, Debug, Default)]
+pub struct Uart {
+    /// Every byte the guest transmitted, in order.
+    pub tx: Vec<u8>,
+}
+
+impl Uart {
+    /// Creates an idle UART.
+    pub fn new() -> Self {
+        Uart::default()
+    }
+
+    /// The transmitted bytes as a lossy string (test convenience).
+    pub fn tx_string(&self) -> String {
+        String::from_utf8_lossy(&self.tx).into_owned()
+    }
+}
+
+impl MmioDevice for Uart {
+    fn read(&mut self, offset: u64, size: usize) -> Result<u64, BusFault> {
+        if size != 1 || offset >= 8 {
+            return Err(BusFault);
+        }
+        Ok(match offset {
+            5 => LSR_IDLE,
+            _ => 0,
+        })
+    }
+
+    fn write(&mut self, offset: u64, value: u64, size: usize) -> Result<(), BusFault> {
+        if size != 1 || offset != 0 {
+            return Err(BusFault);
+        }
+        self.tx.push(value as u8);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transmit_and_status() {
+        let mut u = Uart::new();
+        for b in b"hi" {
+            u.write(0, *b as u64, 1).unwrap();
+        }
+        assert_eq!(u.tx_string(), "hi");
+        assert_eq!(u.read(5, 1).unwrap(), LSR_IDLE);
+        assert_eq!(u.read(0, 1).unwrap(), 0, "rx empty");
+    }
+
+    #[test]
+    fn width_and_offset_rules() {
+        let mut u = Uart::new();
+        assert_eq!(u.write(0, 0x41, 4), Err(BusFault), "word-wide THR write");
+        assert_eq!(u.write(5, 1, 1), Err(BusFault), "LSR is read-only");
+        assert_eq!(u.read(8, 1), Err(BusFault), "past the register file");
+        assert!(u.tx.is_empty());
+    }
+}

@@ -18,7 +18,11 @@
 //! * [`ai`] — int16/f16 multiply-accumulate kernels for the vector-MAC
 //!   comparison (§X),
 //! * [`spec_like`] — a large-footprint, L2-miss-heavy macro mix for the
-//!   SPECInt-per-GHz-style system metric.
+//!   SPECInt-per-GHz-style system metric,
+//! * [`sched`] — a supervisor workload: timer-interrupt round-robin
+//!   scheduler on hart 0 plus MSIP IPI receivers on harts 1..n,
+//!   exercising the asynchronous-interrupt path end to end
+//!   (docs/INTERRUPTS.md).
 //!
 //! Every kernel is self-checking: [`Kernel::expected`] holds the value
 //! the guest must produce, and the crate's tests run each kernel through
@@ -31,6 +35,7 @@ pub mod blockchain;
 pub mod coremark;
 pub mod eembc;
 pub mod nbench;
+pub mod sched;
 pub mod spec_like;
 pub mod stream;
 

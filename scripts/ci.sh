@@ -38,13 +38,30 @@ for fp in 0 1; do
         --test smc --test determinism --test golden_trace
 done
 
+echo "== test matrix: interrupt delivery + scheduler smoke =="
+# The asynchronous-interrupt path (docs/INTERRUPTS.md) must deliver at
+# the same retired instruction on every engine: the suite pins the
+# scheduler workload's exit code and retired count, and the cluster
+# identity test compares 1/2/4-core runs across engines. Sweep the
+# full fastpath x thread-count matrix.
+for fp in 0 1; do
+    for threads in 1 4; do
+        echo "-- XT_FASTPATH=$fp XT_THREADS=$threads --"
+        XT_FASTPATH=$fp XT_THREADS=$threads \
+            cargo test -q --offline --test interrupts
+    done
+done
+
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
 echo "== xt-check conformance smoke (fixed suite seed) =="
 # 64 random programs: emulator vs. host oracle conformance plus
-# timing-model invariants; --self-test additionally injects an oracle
-# fault and requires a shrunk, seed-replayable counterexample.
+# timing-model invariants, cluster invariants, the fast-path SMC
+# differential, and the interrupt-delivery differential (random
+# timer-preempted workloads on the real device bus); --self-test
+# additionally injects an oracle fault and requires a shrunk,
+# seed-replayable counterexample.
 cargo run --release --offline -p xt-check -- --cases 64 --self-test
 
 echo "== rustdoc (no-deps, warnings are errors) =="
