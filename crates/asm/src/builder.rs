@@ -825,9 +825,54 @@ impl Asm {
         self.push(Inst::new(op).rd(vd.index()).rs1(vs2.index()).rs2(vs1.index()))
     }
 
+    fn vvx(&mut self, op: Op, vd: Vr, vs2: Vr, rs1: Gpr) -> &mut Self {
+        self.push(Inst::new(op).rd(vd.index()).rs1(vs2.index()).rs2(rs1.index()))
+    }
+
     /// `vadd.vv vd, vs2, vs1`
     pub fn vadd_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
         self.vvv(Op::VaddVV, vd, vs2, vs1)
+    }
+
+    /// `vsub.vv vd, vs2, vs1`
+    pub fn vsub_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VsubVV, vd, vs2, vs1)
+    }
+
+    /// `vand.vv vd, vs2, vs1`
+    pub fn vand_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VandVV, vd, vs2, vs1)
+    }
+
+    /// `vor.vv vd, vs2, vs1`
+    pub fn vor_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VorVV, vd, vs2, vs1)
+    }
+
+    /// `vxor.vv vd, vs2, vs1`
+    pub fn vxor_vv(&mut self, vd: Vr, vs2: Vr, vs1: Vr) -> &mut Self {
+        self.vvv(Op::VxorVV, vd, vs2, vs1)
+    }
+
+    /// `vadd.vx vd, vs2, rs1`
+    pub fn vadd_vx(&mut self, vd: Vr, vs2: Vr, rs1: Gpr) -> &mut Self {
+        self.vvx(Op::VaddVX, vd, vs2, rs1)
+    }
+
+    /// `vmul.vx vd, vs2, rs1`
+    pub fn vmul_vx(&mut self, vd: Vr, vs2: Vr, rs1: Gpr) -> &mut Self {
+        self.vvx(Op::VmulVX, vd, vs2, rs1)
+    }
+
+    /// `vmacc.vx vd, rs1, vs2` — `vd += rs1 * vs2`.
+    pub fn vmacc_vx(&mut self, vd: Vr, rs1: Gpr, vs2: Vr) -> &mut Self {
+        self.push(
+            Inst::new(Op::VmaccVX)
+                .rd(vd.index())
+                .rs1(vs2.index())
+                .rs2(rs1.index())
+                .rs3(vd.index()),
+        )
     }
 
     /// `vmul.vv vd, vs2, vs1`
@@ -870,6 +915,11 @@ impl Asm {
     /// `vmv.x.s rd, vs2` — extract element 0.
     pub fn vmv_x_s(&mut self, rd: Gpr, vs: Vr) -> &mut Self {
         self.push(Inst::new(Op::VmvXS).rd(rd.index()).rs1(vs.index()))
+    }
+
+    /// `vmv.s.x vd, rs1` — write element 0.
+    pub fn vmv_s_x(&mut self, vd: Vr, rs1: Gpr) -> &mut Self {
+        self.push(Inst::new(Op::VmvSX).rd(vd.index()).rs1(rs1.index()))
     }
 
     /// `vfmacc.vv vd, vs1, vs2`

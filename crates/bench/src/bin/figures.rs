@@ -5,9 +5,13 @@
 //!   figures fig17 fig21  # run a subset
 //!
 //! Available ids: table1 table2 fig17 fig18 fig19 fig20 fig21 specint
-//!                vector_mac blockchain asid ablations multicore snoop
+//!                vector_mac vector_grid blockchain asid ablations
+//!                multicore snoop
+//!
+//! (`xt-figures` is the machine-readable companion: it writes the same
+//! Fig. 18–20 series plus the vector ablation grid as gated JSON.)
 
-use xt_bench::{ablations, figures, multicore};
+use xt_bench::{ablations, artifact, figures, multicore};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +43,27 @@ fn main() {
     }
     if want("vector_mac") {
         println!("{}", figures::vector_mac());
+    }
+    if want("vector_grid") {
+        println!("== Vector ablation grid (rv64gc|rv64gcv x base|tuned, XT-910) ==");
+        let grid = artifact::run_grid();
+        for g in &grid {
+            println!(
+                "  {:<12} {:<7}/{:<5}  cycles {:>9}  insts {:>9}  inst-ipc {:>6.3}  elem-ipc {:>6.3}  vec-busy {:>7}",
+                g.kernel,
+                g.isa,
+                g.tuning,
+                g.cycles,
+                g.instructions,
+                g.inst_ipc(),
+                g.elem_ipc(),
+                g.vec_busy
+            );
+        }
+        for (k, r) in artifact::speedups(&grid) {
+            println!("  {k:<12} rv64gcv/tuned vs rv64gc/base: {r:.2}x elements/cycle");
+        }
+        println!();
     }
     if want("blockchain") {
         println!("{}", figures::blockchain_fig());

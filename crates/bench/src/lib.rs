@@ -9,6 +9,7 @@
 //! records both).
 
 pub mod ablations;
+pub mod artifact;
 pub mod figures;
 pub mod multicore;
 pub mod report;

@@ -9,7 +9,11 @@
 //! makespan, and snoop-conservation laws ([`cluster`]); and random
 //! workloads preempted by a re-arming CLINT timer must retire
 //! identically with the decoded-block engine on and off
-//! ([`interrupts`]). Failures shrink through the `xt-harness` engine
+//! ([`interrupts`]); and random vector kernels must produce identical
+//! results across the `rv64gc|rv64gcv × base|tuned` compile grid, both
+//! execution engines, and the OoO timing model, whose six-bucket
+//! top-down decomposition (including the vector bucket) must conserve
+//! ([`vector`]). Failures shrink through the `xt-harness` engine
 //! and carry a replay artifact: the failing seed, the disassembled
 //! program, and a per-stage timing summary.
 //!
@@ -26,6 +30,7 @@ pub mod interrupts;
 pub mod invariants;
 pub mod oracle;
 pub mod progen;
+pub mod vector;
 
 use oracle::Fault;
 use progen::{ProgSpec, NREGS, NSLOTS, REG_MAP};

@@ -19,6 +19,7 @@ use xt_check::fastpath::{check_fastpath, FastGen};
 use xt_check::interrupts::{check_interrupts, IrqGen};
 use xt_check::oracle::Fault;
 use xt_check::progen::ProgGen;
+use xt_check::vector::{check_vector, VecGen};
 use xt_check::{check_program, SUITE_SEED};
 use xt_harness::prop::{check_with, Config};
 
@@ -177,6 +178,36 @@ fn main() -> ExitCode {
             "xt-check: OK — {} timer-preempted programs, fast and slow \
              engines retire identical streams",
             irq_checked.get()
+        ),
+        Err(payload) => {
+            eprintln!("{}", panic_text(&payload));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Vector differential: random kernels through the full compile
+    // grid (scalar vs. auto-vectorized, base vs. tuned), both execution
+    // engines, and the OoO model's vector top-down invariants.
+    let vec_cases = (cases / 2).max(8);
+    let vec_cfg = Config::seeded_cases(seed ^ 0x7EC7_0B10, vec_cases);
+    println!(
+        "xt-check: {} vector kernels, seed {:#x}",
+        vec_cfg.cases, vec_cfg.seed
+    );
+    let vec_checked = std::cell::Cell::new(0u32);
+    let vec_result = catch_unwind(AssertUnwindSafe(|| {
+        check_with(&vec_cfg, "xt_check_vector", &VecGen, |spec| {
+            if let Err(e) = check_vector(spec) {
+                panic!("{e}");
+            }
+            vec_checked.set(vec_checked.get() + 1);
+        });
+    }));
+    match vec_result {
+        Ok(()) => println!(
+            "xt-check: OK — {} vector kernels, scalar/vector/fast/slow/OoO \
+             agree and vector top-down conserves",
+            vec_checked.get()
         ),
         Err(payload) => {
             eprintln!("{}", panic_text(&payload));

@@ -1,12 +1,15 @@
 //! Lowering the IR to `xt-asm`, with or without the XT-910 custom
 //! extensions.
 
-use crate::ir::{BinOp, Cond, DataDef, FuncBuilder, IrInst, MemWidth, Rval, Term, VReg};
+use crate::ir::{
+    BinOp, Cond, DataDef, FuncBuilder, IrInst, MemWidth, Rval, Term, VReg, VecLoopDesc, VecStmt,
+};
 use crate::regalloc::{allocate, Allocation, Loc, SCRATCH};
 use crate::CompileOpts;
 use std::collections::HashMap;
 use xt_asm::{Asm, AsmError, Label, Program};
-use xt_isa::reg::Gpr;
+use xt_isa::reg::{Gpr, Vr};
+use xt_isa::vector::Sew;
 
 /// Compilation failure.
 #[derive(Debug)]
@@ -366,8 +369,127 @@ impl Ctx<'_> {
                 }
                 self.finish(sp, d);
             }
+            IrInst::VecLoop(d) => self.lower_vec_loop(d),
         }
     }
+
+    /// Emits the asm-local RVV strip-mine loop for one [`VecLoopDesc`]:
+    ///
+    /// ```text
+    ///   (reduction only) vsetvli VLMAX; vmv.v.i v4, 0
+    /// top:
+    ///   vsetvli t, remaining, e<SEW>, m<LMUL>   # t = chunk length
+    ///   <stmts over v-slots>                    # vle/vse/vadd/vmacc...
+    ///   bump each pointer by t * elem_bytes
+    ///   remaining -= t; bnez remaining, top
+    ///   (reduction only) vmv.s.x v1, acc; vredsum.vs v1, v4, v1;
+    ///                    vmv.x.s acc, v1
+    /// ```
+    ///
+    /// `vsetvli` clamps the chunk to `min(remaining, VLMAX)`, so the
+    /// tail needs no separate loop. All loop state (pointers, count,
+    /// accumulator) lives in allocated GPRs — [`compile`] falls back to
+    /// scalar code when any of them would spill.
+    fn lower_vec_loop(&mut self, d: &VecLoopDesc) {
+        let sew = match d.width {
+            MemWidth::B1 => Sew::E8,
+            MemWidth::B2 => Sew::E16,
+            MemWidth::B4 => Sew::E32,
+            MemWidth::B8 => Sew::E64,
+        };
+        let lmul = d.lmul.max(1);
+        let slot = |k: u8| Vr::new(8 + k * lmul);
+        let vacc = Vr::new(4); // accumulator group v4..v4+lmul-1
+        let vred = Vr::new(1); // reduction seed/result scalar element
+        let vl = Self::g(SCRATCH[0]);
+        let tmp = Self::g(SCRATCH[1]);
+        // loop state never spills (compile() guarantees it)
+        let rem = self.src(d.remaining, 2);
+        let ptrs: Vec<Gpr> = d.ptrs.iter().map(|p| self.src(*p, 2)).collect();
+        if d.acc.is_some() {
+            // zero the whole accumulator group once, at vl = VLMAX
+            self.asm.li(vl, 1 << 16);
+            self.asm.vsetvli(vl, vl, sew, lmul);
+            self.asm.vmv_v_i(vacc, 0);
+        }
+        let top = self.asm.new_label();
+        self.asm.bind(top).expect("fresh label");
+        self.asm.vsetvli(vl, rem, sew, lmul);
+        for s in &d.stmts {
+            match s {
+                VecStmt::Load { dst, ptr } => {
+                    self.asm.vle(slot(*dst), ptrs[*ptr]);
+                }
+                VecStmt::Store { src, ptr } => {
+                    self.asm.vse(slot(*src), ptrs[*ptr]);
+                }
+                VecStmt::BinVV { op, dst, a, b } => {
+                    let (vd, va, vb) = (slot(*dst), slot(*a), slot(*b));
+                    match op {
+                        BinOp::Add => self.asm.vadd_vv(vd, va, vb),
+                        BinOp::Sub => self.asm.vsub_vv(vd, va, vb),
+                        BinOp::Mul => self.asm.vmul_vv(vd, va, vb),
+                        BinOp::And => self.asm.vand_vv(vd, va, vb),
+                        BinOp::Or => self.asm.vor_vv(vd, va, vb),
+                        BinOp::Xor => self.asm.vxor_vv(vd, va, vb),
+                        _ => unreachable!("vectorizer admits elementwise ops only"),
+                    };
+                }
+                VecStmt::BinVX { op, dst, a, s } => {
+                    let rs = self.src_rv(*s, 1);
+                    let (vd, va) = (slot(*dst), slot(*a));
+                    match op {
+                        BinOp::Add => self.asm.vadd_vx(vd, va, rs),
+                        BinOp::Mul => self.asm.vmul_vx(vd, va, rs),
+                        _ => unreachable!("vectorizer admits Add/Mul scalar forms only"),
+                    };
+                }
+                VecStmt::MacVV { a, b } => {
+                    self.asm.vmacc_vv(vacc, slot(*a), slot(*b));
+                }
+                VecStmt::AccVV { a } => {
+                    self.asm.vadd_vv(vacc, vacc, slot(*a));
+                }
+            }
+        }
+        // advance pointers by vl elements, consume the count
+        if d.width.shift() > 0 {
+            self.asm.slli(tmp, vl, d.width.shift() as i64);
+        } else {
+            self.asm.mv(tmp, vl);
+        }
+        for p in &ptrs {
+            self.asm.add(*p, *p, tmp);
+        }
+        self.asm.sub(rem, rem, vl);
+        self.asm.bnez(rem, top);
+        if let Some(acc) = d.acc {
+            let ar = self.src(acc, 2);
+            self.asm.li(tmp, 1 << 16);
+            self.asm.vsetvli(tmp, tmp, sew, lmul);
+            self.asm.vmv_s_x(vred, ar);
+            self.asm.vredsum_vs(vred, vacc, vred);
+            self.asm.vmv_x_s(ar, vred);
+        }
+    }
+}
+
+/// Whether any [`IrInst::VecLoop`] operand (pointer, count,
+/// accumulator, scalar) landed on the stack — the strip-mine loop
+/// updates them in place, so a spill forces the scalar fallback.
+fn vec_state_spilled(f: &FuncBuilder, alloc: &Allocation) -> bool {
+    let spilled = |v: &VReg| matches!(alloc.map.get(v), Some(Loc::Stack(_)));
+    f.blocks.iter().flat_map(|b| &b.insts).any(|inst| {
+        let IrInst::VecLoop(d) = inst else {
+            return false;
+        };
+        d.ptrs.iter().any(&spilled)
+            || spilled(&d.remaining)
+            || d.acc.as_ref().is_some_and(&spilled)
+            || d.stmts.iter().any(|s| {
+                matches!(s, VecStmt::BinVX { s: Rval::Reg(v), .. } if spilled(v))
+            })
+    })
 }
 
 /// Compiles `f` under `opts`.
@@ -376,12 +498,26 @@ impl Ctx<'_> {
 ///
 /// See [`CompileError`].
 pub fn compile(f: &FuncBuilder, opts: &CompileOpts) -> Result<Program, CompileError> {
+    compile_inner(f, opts, opts.vector)
+}
+
+fn compile_inner(
+    src: &FuncBuilder,
+    opts: &CompileOpts,
+    try_vector: bool,
+) -> Result<Program, CompileError> {
+    let mut fx = src.clone();
+    let vectorized = try_vector && crate::passes::vectorize(&mut fx, opts.vector_lmul);
     let f = if opts.optimize {
-        crate::passes::optimize(f)
+        crate::passes::optimize(&fx)
     } else {
-        f.clone()
+        fx
     };
     let alloc = allocate(&f);
+    if vectorized && vec_state_spilled(&f, &alloc) {
+        // spill fallback: the vector loop state must live in registers
+        return compile_inner(src, opts, false);
+    }
     let mut asm = Asm::new();
 
     // data section (definition order; layout mirrored by symbol_offsets)
@@ -495,10 +631,7 @@ mod tests {
         assert_eq!(run(&f.compile(&CompileOpts::native()).unwrap()), expect);
         assert_eq!(run(&f.compile(&CompileOpts::optimized()).unwrap()), expect);
         // extensions only (no passes)
-        let ext_only = CompileOpts {
-            custom_ext: true,
-            optimize: false,
-        };
+        let ext_only = CompileOpts { custom_ext: true, ..CompileOpts::native() };
         assert_eq!(run(&f.compile(&ext_only).unwrap()), expect);
     }
 
@@ -563,10 +696,7 @@ mod tests {
         f.li(i, 2);
         let v = f.load_indexed_u64(base, i);
         f.halt(Rval::Reg(v));
-        let ext_only = CompileOpts {
-            custom_ext: true,
-            optimize: false,
-        };
+        let ext_only = CompileOpts { custom_ext: true, ..CompileOpts::native() };
         let p = f.compile(&ext_only).unwrap();
         assert_eq!(run(&p), 9);
         assert!(

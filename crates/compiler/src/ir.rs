@@ -190,6 +190,86 @@ pub enum IrInst {
         /// Source.
         a: VReg,
     },
+    /// A whole vectorized loop, produced by [`crate::passes::vectorize`]
+    /// and lowered by codegen into an asm-local RVV strip-mine loop
+    /// (`vsetvli`-driven, tail handled by `vl`; see `docs/VECTOR.md`).
+    VecLoop(Box<VecLoopDesc>),
+}
+
+/// One straight-line statement of a vectorized loop body. Vector
+/// operands are *slot* numbers: slot `k` lowers to the architectural
+/// group starting at `v(8 + k*LMUL)`; the reduction accumulator group
+/// starts at `v4` and `v1` is the reduction scratch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum VecStmt {
+    /// `slot[dst] = unit-stride load from ptrs[ptr]` (`vle.v`).
+    Load {
+        /// Destination slot.
+        dst: u8,
+        /// Index into [`VecLoopDesc::ptrs`].
+        ptr: usize,
+    },
+    /// `unit-stride store of slot[src] to ptrs[ptr]` (`vse.v`).
+    Store {
+        /// Source slot.
+        src: u8,
+        /// Index into [`VecLoopDesc::ptrs`].
+        ptr: usize,
+    },
+    /// `slot[dst] = slot[a] <op> slot[b]` (vector-vector form).
+    BinVV {
+        /// Operation (Add/Sub/Mul/And/Or/Xor).
+        op: BinOp,
+        /// Destination slot.
+        dst: u8,
+        /// Left slot.
+        a: u8,
+        /// Right slot.
+        b: u8,
+    },
+    /// `slot[dst] = slot[a] <op> scalar` (vector-scalar form; Add/Mul).
+    BinVX {
+        /// Operation (Add/Mul).
+        op: BinOp,
+        /// Destination slot.
+        dst: u8,
+        /// Vector slot.
+        a: u8,
+        /// Loop-invariant scalar operand.
+        s: Rval,
+    },
+    /// `accumulator += slot[a] * slot[b]` (`vmacc.vv` into the group).
+    MacVV {
+        /// Left slot.
+        a: u8,
+        /// Right slot.
+        b: u8,
+    },
+    /// `accumulator += slot[a]` (`vadd.vv` into the group).
+    AccVV {
+        /// Source slot.
+        a: u8,
+    },
+}
+
+/// Description of one vectorized loop: the strip-mine state registers
+/// plus the straight-line vector body. Codegen reads the pointers and
+/// `remaining` from their allocated GPRs, advances them in place, and
+/// (for reductions) folds the lane sums into `acc`'s GPR afterwards.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VecLoopDesc {
+    /// Element width (selects SEW).
+    pub width: MemWidth,
+    /// Register-group multiplier (1, 2 or 4).
+    pub lmul: u8,
+    /// Element count left to process (consumed by the loop).
+    pub remaining: VReg,
+    /// Pointer registers, one per distinct base (advanced in place).
+    pub ptrs: Vec<VReg>,
+    /// The vector statements, in order.
+    pub stmts: Vec<VecStmt>,
+    /// Scalar reduction accumulator (seed in, final sum out).
+    pub acc: Option<VReg>,
 }
 
 /// Block terminator.
@@ -250,6 +330,11 @@ pub struct FuncBuilder {
     next_vreg: u32,
     pub(crate) data: Vec<(String, DataDef)>,
     pub(crate) data_index: HashMap<String, usize>,
+    /// `#pragma ivdep`-style promise: counted loops carry no
+    /// cross-iteration memory dependences, so the vectorizer may admit
+    /// loops whose store bases are computed pointers it cannot prove
+    /// disjoint. Set via [`Self::assume_noalias`].
+    pub ivdep: bool,
 }
 
 impl FuncBuilder {
@@ -266,7 +351,15 @@ impl FuncBuilder {
             next_vreg: 0,
             data: Vec::new(),
             data_index: HashMap::new(),
+            ivdep: false,
         }
+    }
+
+    /// Declares that no counted loop in this function has a
+    /// cross-iteration memory dependence (the `ivdep` promise); see
+    /// [`Self::ivdep`].
+    pub fn assume_noalias(&mut self) {
+        self.ivdep = true;
     }
 
     /// Allocates a fresh virtual register.

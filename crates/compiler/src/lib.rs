@@ -21,6 +21,13 @@
 //!      arithmetic (`x.adduw`/`x.zextw`), multiply-accumulate (`x.mula*`),
 //!      and conditional moves (`x.mveqz/x.mvnez`).
 //!
+//! A third, orthogonal axis targets the vector extension: with
+//! [`CompileOpts::vector`] set, canonical counted loops are
+//! auto-vectorized into RVV 0.7.1 strip-mine loops
+//! ([`passes::vectorize`], `docs/VECTOR.md`), giving the
+//! `rv64gc|rv64gcv × base|tuned` 2×2 grid the `xt-figures` artifact
+//! sweeps.
+//!
 //! # Example
 //!
 //! ```
@@ -51,37 +58,89 @@
 //! assert_eq!(emu.run(100_000).unwrap(), 10);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codegen;
 pub mod ir;
 pub mod passes;
 pub mod regalloc;
 
 pub use codegen::CompileError;
-pub use ir::{BlockId, Cond, FuncBuilder, IrInst, MemWidth, Rval, VReg};
+pub use ir::{BlockId, Cond, FuncBuilder, IrInst, MemWidth, Rval, VReg, VecLoopDesc, VecStmt};
 
 /// Compilation mode switches.
+///
+/// The four named constructors span the 2×2 ablation grid the figure
+/// artifact sweeps (`xt-figures`): ISA target (`rv64gc` vs `rv64gcv`,
+/// the [`Self::vector`] axis) × compiler tuning (`base` vs `tuned`,
+/// the passes + custom-extension axis). [`Self::ablation`] maps a grid
+/// cell to its options.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CompileOpts {
     /// Allow XT-910 custom instructions (§VIII).
     pub custom_ext: bool,
     /// Run the co-optimization passes (§IX).
     pub optimize: bool,
+    /// Auto-vectorize canonical loops to the RVV 0.7.1 subset (§VII).
+    /// When a vectorized loop's operands spill, codegen transparently
+    /// falls back to scalar code (see `docs/VECTOR.md`).
+    pub vector: bool,
+    /// Register-group multiplier (LMUL) for vectorized loops: 1, 2 or 4.
+    pub vector_lmul: u8,
 }
 
 impl CompileOpts {
-    /// Stock RV64GC output — the Fig. 20 baseline.
+    /// Stock RV64GC output — the Fig. 20 baseline (`rv64gc/base`).
     pub fn native() -> Self {
         CompileOpts {
             custom_ext: false,
             optimize: false,
+            vector: false,
+            vector_lmul: 1,
         }
     }
 
-    /// Extensions + optimized compiler — the Fig. 20 treatment.
+    /// Extensions + optimized compiler — the Fig. 20 treatment
+    /// (`rv64gc/tuned`).
     pub fn optimized() -> Self {
         CompileOpts {
             custom_ext: true,
             optimize: true,
+            vector: false,
+            vector_lmul: 1,
+        }
+    }
+
+    /// Vector ISA, untuned compiler (`rv64gcv/base`): LMUL=1 strip-mine
+    /// loops, no scalar co-optimization, no custom extensions.
+    pub fn vector_base() -> Self {
+        CompileOpts {
+            custom_ext: false,
+            optimize: false,
+            vector: true,
+            vector_lmul: 1,
+        }
+    }
+
+    /// Vector ISA with the full toolchain (`rv64gcv/tuned`): LMUL=4
+    /// register groups plus the scalar passes and custom extensions.
+    pub fn vector_tuned() -> Self {
+        CompileOpts {
+            custom_ext: true,
+            optimize: true,
+            vector: true,
+            vector_lmul: 4,
+        }
+    }
+
+    /// Maps a cell of the 2×2 figure grid (`rv64gcv?` × `tuned?`) to
+    /// its compile options.
+    pub fn ablation(vector: bool, tuned: bool) -> Self {
+        match (vector, tuned) {
+            (false, false) => Self::native(),
+            (false, true) => Self::optimized(),
+            (true, false) => Self::vector_base(),
+            (true, true) => Self::vector_tuned(),
         }
     }
 }

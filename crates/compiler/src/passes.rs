@@ -1,6 +1,10 @@
-//! The co-optimization passes of §IX.
+//! The co-optimization passes of §IX, plus the RVV auto-vectorizer
+//! ([`vectorize`]) that feeds the `rv64gcv` cells of the figure grid.
 
-use crate::ir::{BinOp, BlockId, DataDef, FuncBuilder, IrInst, Rval, Term, VReg};
+use crate::ir::{
+    BinOp, BlockId, Cond, DataDef, FuncBuilder, IrInst, MemWidth, Rval, Term, VReg, VecLoopDesc,
+    VecStmt,
+};
 use std::collections::HashMap;
 
 /// Runs all three passes in order; returns the transformed function.
@@ -61,6 +65,7 @@ pub fn dead_store_elimination(f: &mut FuncBuilder) {
                     // any read, aliasing store or base redefinition stops
                     IrInst::Load { .. } | IrInst::LoadIdx { .. } | IrInst::StoreIdx { .. } => break,
                     IrInst::Store { .. } => break, // unknown alias
+                    IrInst::VecLoop(_) => break,   // touches memory: barrier
                     other => {
                         if defines(other) == Some(base) {
                             break;
@@ -87,7 +92,7 @@ fn defines(i: &IrInst) -> Option<VReg> {
         | IrInst::SelectEqz { dst, .. }
         | IrInst::MulAcc { dst, .. }
         | IrInst::ZextW { dst, .. } => Some(*dst),
-        IrInst::Store { .. } | IrInst::StoreIdx { .. } => None,
+        IrInst::Store { .. } | IrInst::StoreIdx { .. } | IrInst::VecLoop(_) => None,
     }
 }
 
@@ -316,6 +321,349 @@ fn reduce_loop(f: &mut FuncBuilder, pre: BlockId, body: BlockId) {
     pre_blk.insts.extend(pre_inserts);
 }
 
+/// Auto-vectorizes canonical counted loops into RVV strip-mine loops.
+///
+/// A loop qualifies when it has the canonical
+/// `head(br i < n) -> body(latch: i += 1) -> head` shape with an empty
+/// head, and the body consists solely of same-width accesses indexed by
+/// `i` plus elementwise `Add/Sub/Mul/And/Or/Xor` (which commute with
+/// per-lane truncation, so any SEW is exact) and at most one reduction
+/// (`acc += v` or `acc += a*b`, admitted only at 64-bit elements where
+/// lane-wise wrap-around arithmetic matches the scalar loop exactly).
+/// Stores are admitted when every base is a distinct data-symbol
+/// address, or under the function's [`FuncBuilder::ivdep`] promise.
+/// The body is replaced by pointer/count setup plus one
+/// [`IrInst::VecLoop`]; the head's re-check then exits the loop.
+/// Returns whether any loop was vectorized. Runs **before** the scalar
+/// passes (it needs the `LoadIdx`/`StoreIdx` form that
+/// [`induction_variables`] strength-reduces away).
+pub fn vectorize(f: &mut FuncBuilder, lmul: u8) -> bool {
+    let lmul = match lmul {
+        0 | 1 => 1,
+        2 | 3 => 2,
+        _ => 4,
+    };
+    let mut any = false;
+    for body_id in 0..f.blocks.len() {
+        any |= try_vectorize_loop(f, body_id, lmul);
+    }
+    any
+}
+
+/// Checks the canonical loop shape around `body_id`; returns the loop
+/// counter and its (loop-invariant) bound.
+fn loop_shape(f: &FuncBuilder, body_id: usize) -> Option<(VReg, Rval)> {
+    let Some(Term::Jmp(head)) = f.blocks[body_id].term.clone() else {
+        return None;
+    };
+    if head.0 as usize >= body_id {
+        return None; // not a back edge
+    }
+    let head_blk = &f.blocks[head.0 as usize];
+    if !head_blk.insts.is_empty() {
+        return None; // head re-executes once per chunk: must be empty
+    }
+    let Some(Term::Br {
+        cond: Cond::Lt,
+        a: Rval::Reg(i),
+        b,
+        then_to,
+        else_to,
+    }) = head_blk.term.clone()
+    else {
+        return None;
+    };
+    if then_to.0 as usize != body_id || else_to.0 as usize == body_id {
+        return None;
+    }
+    // the body must be entered only through the head
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        if bi == head.0 as usize {
+            continue;
+        }
+        let enters = match &blk.term {
+            Some(Term::Jmp(t)) => t.0 as usize == body_id,
+            Some(Term::Br {
+                then_to, else_to, ..
+            }) => then_to.0 as usize == body_id || else_to.0 as usize == body_id,
+            _ => false,
+        };
+        if enters {
+            return None;
+        }
+    }
+    Some((i, b))
+}
+
+/// One classified operand of an elementwise op.
+enum Opnd {
+    Slot(u8),
+    Scalar(Rval),
+}
+
+fn try_vectorize_loop(f: &mut FuncBuilder, body_id: usize, lmul: u8) -> bool {
+    let Some((i, n)) = loop_shape(f, body_id) else {
+        return false;
+    };
+    let insts = f.blocks[body_id].insts.clone();
+    let Some(last) = insts.last() else {
+        return false;
+    };
+    // the counter update must be the final instruction: i = i + 1
+    match last {
+        IrInst::Bin {
+            op: BinOp::Add,
+            dst,
+            a: Rval::Reg(a),
+            b: Rval::Imm(1),
+        } if *dst == i && *a == i => {}
+        _ => return false,
+    }
+    let defined: Vec<VReg> = insts.iter().filter_map(defines).collect();
+    let invariant = |r: VReg| !defined.contains(&r);
+    if let Rval::Reg(nr) = n {
+        if !invariant(nr) {
+            return false;
+        }
+    }
+
+    let mut width: Option<MemWidth> = None;
+    let mut slots: HashMap<VReg, u8> = HashMap::new();
+    let mut bases: Vec<VReg> = Vec::new();
+    let mut stmts: Vec<VecStmt> = Vec::new();
+    let mut acc: Option<VReg> = None;
+    let mut has_store = false;
+    fn ptr_of(bases: &mut Vec<VReg>, b: VReg) -> usize {
+        if let Some(k) = bases.iter().position(|x| *x == b) {
+            k
+        } else {
+            bases.push(b);
+            bases.len() - 1
+        }
+    }
+
+    for inst in &insts[..insts.len() - 1] {
+        match inst {
+            IrInst::LoadIdx {
+                dst,
+                base,
+                index,
+                width: w,
+                ..
+            } => {
+                if *index != i || !invariant(*base) || *width.get_or_insert(*w) != *w {
+                    return false;
+                }
+                if slots.contains_key(dst) || *dst == i || slots.len() >= 6 {
+                    return false;
+                }
+                let p = ptr_of(&mut bases, *base);
+                let s = slots.len() as u8;
+                slots.insert(*dst, s);
+                stmts.push(VecStmt::Load { dst: s, ptr: p });
+            }
+            IrInst::StoreIdx {
+                src,
+                base,
+                index,
+                width: w,
+            } => {
+                let Rval::Reg(v) = src else { return false };
+                let Some(&s) = slots.get(v) else { return false };
+                if *index != i || !invariant(*base) || *width.get_or_insert(*w) != *w {
+                    return false;
+                }
+                has_store = true;
+                let p = ptr_of(&mut bases, *base);
+                stmts.push(VecStmt::Store { src: s, ptr: p });
+            }
+            IrInst::Bin { op, dst, a, b } => {
+                // sum reduction: acc = acc + temp (exact only at SEW=64)
+                if *op == BinOp::Add {
+                    if let (Rval::Reg(ar), Rval::Reg(br)) = (a, b) {
+                        if *dst == *ar && !slots.contains_key(dst) && *dst != i {
+                            let Some(&s) = slots.get(br) else { return false };
+                            if acc.is_some() || width != Some(MemWidth::B8) {
+                                return false;
+                            }
+                            acc = Some(*dst);
+                            stmts.push(VecStmt::AccVV { a: s });
+                            continue;
+                        }
+                    }
+                }
+                if !matches!(
+                    op,
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+                ) {
+                    return false;
+                }
+                if slots.contains_key(dst) || *dst == i || slots.len() >= 6 {
+                    return false;
+                }
+                let classify = |r: &Rval| -> Option<Opnd> {
+                    match r {
+                        Rval::Reg(v) => {
+                            if let Some(&s) = slots.get(v) {
+                                Some(Opnd::Slot(s))
+                            } else if invariant(*v) {
+                                Some(Opnd::Scalar(*r))
+                            } else {
+                                None // the counter or accumulator: reject
+                            }
+                        }
+                        Rval::Imm(_) => Some(Opnd::Scalar(*r)),
+                    }
+                };
+                let (Some(ca), Some(cb)) = (classify(a), classify(b)) else {
+                    return false;
+                };
+                let s_new = slots.len() as u8;
+                let commutative = matches!(op, BinOp::Add | BinOp::Mul);
+                match (ca, cb) {
+                    (Opnd::Slot(x), Opnd::Slot(y)) => stmts.push(VecStmt::BinVV {
+                        op: *op,
+                        dst: s_new,
+                        a: x,
+                        b: y,
+                    }),
+                    (Opnd::Slot(x), Opnd::Scalar(sv)) if commutative => {
+                        stmts.push(VecStmt::BinVX {
+                            op: *op,
+                            dst: s_new,
+                            a: x,
+                            s: sv,
+                        })
+                    }
+                    (Opnd::Scalar(sv), Opnd::Slot(y)) if commutative => {
+                        stmts.push(VecStmt::BinVX {
+                            op: *op,
+                            dst: s_new,
+                            a: y,
+                            s: sv,
+                        })
+                    }
+                    _ => return false,
+                }
+                slots.insert(*dst, s_new);
+            }
+            IrInst::MulAcc { dst, a, b } => {
+                let (Some(&sa), Some(&sb)) = (slots.get(a), slots.get(b)) else {
+                    return false;
+                };
+                if slots.contains_key(dst)
+                    || *dst == i
+                    || acc.is_some()
+                    || width != Some(MemWidth::B8)
+                {
+                    return false;
+                }
+                acc = Some(*dst);
+                stmts.push(VecStmt::MacVV { a: sa, b: sb });
+            }
+            _ => return false,
+        }
+    }
+    if width.is_none() || !stmts.iter().any(|s| matches!(s, VecStmt::Load { .. })) {
+        return false;
+    }
+    // the accumulator must be updated exactly once and must not be the bound
+    if let Some(a) = acc {
+        if defined.iter().filter(|d| **d == a).count() != 1 || Rval::Reg(a) == n {
+            return false;
+        }
+    }
+    // vector temps must be dead outside the body
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        if bi == body_id {
+            continue;
+        }
+        for inst in &blk.insts {
+            if crate::regalloc::uses_of(inst)
+                .iter()
+                .chain(defines(inst).iter())
+                .any(|v| slots.contains_key(v))
+            {
+                return false;
+            }
+        }
+        if let Some(t) = &blk.term {
+            if crate::regalloc::term_uses(t)
+                .iter()
+                .any(|v| slots.contains_key(v))
+            {
+                return false;
+            }
+        }
+    }
+    // aliasing: stores need provably disjoint bases (distinct data
+    // symbols) or the ivdep promise
+    if has_store && !f.ivdep {
+        for b in &bases {
+            let mut la_defs = 0usize;
+            let mut other_defs = 0usize;
+            for blk in &f.blocks {
+                for inst in &blk.insts {
+                    if defines(inst) == Some(*b) {
+                        match inst {
+                            IrInst::La { .. } => la_defs += 1,
+                            _ => other_defs += 1,
+                        }
+                    }
+                }
+            }
+            if la_defs != 1 || other_defs != 0 {
+                return false;
+            }
+        }
+    }
+
+    // rewrite the body: pointer/count setup, the vector loop, `i = n`
+    let shift = width.unwrap().shift() as i64;
+    let mut nb: Vec<IrInst> = Vec::new();
+    let mut ptr_regs = Vec::new();
+    for b in &bases {
+        let t = f.vreg();
+        let p = f.vreg();
+        nb.push(IrInst::Bin {
+            op: BinOp::Shl,
+            dst: t,
+            a: Rval::Reg(i),
+            b: Rval::Imm(shift),
+        });
+        nb.push(IrInst::Bin {
+            op: BinOp::Add,
+            dst: p,
+            a: Rval::Reg(*b),
+            b: Rval::Reg(t),
+        });
+        ptr_regs.push(p);
+    }
+    let remaining = f.vreg();
+    nb.push(IrInst::Bin {
+        op: BinOp::Sub,
+        dst: remaining,
+        a: n,
+        b: Rval::Reg(i),
+    });
+    nb.push(IrInst::VecLoop(Box::new(VecLoopDesc {
+        width: width.unwrap(),
+        lmul,
+        remaining,
+        ptrs: ptr_regs,
+        stmts,
+        acc,
+    })));
+    nb.push(IrInst::Bin {
+        op: BinOp::Add,
+        dst: i,
+        a: n,
+        b: Rval::Imm(0),
+    });
+    f.blocks[body_id].insts = nb;
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -442,6 +790,184 @@ mod tests {
         let mut e = xt_emu::Emulator::new();
         e.load(&p);
         assert_eq!(e.run(100_000).unwrap(), 3);
+    }
+
+    fn run(p: &xt_asm::Program) -> u64 {
+        let mut e = xt_emu::Emulator::new();
+        e.load(p);
+        e.run(1_000_000).unwrap()
+    }
+
+    /// dst[i] = src[i] + 3 for i in 0..16, returns dst[0] + dst[15].
+    fn copy_loop() -> FuncBuilder {
+        let mut f = FuncBuilder::new("vcopy");
+        let src: Vec<u64> = (0..16u64).map(|k| k * 11).collect();
+        let s = f.symbol_u64("src", &src);
+        let d = f.symbol_zeros("dst", 16 * 8);
+        let bs = f.addr_of(&s);
+        let bd = f.addr_of(&d);
+        let i = f.vreg();
+        f.li(i, 0);
+        let (head, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+        f.jmp(head);
+        f.switch_to(head);
+        f.br_lt(Rval::Reg(i), Rval::Imm(16), body, exit);
+        f.switch_to(body);
+        let v = f.load_indexed_u64(bs, i);
+        let w = f.vreg();
+        f.add(w, Rval::Reg(v), Rval::Imm(3));
+        f.store_indexed(Rval::Reg(w), bd, i, crate::ir::MemWidth::B8);
+        f.add(i, Rval::Reg(i), Rval::Imm(1));
+        f.jmp(head);
+        f.switch_to(exit);
+        let lo = f.load_u64(bd, 0);
+        let hi = f.load_u64(bd, 15 * 8);
+        let out = f.vreg();
+        f.add(out, Rval::Reg(lo), Rval::Reg(hi));
+        f.halt(Rval::Reg(out));
+        f
+    }
+
+    /// acc += x[i] * y[i] over 13 elements (odd length: exercises the
+    /// vl-driven tail).
+    fn dot_loop() -> FuncBuilder {
+        let mut f = FuncBuilder::new("vdot");
+        let xv: Vec<u64> = (0..13u64).map(|k| k + 1).collect();
+        let yv: Vec<u64> = (0..13u64).map(|k| 2 * k + 1).collect();
+        let x = f.symbol_u64("x", &xv);
+        let y = f.symbol_u64("y", &yv);
+        let bx = f.addr_of(&x);
+        let by = f.addr_of(&y);
+        let (i, acc) = (f.vreg(), f.vreg());
+        f.li(i, 0);
+        f.li(acc, 7); // nonzero seed: the reduction must fold it in
+        let (head, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+        f.jmp(head);
+        f.switch_to(head);
+        f.br_lt(Rval::Reg(i), Rval::Imm(13), body, exit);
+        f.switch_to(body);
+        let a = f.load_indexed_u64(bx, i);
+        let b = f.load_indexed_u64(by, i);
+        f.mul_acc(acc, a, b);
+        f.add(i, Rval::Reg(i), Rval::Imm(1));
+        f.jmp(head);
+        f.switch_to(exit);
+        f.halt(Rval::Reg(acc));
+        f
+    }
+
+    #[test]
+    fn vectorize_rewrites_canonical_loops() {
+        for (mut f, has_acc) in [(copy_loop(), false), (dot_loop(), true)] {
+            assert!(vectorize(&mut f, 2), "loop recognized");
+            let body = &f.blocks[2];
+            let vl = body
+                .insts
+                .iter()
+                .find_map(|x| match x {
+                    IrInst::VecLoop(d) => Some(d),
+                    _ => None,
+                })
+                .expect("body holds a VecLoop");
+            assert_eq!(vl.lmul, 2);
+            assert_eq!(vl.acc.is_some(), has_acc);
+        }
+    }
+
+    #[test]
+    fn vectorized_semantics_match_scalar_in_all_cells() {
+        // dst[0] + dst[15] where dst[i] = src[i] + 3 and src[i] = 11 * i
+        let copy_expect = 3 + (15 * 11 + 3);
+        let dot_expect = 7 + (0..13u64).map(|k| (k + 1) * (2 * k + 1)).sum::<u64>();
+        for (f, expect) in [(copy_loop(), copy_expect), (dot_loop(), dot_expect)] {
+            for vector in [false, true] {
+                for tuned in [false, true] {
+                    let opts = crate::CompileOpts::ablation(vector, tuned);
+                    let p = f.compile(&opts).unwrap();
+                    assert_eq!(run(&p), expect, "{opts:?}");
+                    let dis = p.disassemble();
+                    assert_eq!(dis.contains("vsetvli"), vector, "{opts:?}:\n{dis}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn narrow_reduction_and_shift_loops_stay_scalar() {
+        // 32-bit reduction: lane wrap-around differs from scalar — reject
+        let mut f = FuncBuilder::new("t");
+        let x = f.symbol_u32("x", &[1, 2, 3, 4]);
+        let bx = f.addr_of(&x);
+        let (i, acc) = (f.vreg(), f.vreg());
+        f.li(i, 0);
+        f.li(acc, 0);
+        let (head, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+        f.jmp(head);
+        f.switch_to(head);
+        f.br_lt(Rval::Reg(i), Rval::Imm(4), body, exit);
+        f.switch_to(body);
+        let a = f.load_indexed(bx, i, crate::ir::MemWidth::B4, false);
+        f.add(acc, Rval::Reg(acc), Rval::Reg(a));
+        f.add(i, Rval::Reg(i), Rval::Imm(1));
+        f.jmp(head);
+        f.switch_to(exit);
+        f.halt(Rval::Reg(acc));
+        assert!(!vectorize(&mut f, 1), "32-bit reduction rejected");
+
+        // shifts do not commute with truncation: reject
+        let mut g = FuncBuilder::new("t2");
+        let xs = g.symbol_u64("x", &[1, 2, 3, 4]);
+        let ds = g.symbol_zeros("d", 32);
+        let bx = g.addr_of(&xs);
+        let bd = g.addr_of(&ds);
+        let i = g.vreg();
+        g.li(i, 0);
+        let (head, body, exit) = (g.new_block(), g.new_block(), g.new_block());
+        g.jmp(head);
+        g.switch_to(head);
+        g.br_lt(Rval::Reg(i), Rval::Imm(4), body, exit);
+        g.switch_to(body);
+        let a = g.load_indexed_u64(bx, i);
+        let w = g.vreg();
+        g.shl(w, Rval::Reg(a), Rval::Imm(2));
+        g.store_indexed(Rval::Reg(w), bd, i, crate::ir::MemWidth::B8);
+        g.add(i, Rval::Reg(i), Rval::Imm(1));
+        g.jmp(head);
+        g.switch_to(exit);
+        g.halt(Rval::Imm(0));
+        assert!(!vectorize(&mut g, 1), "shift loop rejected");
+    }
+
+    #[test]
+    fn computed_store_bases_need_ivdep() {
+        let build = |ivdep: bool| {
+            let mut f = FuncBuilder::new("t");
+            let d = f.symbol_zeros("d", 64);
+            let b0 = f.addr_of(&d);
+            let bd = f.vreg();
+            f.add(bd, Rval::Reg(b0), Rval::Imm(8)); // computed pointer
+            if ivdep {
+                f.assume_noalias();
+            }
+            let i = f.vreg();
+            f.li(i, 0);
+            let (head, body, exit) = (f.new_block(), f.new_block(), f.new_block());
+            f.jmp(head);
+            f.switch_to(head);
+            f.br_lt(Rval::Reg(i), Rval::Imm(4), body, exit);
+            f.switch_to(body);
+            let a = f.load_indexed_u64(bd, i);
+            let w = f.vreg();
+            f.add(w, Rval::Reg(a), Rval::Imm(1));
+            f.store_indexed(Rval::Reg(w), bd, i, crate::ir::MemWidth::B8);
+            f.add(i, Rval::Reg(i), Rval::Imm(1));
+            f.jmp(head);
+            f.switch_to(exit);
+            f.halt(Rval::Imm(0));
+            f
+        };
+        assert!(!vectorize(&mut build(false), 1), "no proof, no promise");
+        assert!(vectorize(&mut build(true), 1), "ivdep admits it");
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn rv_reg(r: &Rval) -> Option<VReg> {
     }
 }
 
-fn uses_of(inst: &IrInst) -> Vec<VReg> {
+pub(crate) fn uses_of(inst: &IrInst) -> Vec<VReg> {
     let mut out = Vec::new();
     let mut rv = |r: &Rval| {
         if let Rval::Reg(v) = r {
@@ -90,6 +90,23 @@ fn uses_of(inst: &IrInst) -> Vec<VReg> {
             out.push(*b);
         }
         IrInst::ZextW { a, .. } => out.push(*a),
+        IrInst::VecLoop(d) => {
+            // pointers, the count and the accumulator are read (and
+            // updated in place); scalar operands are read per chunk
+            out.extend(d.ptrs.iter().copied());
+            out.push(d.remaining);
+            if let Some(a) = d.acc {
+                out.push(a);
+            }
+            for s in &d.stmts {
+                if let crate::ir::VecStmt::BinVX {
+                    s: Rval::Reg(v), ..
+                } = s
+                {
+                    out.push(*v);
+                }
+            }
+        }
     }
     out
 }
@@ -108,7 +125,7 @@ fn def_of(inst: &IrInst) -> Option<VReg> {
     }
 }
 
-fn term_uses(t: &Term) -> Vec<VReg> {
+pub(crate) fn term_uses(t: &Term) -> Vec<VReg> {
     let mut out = Vec::new();
     let mut rv = |r: &Rval| {
         if let Rval::Reg(v) = r {

@@ -54,6 +54,9 @@ pub struct OooCore {
     fpvec: PipeGroup,
     // scoreboard: cycle each architectural register's value is ready
     reg_ready: [[u64; 32]; 3],
+    // vector scoreboard: per-vreg (first-slice, whole-group, chainable)
+    // readiness — dependent vector ops chain off `first` (§VII, docs/VECTOR.md)
+    vreg: [xt_vector::VregReady; 32],
     serialize_point: u64,
     max_complete: u64,
     last_retire: u64,
@@ -104,6 +107,7 @@ impl OooCore {
             mdu: PipeGroup::new(1),
             fpvec: PipeGroup::new(cfg.fp_pipes.max(cfg.vec_pipes)),
             reg_ready: [[0; 32]; 3],
+            vreg: [xt_vector::VregReady::default(); 32],
             serialize_point: 0,
             max_complete: 0,
             last_retire: 0,
@@ -275,14 +279,34 @@ impl OooCore {
         let disp = iq_at;
 
         // ---- RF/EX: operands, issue slots, pipes ----
+        // element width for the vector arms (the trace carries SEW in bits)
+        let sew = xt_isa::vector::Sew::decode(
+            (d.sew_bits.max(8) as u32).trailing_zeros().saturating_sub(3),
+        )
+        .unwrap_or(xt_isa::vector::Sew::E64);
         let mut ready = disp + 1;
         for (rf, idx) in d.inst.sources() {
-            ready = ready.max(self.reg_ready[Self::src_file_index(rf)][idx as usize]);
+            if rf == RegFile::Vec {
+                // chaining: an element-ordered consumer starts at the
+                // producer's first slice, not the whole-group completion;
+                // the operand group spans the effective LMUL registers
+                let group = xt_vector::chain::group_regs(&self.vec_cfg, d.vl as u64, sew);
+                for k in 0..group {
+                    let vr = &self.vreg[((idx as u64 + k) % 32) as usize];
+                    ready = ready.max(xt_vector::source_ready(d.inst.op, vr));
+                }
+            } else {
+                ready = ready.max(self.reg_ready[Self::src_file_index(rf)][idx as usize]);
+            }
         }
         ready = ready.max(self.serialize_point);
 
         let lat = cfg.lat;
         let mut violation = false;
+        // chain-in/whole-group readiness a vector arm computed for its
+        // destination; None means the generic writeback (whole group at
+        // `complete`, no chaining) applies
+        let mut vec_dest: Option<xt_vector::VregReady> = None;
         // cycle the µop won an issue slot and a pipe — EX1 in the trace
         let exec_start;
         let complete = match class {
@@ -445,17 +469,18 @@ impl OooCore {
             }
             ExecClass::VecAlu | ExecClass::VecFAdd | ExecClass::VecMul | ExecClass::VecDiv
             | ExecClass::VecPerm => {
-                // latency and slice occupancy from the xt-vector model
-                let sew = xt_isa::vector::Sew::decode(
-                    (d.sew_bits.max(8) as u32).trailing_zeros().saturating_sub(3),
-                )
-                .unwrap_or(xt_isa::vector::Sew::E64);
-                let vlat = xt_vector::latency(d.inst.op, sew);
-                let occ = xt_vector::occupancy(&self.vec_cfg, d.inst.op, d.vl as u64, sew);
-                let occ = if class == ExecClass::VecDiv { vlat } else { occ };
-                let start = self.fpvec.issue(self.issue_slots.take(ready), occ);
+                // crack into lane slices: occupancy beats the pipes stay
+                // busy, first/last slice results for the chaining
+                // scoreboard (docs/VECTOR.md)
+                let plan = xt_vector::VecPlan::crack(&self.vec_cfg, d.inst.op, d.vl as u64, sew);
+                let at = self.issue_slots.take(ready);
+                let start = self.fpvec.issue(at, plan.occupancy);
+                // a ready vector µop held back by busy vector pipes is a
+                // vector-unit stall, not core back-pressure
+                self.perf.charge(StallCause::VecBusy, at, start);
                 exec_start = start;
-                start + vlat
+                vec_dest = Some(plan.dest_ready(start));
+                plan.last_done(start)
             }
             ExecClass::VecLoad => {
                 let mem_info = d.mem.expect("vector load accesses memory");
@@ -498,6 +523,13 @@ impl OooCore {
                     extra += 1;
                     pa += line;
                 }
+                // loads forward beat by beat: dependents chain off the
+                // first 128-bit beat while later beats stream in
+                vec_dest = Some(xt_vector::VregReady {
+                    first: r.complete,
+                    last: done + beats - 1,
+                    chainable: true,
+                });
                 done + beats - 1
             }
             ExecClass::VecStore => {
@@ -519,6 +551,15 @@ impl OooCore {
         // ---- writeback ----
         if let Some((rf, idx)) = d.inst.dest() {
             self.reg_ready[Self::src_file_index(rf)][idx as usize] = complete;
+            if rf == RegFile::Vec {
+                // the whole effective-LMUL group becomes ready together;
+                // chain-in points come from the executing arm
+                let vr = vec_dest.unwrap_or(xt_vector::VregReady::at(complete));
+                let group = xt_vector::chain::group_regs(&self.vec_cfg, d.vl as u64, sew);
+                for k in 0..group {
+                    self.vreg[((idx as u64 + k) % 32) as usize] = vr;
+                }
+            }
         }
         self.max_complete = self.max_complete.max(complete);
 

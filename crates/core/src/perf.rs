@@ -57,10 +57,13 @@ pub enum StallCause {
     /// Front-end refill bubble after a memory-order violation or
     /// exception flush (§V-A, Fig. 8).
     OrderFlush = 6,
+    /// A ready vector µop waited for a vector execution pipe or for
+    /// lane-slice occupancy of an older vector op to drain (§VII).
+    VecBusy = 7,
 }
 
 /// Number of stall causes.
-pub const NUM_STALL_CAUSES: usize = 7;
+pub const NUM_STALL_CAUSES: usize = 8;
 
 impl StallCause {
     /// All causes, in charge-priority order.
@@ -72,6 +75,7 @@ impl StallCause {
         StallCause::DCacheMiss,
         StallCause::MispredictFlush,
         StallCause::OrderFlush,
+        StallCause::VecBusy,
     ];
 
     /// Stable snake_case name (used in JSON reports).
@@ -84,6 +88,7 @@ impl StallCause {
             StallCause::DCacheMiss => "dcache_miss",
             StallCause::MispredictFlush => "mispredict_flush",
             StallCause::OrderFlush => "order_flush",
+            StallCause::VecBusy => "vec_busy",
         }
     }
 }
@@ -307,7 +312,7 @@ mod tests {
             ..Default::default()
         };
         for k in 0..200u64 {
-            let cause = StallCause::ALL[(k % 7) as usize];
+            let cause = StallCause::ALL[(k as usize) % NUM_STALL_CAUSES];
             p.charge(cause, k * 3, k * 3 + 40); // heavily overlapping
         }
         assert!(p.attributed_stall_cycles() <= 200 * 3 + 40);
@@ -353,7 +358,8 @@ mod tests {
                 "icache_miss",
                 "dcache_miss",
                 "mispredict_flush",
-                "order_flush"
+                "order_flush",
+                "vec_busy"
             ]
         );
     }

@@ -67,7 +67,7 @@ fn cmd_generate(smoke: bool) {
         let td = r.series.aggregate_topdown();
         let sh = td.shares(r.report.perf.cycles);
         println!(
-            "  {:<14} {:<7} ipc {:.3}  [fe {:.0}% bs {:.0}% core {:.0}% mem {:.0}% ret {:.0}%]  {} intervals",
+            "  {:<14} {:<7} ipc {:.3}  [fe {:.0}% bs {:.0}% core {:.0}% mem {:.0}% vec {:.0}% ret {:.0}%]  {} intervals",
             r.workload,
             r.machine,
             r.report.perf.ipc(),
@@ -76,6 +76,7 @@ fn cmd_generate(smoke: bool) {
             sh[2] * 100.0,
             sh[3] * 100.0,
             sh[4] * 100.0,
+            sh[5] * 100.0,
             r.series.samples.len()
         );
     }

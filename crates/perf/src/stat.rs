@@ -287,8 +287,8 @@ pub fn run_cluster(smoke: bool) -> ClusterSection {
 fn topdown_json(td: &TopDown, indent: &str) -> String {
     format!(
         "{indent}\"topdown\": {{ \"frontend\": {}, \"bad_speculation\": {}, \
-         \"backend_core\": {}, \"backend_memory\": {}, \"retiring\": {} }}",
-        td.frontend, td.bad_speculation, td.backend_core, td.backend_memory, td.retiring
+         \"backend_core\": {}, \"backend_memory\": {}, \"vector\": {}, \"retiring\": {} }}",
+        td.frontend, td.bad_speculation, td.backend_core, td.backend_memory, td.vector, td.retiring
     )
 }
 
@@ -470,13 +470,13 @@ pub fn render_markdown(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) 
     }
 
     s.push_str("\n## Top-down cycle accounting (aggregate)\n\n");
-    s.push_str("| workload | machine | frontend | bad-spec | backend-core | backend-mem | retiring |\n");
-    s.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+    s.push_str("| workload | machine | frontend | bad-spec | backend-core | backend-mem | vector | retiring |\n");
+    s.push_str("|---|---|---:|---:|---:|---:|---:|---:|\n");
     for r in runs {
         let td = r.series.aggregate_topdown();
         let sh = td.shares(r.report.perf.cycles);
         s.push_str(&format!(
-            "| {} | {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% |\n",
+            "| {} | {} | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% | {:.1}% |\n",
             r.workload,
             r.machine,
             sh[0] * 100.0,
@@ -484,6 +484,7 @@ pub fn render_markdown(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) 
             sh[2] * 100.0,
             sh[3] * 100.0,
             sh[4] * 100.0,
+            sh[5] * 100.0,
         ));
     }
 

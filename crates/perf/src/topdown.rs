@@ -1,6 +1,6 @@
 //! TMA-style top-down cycle accounting.
 //!
-//! Maps the seven frontier-attributed [`StallCause`] counters onto the
+//! Maps the eight frontier-attributed [`StallCause`] counters onto the
 //! classic four-level top-down tree (Yasin, ISPASS'14), adapted to what
 //! a trace-driven model can attribute:
 //!
@@ -10,6 +10,7 @@
 //! | `bad_speculation`| `MispredictFlush`, `OrderFlush`    | work thrown away + refill bubbles |
 //! | `backend_core`   | `RobFull`, `IqFull`                | core windows full |
 //! | `backend_memory` | `DCacheMiss`, `LsuQueueFull`       | data-side memory stalls |
+//! | `vector`         | `VecBusy`                          | ready vector µops behind busy vector pipes |
 //! | `retiring`       | residue: `cycles − all the above`  | useful work + shadowed stalls |
 //!
 //! `retiring` is **signed**: frontier-based attribution charges a
@@ -24,7 +25,7 @@
 use crate::sampler::PerfDelta;
 use xt_core::StallCause;
 
-/// One top-down decomposition: five buckets that sum (signed) to the
+/// One top-down decomposition: six buckets that sum (signed) to the
 /// cycle count they decompose.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TopDown {
@@ -37,6 +38,9 @@ pub struct TopDown {
     pub backend_core: u64,
     /// Data-memory stalls (D-cache misses, LSU queues full).
     pub backend_memory: u64,
+    /// Vector-unit back-pressure: ready vector µops waiting for a
+    /// vector pipe or for an older op's lane-slice occupancy to drain.
+    pub vector: u64,
     /// Residue: cycles not attributed to any stall — useful work plus
     /// stalls shadowed by an earlier-charged cause. Signed; see the
     /// [module docs](self).
@@ -51,12 +55,14 @@ impl TopDown {
         let bad_speculation = s(StallCause::MispredictFlush) + s(StallCause::OrderFlush);
         let backend_core = s(StallCause::RobFull) + s(StallCause::IqFull);
         let backend_memory = s(StallCause::DCacheMiss) + s(StallCause::LsuQueueFull);
-        let attributed = frontend + bad_speculation + backend_core + backend_memory;
+        let vector = s(StallCause::VecBusy);
+        let attributed = frontend + bad_speculation + backend_core + backend_memory + vector;
         TopDown {
             frontend,
             bad_speculation,
             backend_core,
             backend_memory,
+            vector,
             retiring: cycles as i64 - attributed as i64,
         }
     }
@@ -73,30 +79,33 @@ impl TopDown {
             + self.bad_speculation as i64
             + self.backend_core as i64
             + self.backend_memory as i64
+            + self.vector as i64
             + self.retiring
             == cycles as i64
     }
 
     /// Bucket shares of `cycles`, in the order frontend,
-    /// bad-speculation, backend-core, backend-memory, retiring.
+    /// bad-speculation, backend-core, backend-memory, vector, retiring.
     /// Retiring's share is clamped at 0 for display.
-    pub fn shares(&self, cycles: u64) -> [f64; 5] {
+    pub fn shares(&self, cycles: u64) -> [f64; 6] {
         let c = cycles.max(1) as f64;
         [
             self.frontend as f64 / c,
             self.bad_speculation as f64 / c,
             self.backend_core as f64 / c,
             self.backend_memory as f64 / c,
+            self.vector as f64 / c,
             (self.retiring.max(0)) as f64 / c,
         ]
     }
 
     /// Stable bucket names, matching the JSON keys.
-    pub const NAMES: [&'static str; 5] = [
+    pub const NAMES: [&'static str; 6] = [
         "frontend",
         "bad_speculation",
         "backend_core",
         "backend_memory",
+        "vector",
         "retiring",
     ];
 }
@@ -116,12 +125,14 @@ mod tests {
         stalls[StallCause::IqFull as usize] = 3;
         stalls[StallCause::DCacheMiss as usize] = 20;
         stalls[StallCause::LsuQueueFull as usize] = 1;
+        stalls[StallCause::VecBusy as usize] = 4;
         let td = TopDown::from_stalls(100, &stalls);
         assert_eq!(td.frontend, 10);
         assert_eq!(td.bad_speculation, 7);
         assert_eq!(td.backend_core, 10);
         assert_eq!(td.backend_memory, 21);
-        assert_eq!(td.retiring, 52);
+        assert_eq!(td.vector, 4);
+        assert_eq!(td.retiring, 48);
         assert!(td.sums_to(100));
     }
 
@@ -133,7 +144,7 @@ mod tests {
         assert_eq!(td.retiring, -50);
         assert!(td.sums_to(100));
         let sh = td.shares(100);
-        assert_eq!(sh[4], 0.0, "display share clamps at zero");
+        assert_eq!(sh[5], 0.0, "display share clamps at zero");
         assert!((sh[3] - 1.5).abs() < 1e-12);
     }
 

@@ -1,0 +1,209 @@
+//! Lane-slice cracking and vector-register chaining (§VII).
+//!
+//! The XT-910 cracks each vector instruction into **lane slices**: with
+//! `VLEN = SLEN = 128` the two 64-bit slices (four pipes) retire up to
+//! 256 result bits per cycle, so an op over `vl` elements occupies the
+//! pipes for `ceil(vl * dest_bits / 256)` cycles. Results are written
+//! back slice by slice, which enables **chaining**: a dependent vector
+//! op that also consumes its operands in element order may start as
+//! soon as the producer's *first* slice result is ready instead of
+//! waiting for the whole register group.
+//!
+//! This module supplies the per-instruction crack plan ([`VecPlan`]),
+//! the per-register readiness triple the core's vector scoreboard keeps
+//! ([`VregReady`]), and the chaining admission rules
+//! ([`producer_chains`], [`consumer_chains`], [`source_ready`]).
+//!
+//! Chaining is admitted conservatively:
+//!
+//! * **producers** forward element-ordered results only if they neither
+//!   cross slices (widening/reduction/permutation results arrive after
+//!   the inter-slice exchange) nor iterate (divides produce out of
+//!   order with respect to the slice clock);
+//! * **consumers** may start early only if they also read operands in
+//!   element order — crossing ops (reductions, slides, scalar moves)
+//!   need every element before their exchange step.
+
+use crate::latency::{class_of, latency, LatencyClass};
+use crate::slice::{crosses_slices, occupancy, VectorConfig};
+use xt_isa::vector::Sew;
+use xt_isa::Op;
+
+/// Readiness of one architectural vector register, tracked by the
+/// core's vector scoreboard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VregReady {
+    /// Cycle the first lane-slice result is written (chain-in point).
+    pub first: u64,
+    /// Cycle the whole register group is architecturally complete.
+    pub last: u64,
+    /// Whether the producing op wrote element-ordered results a
+    /// chaining consumer may pick up at [`Self::first`].
+    pub chainable: bool,
+}
+
+impl VregReady {
+    /// A register whose whole group completes at `cycle` with no
+    /// chain-in point (serialising producer).
+    pub fn at(cycle: u64) -> Self {
+        VregReady {
+            first: cycle,
+            last: cycle,
+            chainable: false,
+        }
+    }
+}
+
+/// Whether `op` produces its destination elements in element order, so
+/// a dependent op can chain off the first completed slice.
+pub fn producer_chains(op: Op) -> bool {
+    !crosses_slices(op) && class_of(op) != LatencyClass::Divide
+}
+
+/// Whether `op` consumes its vector sources in element order, so it may
+/// start once a chainable producer's first slice is ready.
+pub fn consumer_chains(op: Op) -> bool {
+    !crosses_slices(op) && class_of(op) != LatencyClass::Config
+}
+
+/// Cycle at which `consumer` can read the vector source described by
+/// `src`: the producer's first-slice cycle when both sides admit
+/// chaining, else the whole-group completion cycle.
+pub fn source_ready(consumer: Op, src: &VregReady) -> u64 {
+    if src.chainable && consumer_chains(consumer) {
+        src.first
+    } else {
+        src.last
+    }
+}
+
+/// Number of architectural registers an operand group spans: the
+/// effective LMUL, recovered from `vl * sew` against VLEN (the trace
+/// carries `vl`/`sew` but not the vtype LMUL field).
+pub fn group_regs(cfg: &VectorConfig, vl: u64, sew: Sew) -> u64 {
+    (vl * sew.bits() as u64)
+        .div_ceil(cfg.vlen_bits as u64)
+        .clamp(1, 8)
+}
+
+/// The crack plan for one vector instruction: how long the slice pipes
+/// stay occupied, when the first and last results arrive, and whether
+/// consumers may chain.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VecPlan {
+    /// Cycles the slice pipes are busy (issue-to-issue back pressure).
+    pub occupancy: u64,
+    /// Latency from issue to the first slice's result.
+    pub latency: u64,
+    /// Whether this op's destination admits chaining consumers.
+    pub chainable: bool,
+}
+
+impl VecPlan {
+    /// Cracks `op` over `vl` elements of width `sew` on geometry `cfg`.
+    pub fn crack(cfg: &VectorConfig, op: Op, vl: u64, sew: Sew) -> Self {
+        let lat = latency(op, sew);
+        let occ = if class_of(op) == LatencyClass::Divide {
+            // iterative divider: unpipelined, busy for the full latency
+            lat
+        } else {
+            occupancy(cfg, op, vl, sew)
+        };
+        VecPlan {
+            occupancy: occ,
+            latency: lat,
+            chainable: producer_chains(op),
+        }
+    }
+
+    /// Cycle the first slice result is available after issuing at
+    /// `start`.
+    pub fn first_done(&self, start: u64) -> u64 {
+        start + self.latency
+    }
+
+    /// Cycle the last slice result is available: the first result plus
+    /// one cycle per additional occupancy beat.
+    pub fn last_done(&self, start: u64) -> u64 {
+        start + self.latency + self.occupancy.saturating_sub(1)
+    }
+
+    /// The destination's scoreboard entry for an issue at `start`.
+    pub fn dest_ready(&self, start: u64) -> VregReady {
+        VregReady {
+            first: self.first_done(start),
+            last: self.last_done(start),
+            chainable: self.chainable,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_ops_chain_end_to_end() {
+        assert!(producer_chains(Op::VaddVV));
+        assert!(consumer_chains(Op::VmaccVV));
+        assert!(producer_chains(Op::Vle), "loads forward beat by beat");
+    }
+
+    #[test]
+    fn crossing_and_iterative_ops_do_not_chain() {
+        // reductions exchange across slices: no element-ordered output
+        assert!(!producer_chains(Op::VredsumVS));
+        assert!(!consumer_chains(Op::VredsumVS));
+        // widening MACs produce in order only after the exchange
+        assert!(!producer_chains(Op::VwmaccVV));
+        // divides iterate
+        assert!(!producer_chains(Op::VdivVV));
+    }
+
+    #[test]
+    fn chained_consumer_starts_at_first_slice() {
+        let src = VregReady {
+            first: 10,
+            last: 13,
+            chainable: true,
+        };
+        assert_eq!(source_ready(Op::VaddVV, &src), 10);
+        assert_eq!(source_ready(Op::VredsumVS, &src), 13, "crossing waits");
+        let serial = VregReady {
+            chainable: false,
+            ..src
+        };
+        assert_eq!(source_ready(Op::VaddVV, &serial), 13);
+    }
+
+    #[test]
+    fn crack_spreads_long_groups_over_beats() {
+        let cfg = VectorConfig::default();
+        // LMUL=4 of e32: 16 elements = 512 result bits = 2 beats
+        let p = VecPlan::crack(&cfg, Op::VaddVV, 16, Sew::E32);
+        assert_eq!(p.occupancy, 2);
+        assert_eq!(p.first_done(100), 103);
+        assert_eq!(p.last_done(100), 104);
+        assert!(p.chainable);
+        // one-beat op: first == last
+        let q = VecPlan::crack(&cfg, Op::VaddVV, 4, Sew::E32);
+        assert_eq!(q.first_done(0), q.last_done(0));
+    }
+
+    #[test]
+    fn divide_occupies_for_full_latency() {
+        let cfg = VectorConfig::default();
+        let p = VecPlan::crack(&cfg, Op::VdivVV, 4, Sew::E32);
+        assert_eq!(p.occupancy, p.latency);
+        assert!(!p.chainable);
+    }
+
+    #[test]
+    fn group_size_recovers_lmul() {
+        let cfg = VectorConfig::default();
+        assert_eq!(group_regs(&cfg, 4, Sew::E32), 1); // LMUL=1
+        assert_eq!(group_regs(&cfg, 8, Sew::E32), 2); // LMUL=2
+        assert_eq!(group_regs(&cfg, 16, Sew::E32), 4); // LMUL=4
+        assert_eq!(group_regs(&cfg, 0, Sew::E64), 1, "vl=0 still one reg");
+    }
+}

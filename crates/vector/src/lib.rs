@@ -11,11 +11,17 @@
 //!
 //! This crate supplies the slice geometry ([`VectorConfig`]), the
 //! per-operation latency table the paper quotes (most operations 3-4
-//! cycles, FP multiply 5, divides 6-25 — [`mod@latency`]), and the
-//! occupancy model ([`occupancy`]) used by the `xt-core` pipeline.
+//! cycles, FP multiply 5, divides 6-25 — [`mod@latency`]), the
+//! occupancy model ([`occupancy`]), and the lane-slice crack/chaining
+//! plan ([`VecPlan`], [`mod@chain`]) used by the `xt-core` pipeline.
+//! `docs/VECTOR.md` describes how the pieces compose.
 
+#![warn(missing_docs)]
+
+pub mod chain;
 pub mod latency;
 pub mod slice;
 
+pub use chain::{consumer_chains, producer_chains, source_ready, VecPlan, VregReady};
 pub use latency::{latency, LatencyClass};
-pub use slice::{occupancy, result_bits_per_cycle, VectorConfig};
+pub use slice::{crosses_slices, occupancy, result_bits_per_cycle, VectorConfig};

@@ -19,6 +19,9 @@
 //!   comparison (§X),
 //! * [`spec_like`] — a large-footprint, L2-miss-heavy macro mix for the
 //!   SPECInt-per-GHz-style system metric,
+//! * [`vecbench`] — memcpy/saxpy/dot/matmul written as canonical
+//!   counted loops so one IR source sweeps the `rv64gc|rv64gcv ×
+//!   base|tuned` grid of the Figs. 18–20 artifact (`xt-figures`),
 //! * [`sched`] — a supervisor workload: timer-interrupt round-robin
 //!   scheduler on hart 0 plus MSIP IPI receivers on harts 1..n,
 //!   exercising the asynchronous-interrupt path end to end
@@ -38,6 +41,7 @@ pub mod nbench;
 pub mod sched;
 pub mod spec_like;
 pub mod stream;
+pub mod vecbench;
 
 use xt_asm::Program;
 

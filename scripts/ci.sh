@@ -52,6 +52,23 @@ for fp in 0 1; do
     done
 done
 
+echo "== test matrix: vector pipeline (fastpath x threads) =="
+# The RVV lane-slice model and the auto-vectorizer must be invariant to
+# the execution-engine matrix: vecbench kernels (all four compile cells)
+# and the xt-check vector differential run with the block cache on/off
+# and at both ends of the cluster thread matrix.
+for fp in 0 1; do
+    for threads in 1 4; do
+        echo "-- XT_FASTPATH=$fp XT_THREADS=$threads --"
+        XT_FASTPATH=$fp XT_THREADS=$threads \
+            cargo test -q --offline -p xt-vector
+        XT_FASTPATH=$fp XT_THREADS=$threads \
+            cargo test -q --offline -p xt-workloads vecbench
+        XT_FASTPATH=$fp XT_THREADS=$threads \
+            cargo test -q --offline -p xt-check vector
+    done
+done
+
 echo "== lint (clippy, warnings are errors) =="
 cargo clippy --workspace --offline --all-targets -- -D warnings
 
@@ -139,6 +156,45 @@ print("OK: BENCH_perf.json parses, 6 sampled runs + cluster cell, "
 "$repo_root/target/release/xt-stat" selftest \
     baselines/BENCH_perf_smoke.json --tolerance 0.05
 rm -rf "$stat_dir"
+
+echo "== xt-figures smoke (vector figure artifact + gate) =="
+# The Figs. 18-20 artifact must run end-to-end, emit parseable JSON with
+# the expected schema and full 4x4 ablation grid, show the headline
+# >=2x rv64gcv/tuned element-IPC uplift, match the committed baseline
+# byte-for-byte at tolerance 0, and prove its own gate flags injected
+# regressions.
+fig_dir=$(mktemp -d)
+repo_root=$(pwd)
+(cd "$fig_dir" && "$repo_root/target/release/xt-figures" --smoke)
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "xt-figures/v1", doc.get("schema")
+assert doc["smoke"] is True
+assert doc["vlen"] == 128
+grid = doc["grid"]
+assert len(grid) == 16, len(grid)
+cells = {(g["kernel"], g["isa"], g["tuning"]) for g in grid}
+assert len(cells) == 16, "grid cells must be unique"
+for g in grid:
+    assert g["cycles"] > 0 and g["instructions"] > 0, g
+    assert g["vec_busy_cycles"] <= g["cycles"], g
+    if g["isa"] == "rv64gc":
+        assert g["vec_busy_cycles"] == 0, ("scalar cell charged vector", g)
+sp = {s["kernel"]: s["elem_ipc_ratio"] for s in doc["speedup"]}
+assert len(sp) == 4 and max(sp.values()) >= 2.0, sp
+figs = {f["name"] for f in doc["figures"]}
+assert figs == {"fig18", "fig19", "fig20"}, figs
+for f in doc["figures"]:
+    assert f["rows"], f["name"]
+print("OK: BENCH_figures.json parses, 16-cell grid, >=2x vector uplift "
+      "(best %.2fx), figs 18-20 present" % max(sp.values()))
+' "$fig_dir/BENCH_figures.json"
+"$repo_root/target/release/xt-figures" diff \
+    baselines/BENCH_figures_smoke.json "$fig_dir/BENCH_figures.json" --tolerance 0
+"$repo_root/target/release/xt-figures" selftest \
+    baselines/BENCH_figures_smoke.json --tolerance 0.05
+rm -rf "$fig_dir"
 
 echo "== hermetic dependency check =="
 # Workspace-local (path) packages have "source": null in cargo metadata;
