@@ -20,6 +20,12 @@
 //!                  decoded-block cache on vs. off, print both, and exit
 //!                  non-zero if the cache made it slower (CI guard; writes
 //!                  no files)
+//!   --snapshot-every N
+//!                  run every single-core cell through a save/restore
+//!                  cycle each N retired instructions (docs/SNAPSHOT.md),
+//!                  re-run the matrix without snapshots, and exit
+//!                  non-zero unless both produce byte-identical
+//!                  `BENCH_pipeline.json` documents (CI gate)
 //!
 //! Output is deterministic: same binary, same flags → byte-identical
 //! files (no timestamps, no ambient randomness). The one exception is
@@ -33,11 +39,36 @@ fn main() {
     let smoke = args.iter().any(|a| a == "--smoke");
     let trace = args.iter().any(|a| a == "--trace");
     let mips_sanity = args.iter().any(|a| a == "--mips-sanity");
-    if let Some(bad) = args
+    let mut snapshot_every = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--snapshot-every" {
+            let v = it.next().unwrap_or_else(|| {
+                eprintln!("xt-report: --snapshot-every needs an instruction count");
+                std::process::exit(2);
+            });
+            let n: u64 = v.parse().unwrap_or_else(|_| {
+                eprintln!("xt-report: bad --snapshot-every value {v:?}");
+                std::process::exit(2);
+            });
+            if n == 0 {
+                eprintln!("xt-report: --snapshot-every must be nonzero");
+                std::process::exit(2);
+            }
+            snapshot_every = Some(n);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    if let Some(bad) = rest
         .iter()
         .find(|a| *a != "--smoke" && *a != "--trace" && *a != "--mips-sanity")
     {
-        eprintln!("xt-report: unknown flag {bad} (known: --smoke --trace --mips-sanity)");
+        eprintln!(
+            "xt-report: unknown flag {bad} \
+             (known: --smoke --trace --mips-sanity --snapshot-every N)"
+        );
         std::process::exit(2);
     }
 
@@ -55,8 +86,28 @@ fn main() {
         return;
     }
 
-    let results = report::run_all(smoke);
     let mc = multicore::report_section(smoke);
+    let results = match snapshot_every {
+        Some(n) => {
+            let snapped = report::run_all_snapshotted(smoke, n);
+            let plain = report::run_all(smoke);
+            let a = report::render_json(&snapped, &mc, smoke);
+            let b = report::render_json(&plain, &mc, smoke);
+            if a != b {
+                eprintln!(
+                    "xt-report: snapshot identity FAILED — save/restore every {n} \
+                     instructions changed BENCH_pipeline.json"
+                );
+                std::process::exit(1);
+            }
+            println!(
+                "snapshot identity: save/restore every {n} instructions leaves \
+                 BENCH_pipeline.json byte-identical"
+            );
+            snapped
+        }
+        None => report::run_all(smoke),
+    };
     let json = report::render_json(&results, &mc, smoke);
     let md = report::render_markdown(&results, &mc, smoke);
     std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");

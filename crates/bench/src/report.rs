@@ -16,8 +16,8 @@
 use crate::multicore::MulticoreSection;
 use xt_asm::{Asm, Program};
 use xt_core::{
-    run_inorder, run_inorder_with_mem, run_ooo, run_ooo_traced, run_ooo_with_mem, CoreConfig,
-    RunReport, StallCause, TraceBuffer,
+    run_inorder_with_mem, run_ooo_traced, run_ooo_with_mem, CoreConfig, InOrderSession,
+    OooSession, RunReport, StallCause, TraceBuffer,
 };
 use xt_isa::reg::Gpr;
 use xt_mem::{MemConfig, PrefetchConfig};
@@ -103,9 +103,74 @@ const WHAT_BRANCHY: &str =
     "An LCG-parity data-dependent branch per iteration (essentially unpredictable): \
      mispredict flushes dominate (MispredictFlush attribution, §III-A penalty).";
 
+/// Runs `prog` on the out-of-order model, interrupting it with a
+/// save/restore cycle every `every` retired instructions: each snapshot
+/// is restored into a *fresh* session which then carries the run
+/// forward. The report must be bit-identical to an uninterrupted run
+/// (docs/SNAPSHOT.md); `xt-report --snapshot-every` asserts exactly
+/// that.
+fn run_ooo_snapshotted(
+    prog: &Program,
+    cfg: &CoreConfig,
+    mem_cfg: MemConfig,
+    max_insts: u64,
+    every: u64,
+) -> RunReport {
+    let every = every.max(1);
+    let mut s = OooSession::ooo_with_mem(prog, cfg, mem_cfg, max_insts);
+    loop {
+        if s.run_insts(every) < every {
+            break;
+        }
+        let snap = s.save();
+        let mut fresh = OooSession::ooo_with_mem(prog, cfg, mem_cfg, max_insts);
+        fresh
+            .restore(&snap)
+            .expect("snapshot restores into an identically configured session");
+        s = fresh;
+    }
+    s.finish_report()
+}
+
+/// In-order twin of [`run_ooo_snapshotted`].
+fn run_inorder_snapshotted(
+    prog: &Program,
+    cfg: &CoreConfig,
+    mem_cfg: MemConfig,
+    max_insts: u64,
+    every: u64,
+) -> RunReport {
+    let every = every.max(1);
+    let mut s = InOrderSession::inorder_with_mem(prog, cfg, mem_cfg, max_insts);
+    loop {
+        if s.run_insts(every) < every {
+            break;
+        }
+        let snap = s.save();
+        let mut fresh = InOrderSession::inorder_with_mem(prog, cfg, mem_cfg, max_insts);
+        fresh
+            .restore(&snap)
+            .expect("snapshot restores into an identically configured session");
+        s = fresh;
+    }
+    s.finish_report()
+}
+
 /// Runs the full workload × machine matrix. `smoke` shrinks every
 /// workload so the whole matrix finishes in seconds (the CI gate).
 pub fn run_all(smoke: bool) -> Vec<WorkloadResult> {
+    run_all_with(smoke, None)
+}
+
+/// [`run_all`], but routed through a save/restore cycle every `every`
+/// retired instructions: each snapshot is restored into a fresh
+/// session which then carries the run forward. The output must be
+/// bit-identical to [`run_all`]'s (docs/SNAPSHOT.md).
+pub fn run_all_snapshotted(smoke: bool, every: u64) -> Vec<WorkloadResult> {
+    run_all_with(smoke, Some(every))
+}
+
+fn run_all_with(smoke: bool, snapshot_every: Option<u64>) -> Vec<WorkloadResult> {
     let stream_elems = if smoke { 2048 } else { STREAM_ELEMS };
     let depchain_iters = if smoke { 200 } else { 5000 };
     let branchy_iters = if smoke { 500 } else { 5000 };
@@ -122,52 +187,48 @@ pub fn run_all(smoke: bool) -> Vec<WorkloadResult> {
         machine: report.machine,
         report,
     };
+    let run_o = |prog: &Program, cfg: &CoreConfig, mem: MemConfig| match snapshot_every {
+        Some(n) => run_ooo_snapshotted(prog, cfg, mem, MAX_INSTS, n),
+        None => run_ooo_with_mem(prog, cfg, mem, MAX_INSTS),
+    };
+    let run_i = |prog: &Program, cfg: &CoreConfig, mem: MemConfig| match snapshot_every {
+        Some(n) => run_inorder_snapshotted(prog, cfg, mem, MAX_INSTS, n),
+        None => run_inorder_with_mem(prog, cfg, mem, MAX_INSTS),
+    };
 
     vec![
         cell(
             "stream_pf_off",
             WHAT_STREAM_OFF,
-            run_ooo_with_mem(
-                &stream_k.program,
-                &xt910,
-                mem_cfg(PrefetchConfig::off()),
-                MAX_INSTS,
-            ),
+            run_o(&stream_k.program, &xt910, mem_cfg(PrefetchConfig::off())),
         ),
         cell(
             "stream_pf_off",
             WHAT_STREAM_OFF,
-            run_inorder_with_mem(
-                &stream_k.program,
-                &u74,
-                mem_cfg(PrefetchConfig::off()),
-                MAX_INSTS,
-            ),
+            run_i(&stream_k.program, &u74, mem_cfg(PrefetchConfig::off())),
         ),
         cell(
             "stream_pf_on",
             WHAT_STREAM_ON,
-            run_ooo_with_mem(
+            run_o(
                 &stream_k.program,
                 &xt910,
                 mem_cfg(PrefetchConfig::all_large()),
-                MAX_INSTS,
             ),
         ),
         cell(
             "stream_pf_on",
             WHAT_STREAM_ON,
-            run_inorder_with_mem(
+            run_i(
                 &stream_k.program,
                 &u74,
                 mem_cfg(PrefetchConfig::all_large()),
-                MAX_INSTS,
             ),
         ),
-        cell("depchain", WHAT_DEPCHAIN, run_ooo(&dep, &xt910, MAX_INSTS)),
-        cell("depchain", WHAT_DEPCHAIN, run_inorder(&dep, &u74, MAX_INSTS)),
-        cell("branchy", WHAT_BRANCHY, run_ooo(&brn, &xt910, MAX_INSTS)),
-        cell("branchy", WHAT_BRANCHY, run_inorder(&brn, &u74, MAX_INSTS)),
+        cell("depchain", WHAT_DEPCHAIN, run_o(&dep, &xt910, xt910.mem)),
+        cell("depchain", WHAT_DEPCHAIN, run_i(&dep, &u74, u74.mem)),
+        cell("branchy", WHAT_BRANCHY, run_o(&brn, &xt910, xt910.mem)),
+        cell("branchy", WHAT_BRANCHY, run_i(&brn, &u74, u74.mem)),
     ]
 }
 
@@ -383,6 +444,18 @@ mod tests {
         for r in &a {
             assert!(r.report.perf.stalls_conserved(), "{}", r.workload);
         }
+    }
+
+    #[test]
+    fn snapshotted_matrix_matches_uninterrupted() {
+        let plain = run_all(true);
+        let snapped = run_all_snapshotted(true, 777);
+        let mc = crate::multicore::report_section(true);
+        assert_eq!(
+            render_json(&plain, &mc, true),
+            render_json(&snapped, &mc, true),
+            "save/restore every 777 insts must not change BENCH_pipeline.json"
+        );
     }
 
     #[test]

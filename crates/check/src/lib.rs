@@ -13,7 +13,9 @@
 //! results across the `rv64gc|rv64gcv × base|tuned` compile grid, both
 //! execution engines, and the OoO timing model, whose six-bucket
 //! top-down decomposition (including the vector bucket) must conserve
-//! ([`vector`]). Failures shrink through the `xt-harness` engine
+//! ([`vector`]); and a run snapshotted at a random cut point must
+//! resume bit-identically from the frame in a fresh instance
+//! ([`snapshot`]). Failures shrink through the `xt-harness` engine
 //! and carry a replay artifact: the failing seed, the disassembled
 //! program, and a per-stage timing summary.
 //!
@@ -30,6 +32,7 @@ pub mod interrupts;
 pub mod invariants;
 pub mod oracle;
 pub mod progen;
+pub mod snapshot;
 pub mod vector;
 
 use oracle::Fault;

@@ -19,6 +19,7 @@ use xt_check::fastpath::{check_fastpath, FastGen};
 use xt_check::interrupts::{check_interrupts, IrqGen};
 use xt_check::oracle::Fault;
 use xt_check::progen::ProgGen;
+use xt_check::snapshot::{check_snapshot_identity, SnapGen};
 use xt_check::vector::{check_vector, VecGen};
 use xt_check::{check_program, SUITE_SEED};
 use xt_harness::prop::{check_with, Config};
@@ -208,6 +209,36 @@ fn main() -> ExitCode {
             "xt-check: OK — {} vector kernels, scalar/vector/fast/slow/OoO \
              agree and vector top-down conserves",
             vec_checked.get()
+        ),
+        Err(payload) => {
+            eprintln!("{}", panic_text(&payload));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Snapshot/resume identity: cut a run at a random point, restore
+    // the frame into a fresh instance, and require bit-identical
+    // continuation (counters, memory stats, exit codes) plus
+    // byte-stable re-saves.
+    let snap_cases = (cases / 4).max(4);
+    let snap_cfg = Config::seeded_cases(seed ^ 0x5A4B_0B10, snap_cases);
+    println!(
+        "xt-check: {} snapshot/resume workloads, seed {:#x}",
+        snap_cfg.cases, snap_cfg.seed
+    );
+    let snap_checked = std::cell::Cell::new(0u32);
+    let snap_result = catch_unwind(AssertUnwindSafe(|| {
+        check_with(&snap_cfg, "xt_check_snapshot", &SnapGen::default(), |spec| {
+            if let Err(e) = check_snapshot_identity(spec) {
+                panic!("{e}");
+            }
+            snap_checked.set(snap_checked.get() + 1);
+        });
+    }));
+    match snap_result {
+        Ok(()) => println!(
+            "xt-check: OK — {} snapshotted runs resume bit-identically",
+            snap_checked.get()
         ),
         Err(payload) => {
             eprintln!("{}", panic_text(&payload));

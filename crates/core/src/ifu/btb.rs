@@ -211,6 +211,120 @@ impl ReturnStack {
     }
 }
 
+impl xt_snapshot::SnapshotState for L0Btb {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.bool(self.enabled);
+        for &(pc, target, lru) in &self.entries {
+            e.u64(pc);
+            e.u64(target);
+            e.u64(lru);
+        }
+        e.u64(self.stamp);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.bool()? != self.enabled {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "l0 btb enable",
+            });
+        }
+        for e in &mut self.entries {
+            *e = (d.u64()?, d.u64()?, d.u64()?);
+        }
+        self.stamp = d.u64()?;
+        Ok(())
+    }
+}
+
+impl xt_snapshot::SnapshotState for L1Btb {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.sets);
+        e.usize(self.ways);
+        e.seq(self.entries.len());
+        for &(pc, target, lru) in &self.entries {
+            e.u64(pc);
+            e.u64(target);
+            e.u64(lru);
+        }
+        e.u64(self.stamp);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.usize()? != self.sets || d.usize()? != self.ways {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "l1 btb geometry",
+            });
+        }
+        let n = d.len(24)?;
+        if n != self.entries.len() {
+            return Err(xt_snapshot::SnapshotError::Corrupt {
+                what: "l1 btb entry count",
+            });
+        }
+        for e in &mut self.entries {
+            *e = (d.u64()?, d.u64()?, d.u64()?);
+        }
+        self.stamp = d.u64()?;
+        Ok(())
+    }
+}
+
+impl xt_snapshot::SnapshotState for IndirectPredictor {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.u32(self.bits);
+        e.seq(self.table.len());
+        for &(tag, target) in &self.table {
+            e.u64(tag);
+            e.u64(target);
+        }
+        e.u64(self.history);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.u32()? != self.bits {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "indirect predictor bits",
+            });
+        }
+        let n = d.len(16)?;
+        if n != self.table.len() {
+            return Err(xt_snapshot::SnapshotError::Corrupt {
+                what: "indirect table size",
+            });
+        }
+        for e in &mut self.table {
+            *e = (d.u64()?, d.u64()?);
+        }
+        self.history = d.u64()?;
+        Ok(())
+    }
+}
+
+impl xt_snapshot::SnapshotState for ReturnStack {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.depth);
+        e.u64_seq(&self.stack);
+        e.u64(self.overflows);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.usize()? != self.depth {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "return stack depth",
+            });
+        }
+        let stack = d.u64_seq()?;
+        if stack.len() > self.depth {
+            return Err(xt_snapshot::SnapshotError::Corrupt {
+                what: "return stack size",
+            });
+        }
+        self.stack = stack;
+        self.overflows = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

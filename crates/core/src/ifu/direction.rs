@@ -101,6 +101,56 @@ impl DirectionPredictor {
     }
 }
 
+impl xt_snapshot::SnapshotState for DirectionPredictor {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.bool(self.delayed_history);
+        e.bytes_seq(&self.bimodal);
+        e.bytes_seq(&self.gshare);
+        e.bytes_seq(&self.chooser);
+        e.u64(self.history);
+        match self.pending {
+            None => e.u8(0),
+            Some(o) => {
+                e.u8(1);
+                e.bool(o);
+            }
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.bool()? != self.delayed_history {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "direction predictor mode",
+            });
+        }
+        let bimodal = d.bytes_seq()?;
+        let gshare = d.bytes_seq()?;
+        let chooser = d.bytes_seq()?;
+        if bimodal.len() != self.bimodal.len()
+            || gshare.len() != self.gshare.len()
+            || chooser.len() != self.chooser.len()
+        {
+            return Err(xt_snapshot::SnapshotError::Corrupt {
+                what: "predictor table size",
+            });
+        }
+        self.bimodal.copy_from_slice(bimodal);
+        self.gshare.copy_from_slice(gshare);
+        self.chooser.copy_from_slice(chooser);
+        self.history = d.u64()?;
+        self.pending = match d.u8()? {
+            0 => None,
+            1 => Some(d.bool()?),
+            _ => {
+                return Err(xt_snapshot::SnapshotError::Corrupt {
+                    what: "pending outcome tag",
+                })
+            }
+        };
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -110,6 +110,51 @@ impl LoopBuffer {
     }
 }
 
+fn save_opt_pair(e: &mut xt_snapshot::Enc, v: Option<(u64, u64)>) {
+    match v {
+        None => e.u8(0),
+        Some((a, b)) => {
+            e.u8(1);
+            e.u64(a);
+            e.u64(b);
+        }
+    }
+}
+
+fn restore_opt_pair(d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<Option<(u64, u64)>> {
+    match d.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some((d.u64()?, d.u64()?))),
+        _ => Err(xt_snapshot::SnapshotError::Corrupt {
+            what: "option tag",
+        }),
+    }
+}
+
+impl xt_snapshot::SnapshotState for LoopBuffer {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.u64(self.capacity_insts);
+        e.bool(self.enabled);
+        save_opt_pair(e, self.candidate);
+        save_opt_pair(e, self.active);
+        e.u64(self.served);
+        e.u64(self.captures);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.u64()? != self.capacity_insts || d.bool()? != self.enabled {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "loop buffer config",
+            });
+        }
+        self.candidate = restore_opt_pair(d)?;
+        self.active = restore_opt_pair(d)?;
+        self.served = d.u64()?;
+        self.captures = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -150,6 +150,26 @@ impl FrontEnd {
     }
 }
 
+impl xt_snapshot::SnapshotState for FrontEnd {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        self.dir.save(e);
+        self.l0.save(e);
+        self.l1.save(e);
+        self.indirect.save(e);
+        self.ras.save(e);
+        self.lbuf.save(e);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        self.dir.restore(d)?;
+        self.l0.restore(d)?;
+        self.l1.restore(d)?;
+        self.indirect.restore(d)?;
+        self.ras.restore(d)?;
+        self.lbuf.restore(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

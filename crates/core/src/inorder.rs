@@ -302,6 +302,66 @@ impl InOrderCore {
     }
 }
 
+impl xt_snapshot::SnapshotState for InOrderCore {
+    /// Same discipline as the OoO core: configuration is checked, not
+    /// overwritten; all dynamic state round-trips.
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.str(self.cfg.name);
+        e.usize(self.core_id);
+        self.fe.save(e);
+        e.u64(self.fetch_cycle);
+        e.u64(self.fetch_bytes);
+        e.u64(self.cur_fetch_line);
+        self.issue_bw.save(e);
+        self.alu.save(e);
+        self.mdu.save(e);
+        self.fp.save(e);
+        self.agu.save(e);
+        for file in &self.reg_ready {
+            e.u64_seq(file);
+        }
+        e.u64(self.last_issue);
+        e.u64(self.max_complete);
+        crate::perf::save_pending_flush(e, self.pending_flush);
+        crate::perf::save_opt_tracer(e, self.tracer.as_ref());
+        self.perf.save(e);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.string()? != self.cfg.name {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "core config name",
+            });
+        }
+        if d.usize()? != self.core_id {
+            return Err(xt_snapshot::SnapshotError::Mismatch { what: "core id" });
+        }
+        self.fe.restore(d)?;
+        self.fetch_cycle = d.u64()?;
+        self.fetch_bytes = d.u64()?;
+        self.cur_fetch_line = d.u64()?;
+        self.issue_bw.restore(d)?;
+        self.alu.restore(d)?;
+        self.mdu.restore(d)?;
+        self.fp.restore(d)?;
+        self.agu.restore(d)?;
+        for file in &mut self.reg_ready {
+            let v = d.u64_seq()?;
+            if v.len() != file.len() {
+                return Err(xt_snapshot::SnapshotError::Corrupt {
+                    what: "scoreboard size",
+                });
+            }
+            file.copy_from_slice(&v);
+        }
+        self.last_issue = d.u64()?;
+        self.max_complete = d.u64()?;
+        self.pending_flush = crate::perf::restore_pending_flush(d)?;
+        self.tracer = crate::perf::restore_opt_tracer(d)?;
+        self.perf.restore(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

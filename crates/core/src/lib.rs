@@ -57,11 +57,13 @@ pub mod lsu;
 pub mod ooo;
 pub mod perf;
 pub mod resources;
+pub mod session;
 
 pub use config::CoreConfig;
 pub use inorder::InOrderCore;
 pub use ooo::OooCore;
 pub use perf::{PerfCounters, RunReport, StallCause, NUM_STALL_CAUSES};
+pub use session::{InOrderSession, OooSession, Session};
 pub use xt_trace::TraceBuffer;
 
 use xt_asm::Program;

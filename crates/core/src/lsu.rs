@@ -244,6 +244,50 @@ impl Lsu {
     }
 }
 
+impl xt_snapshot::SnapshotState for Lsu {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        self.load_pipe.save(e);
+        self.st_addr_pipe.save(e);
+        self.st_data_pipe.save(e);
+        self.lq.save(e);
+        self.sq.save(e);
+        e.seq(self.stores.len());
+        for s in &self.stores {
+            e.u64(s.start);
+            e.u64(s.end);
+            e.u64(s.addr_ready);
+            e.u64(s.data_ready);
+        }
+        let mut preds: Vec<u64> = self.dep_pred.iter().copied().collect();
+        preds.sort_unstable();
+        e.u64_seq(&preds);
+        e.u64(self.forwards);
+        e.u64(self.violations);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        self.load_pipe.restore(d)?;
+        self.st_addr_pipe.restore(d)?;
+        self.st_data_pipe.restore(d)?;
+        self.lq.restore(d)?;
+        self.sq.restore(d)?;
+        let n = d.len(32)?;
+        self.stores.clear();
+        for _ in 0..n {
+            self.stores.push_back(PendingStore {
+                start: d.u64()?,
+                end: d.u64()?,
+                addr_ready: d.u64()?,
+                data_ready: d.u64()?,
+            });
+        }
+        self.dep_pred = d.u64_seq()?.into_iter().collect();
+        self.forwards = d.u64()?;
+        self.violations = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -665,6 +665,124 @@ impl OooCore {
     }
 }
 
+impl xt_snapshot::SnapshotState for OooCore {
+    /// The configuration (`cfg`, `vec_cfg`) is construction-time data:
+    /// only the machine name and vector geometry are written, and
+    /// restore [`Mismatch`](xt_snapshot::SnapshotError::Mismatch)es
+    /// against the live instance rather than overwriting it. Every
+    /// sub-resource additionally checks its own width/capacity.
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.str(self.cfg.name);
+        e.usize(self.core_id);
+        e.u32(self.vec_cfg.vlen_bits);
+        e.u32(self.vec_cfg.slen_bits);
+        self.fe.save(e);
+        self.lsu.save(e);
+        e.u64(self.fetch_cycle);
+        e.u64(self.fetch_bytes);
+        e.u64(self.cur_fetch_line);
+        self.decode_bw.save(e);
+        self.rename_bw.save(e);
+        self.retire_bw.save(e);
+        self.issue_slots.save(e);
+        self.rob.save(e);
+        self.iq.save(e);
+        for w in &self.phys {
+            w.save(e);
+        }
+        self.alu.save(e);
+        self.bju.save(e);
+        self.mdu.save(e);
+        self.fpvec.save(e);
+        for file in &self.reg_ready {
+            e.u64_seq(file);
+        }
+        for v in &self.vreg {
+            e.u64(v.first);
+            e.u64(v.last);
+            e.bool(v.chainable);
+        }
+        e.u64(self.serialize_point);
+        e.u64(self.max_complete);
+        e.u64(self.last_retire);
+        crate::perf::save_pending_flush(e, self.pending_flush);
+        crate::perf::save_opt_tracer(e, self.tracer.as_ref());
+        match self.last_vset_imm {
+            None => e.u8(0),
+            Some(v) => {
+                e.u8(1);
+                e.i64(v);
+            }
+        }
+        e.u64(self.vset_spec_fails);
+        self.perf.save(e);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.string()? != self.cfg.name {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "core config name",
+            });
+        }
+        if d.usize()? != self.core_id {
+            return Err(xt_snapshot::SnapshotError::Mismatch { what: "core id" });
+        }
+        if d.u32()? != self.vec_cfg.vlen_bits || d.u32()? != self.vec_cfg.slen_bits {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "vector geometry",
+            });
+        }
+        self.fe.restore(d)?;
+        self.lsu.restore(d)?;
+        self.fetch_cycle = d.u64()?;
+        self.fetch_bytes = d.u64()?;
+        self.cur_fetch_line = d.u64()?;
+        self.decode_bw.restore(d)?;
+        self.rename_bw.restore(d)?;
+        self.retire_bw.restore(d)?;
+        self.issue_slots.restore(d)?;
+        self.rob.restore(d)?;
+        self.iq.restore(d)?;
+        for w in &mut self.phys {
+            w.restore(d)?;
+        }
+        self.alu.restore(d)?;
+        self.bju.restore(d)?;
+        self.mdu.restore(d)?;
+        self.fpvec.restore(d)?;
+        for file in &mut self.reg_ready {
+            let v = d.u64_seq()?;
+            if v.len() != file.len() {
+                return Err(xt_snapshot::SnapshotError::Corrupt {
+                    what: "scoreboard size",
+                });
+            }
+            file.copy_from_slice(&v);
+        }
+        for v in &mut self.vreg {
+            v.first = d.u64()?;
+            v.last = d.u64()?;
+            v.chainable = d.bool()?;
+        }
+        self.serialize_point = d.u64()?;
+        self.max_complete = d.u64()?;
+        self.last_retire = d.u64()?;
+        self.pending_flush = crate::perf::restore_pending_flush(d)?;
+        self.tracer = crate::perf::restore_opt_tracer(d)?;
+        self.last_vset_imm = match d.u8()? {
+            0 => None,
+            1 => Some(d.i64()?),
+            _ => {
+                return Err(xt_snapshot::SnapshotError::Corrupt {
+                    what: "vset imm tag",
+                })
+            }
+        };
+        self.vset_spec_fails = d.u64()?;
+        self.perf.restore(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

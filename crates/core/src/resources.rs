@@ -176,6 +176,97 @@ impl SlotLimiter {
     }
 }
 
+impl xt_snapshot::SnapshotState for Window {
+    /// The release heap is serialized as a sorted vector so the encoding
+    /// is canonical regardless of the heap's internal layout.
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.cap);
+        let mut rel: Vec<u64> = self.releases.iter().map(|&Reverse(r)| r).collect();
+        rel.sort_unstable();
+        e.u64_seq(&rel);
+        e.u64(self.stall_cycles);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.usize()? != self.cap {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "window capacity",
+            });
+        }
+        let rel = d.u64_seq()?;
+        self.releases.clear();
+        for r in rel {
+            self.releases.push(Reverse(r));
+        }
+        self.stall_cycles = d.u64()?;
+        Ok(())
+    }
+}
+
+impl xt_snapshot::SnapshotState for Bandwidth {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.u64(self.width);
+        e.u64(self.cycle);
+        e.u64(self.used);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.u64()? != self.width {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "bandwidth width",
+            });
+        }
+        self.cycle = d.u64()?;
+        self.used = d.u64()?;
+        Ok(())
+    }
+}
+
+impl xt_snapshot::SnapshotState for PipeGroup {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.u64_seq(&self.next_free);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        let nf = d.u64_seq()?;
+        if nf.len() != self.next_free.len() {
+            return Err(xt_snapshot::SnapshotError::Mismatch { what: "pipe count" });
+        }
+        self.next_free = nf;
+        Ok(())
+    }
+}
+
+impl xt_snapshot::SnapshotState for SlotLimiter {
+    /// The ring preserves insertion order (it is part of the limiter's
+    /// behavior: full cycles are probed in ring order), so entries are
+    /// serialized verbatim, not sorted.
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.u32(self.width);
+        e.seq(self.recent.len());
+        for &(cycle, used) in &self.recent {
+            e.u64(cycle);
+            e.u32(used);
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.u32()? != self.width {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "slot limiter width",
+            });
+        }
+        let n = d.len(12)?;
+        self.recent.clear();
+        for _ in 0..n {
+            let cycle = d.u64()?;
+            let used = d.u32()?;
+            self.recent.push_back((cycle, used));
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -198,6 +198,83 @@ impl Cpu {
     }
 }
 
+impl xt_snapshot::SnapshotState for Cpu {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.u64(self.pc);
+        for &x in &self.x {
+            e.u64(x);
+        }
+        for &f in &self.f {
+            e.u64(f);
+        }
+        e.u32(self.vlen_bits);
+        for vr in &self.v {
+            e.bytes_seq(vr);
+        }
+        e.u64(self.vl);
+        e.u64(self.vtype.to_bits());
+        e.u8(self.mode as u8);
+        let mut csrs: Vec<(u16, u64)> = self.csrs.iter().map(|(k, v)| (*k, *v)).collect();
+        csrs.sort_unstable();
+        e.seq(csrs.len());
+        for (k, v) in csrs {
+            e.u16(k);
+            e.u64(v);
+        }
+        e.u64(self.instret);
+        e.opt_u64(self.reservation);
+        e.u64(self.hart_id);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        use xt_snapshot::SnapshotError;
+        self.pc = d.u64()?;
+        for x in &mut self.x {
+            *x = d.u64()?;
+        }
+        self.x[0] = 0;
+        for f in &mut self.f {
+            *f = d.u64()?;
+        }
+        let vlen = d.u32()?;
+        if !(64..=1024).contains(&vlen) || !vlen.is_power_of_two() {
+            return Err(SnapshotError::Corrupt { what: "vlen_bits" });
+        }
+        if vlen != self.vlen_bits {
+            self.set_vlen(vlen);
+        }
+        let bytes = (vlen / 8) as usize;
+        for vr in &mut self.v {
+            let b = d.bytes_seq()?;
+            if b.len() != bytes {
+                return Err(SnapshotError::Corrupt {
+                    what: "vector register length",
+                });
+            }
+            vr.copy_from_slice(b);
+        }
+        self.vl = d.u64()?;
+        self.vtype = VType::from_bits(d.u64()?);
+        self.mode = match d.u8()? {
+            0 => PrivMode::User,
+            1 => PrivMode::Supervisor,
+            3 => PrivMode::Machine,
+            _ => return Err(SnapshotError::Corrupt { what: "priv mode" }),
+        };
+        let n = d.len(10)?;
+        self.csrs.clear();
+        for _ in 0..n {
+            let k = d.u16()?;
+            let v = d.u64()?;
+            self.csrs.insert(k, v);
+        }
+        self.instret = d.u64()?;
+        self.reservation = d.opt_u64()?;
+        self.hart_id = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

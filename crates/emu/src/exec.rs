@@ -1472,6 +1472,81 @@ impl Emulator {
     }
 }
 
+impl xt_snapshot::SnapshotState for ClusterCtl {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.seq(self.store_log.len());
+        for s in &self.store_log {
+            e.u64(s.pa);
+            e.u64(s.val);
+            e.u8(s.size);
+        }
+        e.bool(self.gate);
+        e.bool(self.release_one);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        let n = d.len(17)?;
+        self.store_log.clear();
+        for _ in 0..n {
+            let pa = d.u64()?;
+            let val = d.u64()?;
+            let size = d.u8()?;
+            if !(1..=8).contains(&size) {
+                return Err(xt_snapshot::SnapshotError::Corrupt { what: "store size" });
+            }
+            self.store_log.push(StoreRec { pa, val, size });
+        }
+        self.gate = d.bool()?;
+        self.release_one = d.bool()?;
+        Ok(())
+    }
+}
+
+impl xt_snapshot::SnapshotState for Emulator {
+    /// Captures the architectural state (CPU, memory, PMP, halt/console
+    /// latches, cluster hooks). The decoded-block cache and its cursor
+    /// are *recomputed*: restore drops every cached block, so the next
+    /// step re-decodes from (restored) guest memory — this keeps the
+    /// snapshot independent of the fast-path setting and of how many
+    /// blocks happened to be cached. The attached [`Platform`] is NOT
+    /// captured here (a trait object); `xt-soc` serializes its concrete
+    /// devices alongside this payload.
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        self.cpu.save(e);
+        self.mem.save(e);
+        e.opt_u64(self.halted);
+        e.bytes_seq(&self.console);
+        self.pmp.save(e);
+        match &self.cluster {
+            Some(c) => {
+                e.bool(true);
+                c.save(e);
+            }
+            None => e.bool(false),
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        self.cpu.restore(d)?;
+        self.mem.restore(d)?;
+        self.halted = d.opt_u64()?;
+        self.console = d.bytes_seq()?.to_vec();
+        self.pmp.restore(d)?;
+        if d.bool()? {
+            let mut ctl = self.cluster.take().unwrap_or_default();
+            ctl.restore(d)?;
+            self.cluster = Some(ctl);
+        } else {
+            self.cluster = None;
+        }
+        // Decoded blocks may describe pre-restore code bytes: drop them
+        // all and re-enter the interpreter cleanly.
+        self.icache.invalidate_all();
+        self.cursor = None;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

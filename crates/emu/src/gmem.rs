@@ -152,6 +152,41 @@ impl GuestMem {
     }
 }
 
+impl xt_snapshot::SnapshotState for GuestMem {
+    /// Only pages holding a nonzero byte are captured (sorted by page
+    /// index, so the encoding is canonical); restore rebuilds the page
+    /// table from scratch. Zero pages are architecturally equivalent to
+    /// unmapped ones, so dropping them preserves every guest-visible
+    /// read while keeping `save ∘ restore ∘ save` byte-stable.
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        let pages = self.snapshot_nonzero();
+        e.seq(pages.len());
+        for (idx, data) in pages {
+            e.u64(idx);
+            e.bytes_seq(&data);
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        // 8 (index) + 8 (length prefix) + PAGE_SIZE bytes per entry: a
+        // corrupted page count larger than the payload is rejected here
+        // before any allocation happens.
+        let n = d.len(16 + PAGE_SIZE)?;
+        self.pages.clear();
+        for _ in 0..n {
+            let idx = d.u64()?;
+            let data = d.bytes_seq()?;
+            if data.len() != PAGE_SIZE {
+                return Err(xt_snapshot::SnapshotError::Corrupt { what: "page size" });
+            }
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(data);
+            self.pages.insert(idx, page);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

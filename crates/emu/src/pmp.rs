@@ -126,6 +126,50 @@ impl Pmp {
     }
 }
 
+impl xt_snapshot::SnapshotState for Pmp {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.capacity);
+        e.seq(self.regions.len());
+        for r in &self.regions {
+            e.u64(r.start);
+            e.u64(r.end);
+            e.bool(r.perms.r);
+            e.bool(r.perms.w);
+            e.bool(r.perms.x);
+            e.bool(r.perms.locked);
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        use xt_snapshot::SnapshotError;
+        let capacity = d.usize()?;
+        if capacity != self.capacity {
+            return Err(SnapshotError::Mismatch {
+                what: "pmp capacity",
+            });
+        }
+        let n = d.len(20)?;
+        if n > capacity {
+            return Err(SnapshotError::Corrupt {
+                what: "pmp region count",
+            });
+        }
+        self.regions.clear();
+        for _ in 0..n {
+            let start = d.u64()?;
+            let end = d.u64()?;
+            let perms = PmpPerms {
+                r: d.bool()?,
+                w: d.bool()?,
+                x: d.bool()?,
+                locked: d.bool()?,
+            };
+            self.regions.push(PmpRegion { start, end, perms });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

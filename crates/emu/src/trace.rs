@@ -205,6 +205,54 @@ pub enum TraceEvent {
     Done,
 }
 
+impl xt_snapshot::SnapshotState for TraceSource {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        self.emu.save(e);
+        e.opt_u64(self.exit_code);
+        match &self.error {
+            None => e.u8(0),
+            Some(ExecError::Decode { pc, word }) => {
+                e.u8(1);
+                e.u64(*pc);
+                e.u32(*word);
+            }
+            Some(ExecError::UnhandledTrap { pc, cause }) => {
+                e.u8(2);
+                e.u64(*pc);
+                e.u64(*cause);
+            }
+            Some(ExecError::OutOfFuel) => e.u8(3),
+        }
+        e.u64(self.retired);
+        e.u64(self.limit);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        self.emu.restore(d)?;
+        self.exit_code = d.opt_u64()?;
+        self.error = match d.u8()? {
+            0 => None,
+            1 => Some(ExecError::Decode {
+                pc: d.u64()?,
+                word: d.u32()?,
+            }),
+            2 => Some(ExecError::UnhandledTrap {
+                pc: d.u64()?,
+                cause: d.u64()?,
+            }),
+            3 => Some(ExecError::OutOfFuel),
+            _ => {
+                return Err(xt_snapshot::SnapshotError::Corrupt {
+                    what: "exec error tag",
+                })
+            }
+        };
+        self.retired = d.u64()?;
+        self.limit = d.u64()?;
+        Ok(())
+    }
+}
+
 impl Iterator for TraceSource {
     type Item = DynInst;
 

@@ -280,6 +280,70 @@ impl Cache {
     }
 }
 
+impl LineState {
+    fn snapshot_tag(self) -> u8 {
+        match self {
+            LineState::Modified => 0,
+            LineState::Owned => 1,
+            LineState::Exclusive => 2,
+            LineState::Shared => 3,
+            LineState::Invalid => 4,
+        }
+    }
+
+    fn from_snapshot_tag(t: u8) -> Option<Self> {
+        Some(match t {
+            0 => LineState::Modified,
+            1 => LineState::Owned,
+            2 => LineState::Exclusive,
+            3 => LineState::Shared,
+            4 => LineState::Invalid,
+            _ => return None,
+        })
+    }
+}
+
+impl xt_snapshot::SnapshotState for Cache {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.sets);
+        e.usize(self.ways);
+        e.u32(self.line_bits);
+        for line in &self.lines {
+            e.u64(line.tag);
+            e.u8(line.state.snapshot_tag());
+            e.u64(line.lru);
+            e.bool(line.prefetched);
+        }
+        e.u64(self.stamp);
+        e.u64(self.hits);
+        e.u64(self.misses);
+        e.u64(self.evictions);
+        e.u64(self.useful_prefetches);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        use xt_snapshot::SnapshotError;
+        if d.usize()? != self.sets || d.usize()? != self.ways || d.u32()? != self.line_bits {
+            return Err(SnapshotError::Mismatch {
+                what: "cache geometry",
+            });
+        }
+        for line in &mut self.lines {
+            line.tag = d.u64()?;
+            line.state = LineState::from_snapshot_tag(d.u8()?)
+                .ok_or(SnapshotError::Corrupt { what: "line state" })?;
+            line.lru = d.u64()?;
+            line.prefetched = d.bool()?;
+        }
+        self.stamp = d.u64()?;
+        self.hits = d.u64()?;
+        self.misses = d.u64()?;
+        self.evictions = d.u64()?;
+        self.useful_prefetches = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -100,7 +100,7 @@ impl PrefetchConfig {
 }
 
 /// Full memory-system configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MemConfig {
     /// Number of cores sharing the cluster's L2 (1, 2 or 4 — Table I).
     pub cores: usize,

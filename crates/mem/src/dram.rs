@@ -50,6 +50,28 @@ impl Dram {
     }
 }
 
+impl xt_snapshot::SnapshotState for Dram {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.u64(self.latency);
+        e.u64(self.transfer);
+        e.u64(self.busy_until);
+        e.u64(self.requests);
+        e.u64(self.queued);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.u64()? != self.latency || d.u64()? != self.transfer {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "dram timing",
+            });
+        }
+        self.busy_until = d.u64()?;
+        self.requests = d.u64()?;
+        self.queued = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -193,6 +193,44 @@ impl Prefetcher {
     }
 }
 
+impl xt_snapshot::SnapshotState for Prefetcher {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.streams.len());
+        e.u32(self.line_bits);
+        for s in &self.streams {
+            e.u64(s.last);
+            e.i64(s.stride);
+            e.u32(s.confidence);
+            e.i64(s.next);
+            e.u64(s.lru);
+            e.bool(s.valid);
+        }
+        e.u64(self.stamp);
+        e.u64(self.issued);
+        e.u64(self.streams_confirmed);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.usize()? != self.streams.len() || d.u32()? != self.line_bits {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "prefetcher geometry",
+            });
+        }
+        for s in &mut self.streams {
+            s.last = d.u64()?;
+            s.stride = d.i64()?;
+            s.confidence = d.u32()?;
+            s.next = d.i64()?;
+            s.lru = d.u64()?;
+            s.valid = d.bool()?;
+        }
+        self.stamp = d.u64()?;
+        self.issued = d.u64()?;
+        self.streams_confirmed = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -632,6 +632,181 @@ impl MemSystem {
     }
 }
 
+/// Encodes one [`MemOp`] (tagged).
+pub fn save_mem_op(e: &mut xt_snapshot::Enc, op: &MemOp) {
+    match *op {
+        MemOp::IFetch { cycle, pa } => {
+            e.u8(0);
+            e.u64(cycle);
+            e.u64(pa);
+        }
+        MemOp::Load { cycle, va, pa } => {
+            e.u8(1);
+            e.u64(cycle);
+            e.u64(va);
+            e.u64(pa);
+        }
+        MemOp::Store { cycle, va, pa } => {
+            e.u8(2);
+            e.u64(cycle);
+            e.u64(va);
+            e.u64(pa);
+        }
+        MemOp::FlushAll => e.u8(3),
+    }
+}
+
+/// Decodes one [`MemOp`] written by [`save_mem_op`].
+pub fn restore_mem_op(d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<MemOp> {
+    Ok(match d.u8()? {
+        0 => MemOp::IFetch {
+            cycle: d.u64()?,
+            pa: d.u64()?,
+        },
+        1 => MemOp::Load {
+            cycle: d.u64()?,
+            va: d.u64()?,
+            pa: d.u64()?,
+        },
+        2 => MemOp::Store {
+            cycle: d.u64()?,
+            va: d.u64()?,
+            pa: d.u64()?,
+        },
+        3 => MemOp::FlushAll,
+        _ => return Err(xt_snapshot::SnapshotError::Corrupt { what: "mem op tag" }),
+    })
+}
+
+impl xt_snapshot::SnapshotState for MemSystem {
+    /// Captures the whole hierarchy: per-core L1s/TLBs/prefetchers, the
+    /// shared L2, snoop-filter directory, in-flight fills, DRAM channel
+    /// occupancy, every coherence/walk counter, and the epoch-replay
+    /// recorder. The two hash maps (`dir`, `inflight`) are written in
+    /// sorted key order so the encoding is canonical.
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.cfg.cores);
+        for c in self.l1i.iter().chain(self.l1d.iter()) {
+            c.save(e);
+        }
+        for t in &self.tlbs {
+            t.save(e);
+        }
+        for p in &self.pfs {
+            p.save(e);
+        }
+        self.l2.save(e);
+        let mut dir: Vec<(u64, u16)> = self.dir.iter().map(|(k, v)| (*k, *v)).collect();
+        dir.sort_unstable();
+        e.seq(dir.len());
+        for (line, mask) in dir {
+            e.u64(line);
+            e.u16(mask);
+        }
+        self.dram.save(e);
+        let mut inflight: Vec<(u64, u64)> = self.inflight.iter().map(|(k, v)| (*k, *v)).collect();
+        inflight.sort_unstable();
+        e.seq(inflight.len());
+        for (line, ready) in inflight {
+            e.u64(line);
+            e.u64(ready);
+        }
+        e.seq(self.l2_demand.len());
+        for (h, m) in &self.l2_demand {
+            e.u64(*h);
+            e.u64(*m);
+        }
+        e.u64_seq(&self.prefetches_late);
+        e.u64(self.snoops_filtered);
+        e.u64(self.snoops_sent);
+        e.u64(self.probe_candidates);
+        e.u64(self.snoops_suppressed);
+        e.u64(self.c2c_transfers);
+        e.u64(self.coh_invalidations);
+        e.u64(self.coh_downgrades);
+        e.u64(self.coh_upgrades);
+        e.u64(self.walk_cycles);
+        match &self.recorder {
+            Some(log) => {
+                e.bool(true);
+                e.seq(log.len());
+                for op in log {
+                    save_mem_op(e, op);
+                }
+            }
+            None => e.bool(false),
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        use xt_snapshot::SnapshotError;
+        if d.usize()? != self.cfg.cores {
+            return Err(SnapshotError::Mismatch { what: "core count" });
+        }
+        for c in self.l1i.iter_mut().chain(self.l1d.iter_mut()) {
+            c.restore(d)?;
+        }
+        for t in &mut self.tlbs {
+            t.restore(d)?;
+        }
+        for p in &mut self.pfs {
+            p.restore(d)?;
+        }
+        self.l2.restore(d)?;
+        let n = d.len(10)?;
+        self.dir.clear();
+        for _ in 0..n {
+            let line = d.u64()?;
+            let mask = d.u16()?;
+            self.dir.insert(line, mask);
+        }
+        self.dram.restore(d)?;
+        let n = d.len(16)?;
+        self.inflight.clear();
+        for _ in 0..n {
+            let line = d.u64()?;
+            let ready = d.u64()?;
+            self.inflight.insert(line, ready);
+        }
+        let n = d.len(16)?;
+        if n != self.l2_demand.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "l2 demand vector",
+            });
+        }
+        for slot in &mut self.l2_demand {
+            *slot = (d.u64()?, d.u64()?);
+        }
+        let late = d.u64_seq()?;
+        if late.len() != self.prefetches_late.len() {
+            return Err(SnapshotError::Mismatch {
+                what: "late prefetch vector",
+            });
+        }
+        self.prefetches_late = late;
+        self.snoops_filtered = d.u64()?;
+        self.snoops_sent = d.u64()?;
+        self.probe_candidates = d.u64()?;
+        self.snoops_suppressed = d.u64()?;
+        self.c2c_transfers = d.u64()?;
+        self.coh_invalidations = d.u64()?;
+        self.coh_downgrades = d.u64()?;
+        self.coh_upgrades = d.u64()?;
+        self.walk_cycles = d.u64()?;
+        if d.bool()? {
+            let n = d.len(1)?;
+            let mut log = Vec::with_capacity(n);
+            for _ in 0..n {
+                log.push(restore_mem_op(d)?);
+            }
+            self.recorder = Some(log);
+        } else {
+            self.recorder = None;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -289,6 +289,72 @@ impl Tlb {
     }
 }
 
+fn save_entry(e: &mut xt_snapshot::Enc, entry: &Entry) {
+    e.u64(entry.vpn);
+    e.u64(entry.ppn);
+    e.u16(entry.asid);
+    e.u8(match entry.size {
+        PageSize::P4K => 0,
+        PageSize::P2M => 1,
+        PageSize::P1G => 2,
+    });
+    e.bool(entry.global);
+    e.u64(entry.lru);
+    e.bool(entry.valid);
+}
+
+fn restore_entry(d: &mut xt_snapshot::Dec, entry: &mut Entry) -> xt_snapshot::Result<()> {
+    entry.vpn = d.u64()?;
+    entry.ppn = d.u64()?;
+    entry.asid = d.u16()?;
+    entry.size = match d.u8()? {
+        0 => PageSize::P4K,
+        1 => PageSize::P2M,
+        2 => PageSize::P1G,
+        _ => return Err(xt_snapshot::SnapshotError::Corrupt { what: "page size" }),
+    };
+    entry.global = d.bool()?;
+    entry.lru = d.u64()?;
+    entry.valid = d.bool()?;
+    Ok(())
+}
+
+impl xt_snapshot::SnapshotState for Tlb {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.micro.len());
+        e.usize(self.joint_sets);
+        for entry in self.micro.iter().chain(self.joint.iter()) {
+            save_entry(e, entry);
+        }
+        e.u64(self.stamp);
+        e.u16(self.asid);
+        e.u64(self.micro_hits);
+        e.u64(self.joint_hits);
+        e.u64(self.walks);
+        e.u64(self.flushes);
+        e.u64(self.prefetch_fills);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.usize()? != self.micro.len() || d.usize()? != self.joint_sets {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "tlb geometry",
+            });
+        }
+        for entry in self.micro.iter_mut().chain(self.joint.iter_mut()) {
+            restore_entry(d, entry)?;
+        }
+        self.stamp = d.u64()?;
+        self.asid = d.u16()?;
+        self.micro_hits = d.u64()?;
+        self.joint_hits = d.u64()?;
+        self.walks = d.u64()?;
+        self.flushes = d.u64()?;
+        self.prefetch_fills = d.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -420,6 +420,126 @@ impl Sampler {
     }
 }
 
+fn save_perf_delta(e: &mut xt_snapshot::Enc, p: &PerfDelta) {
+    e.u64(p.cycles);
+    e.u64(p.instructions);
+    e.u64(p.uops);
+    e.u64(p.branches);
+    e.u64(p.branch_mispredicts);
+    e.u64(p.mem_order_flushes);
+    e.u64(p.store_forwards);
+    for &s in &p.stalls {
+        e.u64(s);
+    }
+}
+
+fn restore_perf_delta(d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<PerfDelta> {
+    let mut p = PerfDelta {
+        cycles: d.u64()?,
+        instructions: d.u64()?,
+        uops: d.u64()?,
+        branches: d.u64()?,
+        branch_mispredicts: d.u64()?,
+        mem_order_flushes: d.u64()?,
+        store_forwards: d.u64()?,
+        stalls: [0; NUM_STALL_CAUSES],
+    };
+    for s in &mut p.stalls {
+        *s = d.u64()?;
+    }
+    Ok(p)
+}
+
+fn save_mem_delta(e: &mut xt_snapshot::Enc, m: &MemDelta) {
+    for v in [
+        m.l1i_misses,
+        m.l1d_hits,
+        m.l1d_misses,
+        m.l2_hits,
+        m.l2_misses,
+        m.pf_issued,
+        m.pf_useful,
+        m.pf_late,
+        m.pf_streams,
+        m.tlb_walks,
+        m.coh_transitions,
+        m.dram_requests,
+    ] {
+        e.u64(v);
+    }
+}
+
+fn restore_mem_delta(d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<MemDelta> {
+    Ok(MemDelta {
+        l1i_misses: d.u64()?,
+        l1d_hits: d.u64()?,
+        l1d_misses: d.u64()?,
+        l2_hits: d.u64()?,
+        l2_misses: d.u64()?,
+        pf_issued: d.u64()?,
+        pf_useful: d.u64()?,
+        pf_late: d.u64()?,
+        pf_streams: d.u64()?,
+        tlb_walks: d.u64()?,
+        coh_transitions: d.u64()?,
+        dram_requests: d.u64()?,
+    })
+}
+
+/// A [`Sampler`] snapshots mid-run so a resumed run's time-series is
+/// byte-identical to the uninterrupted one: the previous boundary
+/// observations and every emitted interval travel with the simulator
+/// state. Top-down buckets are recomputed from each interval's perf
+/// delta on restore (they are a pure function of it), keeping the
+/// signed identity intact by construction.
+impl xt_snapshot::SnapshotState for Sampler {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.core_id);
+        e.u64(self.interval);
+        e.u64(self.next_boundary);
+        save_perf_delta(e, &self.prev_perf);
+        save_mem_delta(e, &self.prev_mem);
+        e.seq(self.samples.len());
+        for s in &self.samples {
+            e.u64(s.end_cycle);
+            save_perf_delta(e, &s.perf);
+            save_mem_delta(e, &s.mem);
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.usize()? != self.core_id {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "sampler core id",
+            });
+        }
+        if d.u64()? != self.interval {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "sampler interval",
+            });
+        }
+        self.next_boundary = d.u64()?;
+        self.prev_perf = restore_perf_delta(d)?;
+        self.prev_mem = restore_mem_delta(d)?;
+        let n = d.len(8)?;
+        let mut samples = Vec::with_capacity(n);
+        for _ in 0..n {
+            let end_cycle = d.u64()?;
+            let perf = restore_perf_delta(d)?;
+            let mem = restore_mem_delta(d)?;
+            let topdown = TopDown::from_delta(&perf);
+            samples.push(IntervalSample {
+                end_cycle,
+                perf,
+                mem,
+                topdown,
+            });
+        }
+        self.samples = samples;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -178,6 +178,69 @@ impl MmioBus {
     }
 }
 
+/// Bus snapshots capture the three standard devices and the
+/// denied-access log. Extra windows ([`MmioBus::add_device`]) are
+/// *not* captured — their device state is opaque to the codec; a
+/// snapshot of a bus with extra windows restores the standard devices
+/// and leaves the extra devices' state untouched (docs/SNAPSHOT.md).
+impl xt_snapshot::SnapshotState for MmioBus {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.usize(self.harts);
+        self.clint.save(e);
+        self.plic.save(e);
+        self.uart.save(e);
+        e.seq(self.denied.len());
+        for a in &self.denied {
+            e.u64(a.pa);
+            e.usize(a.size);
+            e.bool(a.is_write);
+            e.str(a.window);
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        if d.usize()? != self.harts {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "bus hart count",
+            });
+        }
+        self.clint.restore(d)?;
+        self.plic.restore(d)?;
+        self.uart.restore(d)?;
+        let n = d.len(19)?; // 8 pa + 8 size + 1 is_write + ≥2 window name
+        let mut denied = Vec::with_capacity(n);
+        for _ in 0..n {
+            let pa = d.u64()?;
+            let size = d.usize()?;
+            let is_write = d.bool()?;
+            // window names round-trip through the known static names
+            // (standard windows plus any extra windows on the target)
+            let name = d.string()?;
+            let window = match name.as_str() {
+                "clint" => "clint",
+                "plic" => "plic",
+                "uart" => "uart",
+                other => self
+                    .extra
+                    .iter()
+                    .map(|w| w.name)
+                    .find(|n| *n == other)
+                    .ok_or(xt_snapshot::SnapshotError::Corrupt {
+                        what: "denied-access window name",
+                    })?,
+            };
+            denied.push(DeniedAccess {
+                pa,
+                size,
+                is_write,
+                window,
+            });
+        }
+        self.denied = denied;
+        Ok(())
+    }
+}
+
 impl Platform for MmioBus {
     fn contains(&self, pa: u64) -> bool {
         (CLINT_BASE..CLINT_BASE + CLINT_SIZE).contains(&pa)

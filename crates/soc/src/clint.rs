@@ -169,6 +169,28 @@ impl Clint {
     }
 }
 
+impl xt_snapshot::SnapshotState for Clint {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.bool_seq(&self.msip);
+        e.u64_seq(&self.mtimecmp);
+        e.u64(self.mtime);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        let msip = d.bool_seq()?;
+        let mtimecmp = d.u64_seq()?;
+        if msip.len() != self.msip.len() || mtimecmp.len() != self.mtimecmp.len() {
+            return Err(xt_snapshot::SnapshotError::Mismatch {
+                what: "clint hart count",
+            });
+        }
+        self.msip = msip;
+        self.mtimecmp = mtimecmp;
+        self.mtime = d.u64()?;
+        Ok(())
+    }
+}
+
 impl MmioDevice for Clint {
     fn read(&mut self, offset: u64, size: usize) -> Result<u64, BusFault> {
         Clint::read(self, offset, size)

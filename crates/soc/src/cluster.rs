@@ -181,6 +181,8 @@ pub struct ClusterSim {
     epoch_cycles: u64,
     tracing: bool,
     engine: EngineStats,
+    /// All cores done *and* the one-shot final drain has run.
+    finished: bool,
 }
 
 impl ClusterSim {
@@ -236,6 +238,7 @@ impl ClusterSim {
             epoch_cycles: DEFAULT_EPOCH_CYCLES,
             tracing: false,
             engine: EngineStats::default(),
+            finished: false,
         }
     }
 
@@ -304,38 +307,11 @@ impl ClusterSim {
     /// count). Cores are partitioned into contiguous chunks, one scoped
     /// thread per chunk per epoch; the barrier is always serial.
     pub fn run_threads(mut self, threads: usize) -> ClusterReport {
-        let n = self.slots.len();
-        if n == 1 {
+        if self.slots.len() == 1 {
             return self.run_single();
         }
-        let threads = threads.clamp(1, n);
-        let chunk = n.div_ceil(threads);
-        let max_insts = self.max_insts;
-        let mut epoch_end = self.epoch_cycles;
-        loop {
-            let t0 = Instant::now();
-            thread::scope(|scope| {
-                for chunk_slots in self.slots.chunks_mut(chunk) {
-                    scope.spawn(move || {
-                        for slot in chunk_slots {
-                            slot.run_slice(epoch_end, max_insts);
-                        }
-                    });
-                }
-            });
-            let t1 = Instant::now();
-            self.barrier();
-            self.engine.parallel_ns += (t1 - t0).as_nanos() as u64;
-            self.engine.serial_ns += t1.elapsed().as_nanos() as u64;
-            self.engine.epochs += 1;
-            epoch_end += self.epoch_cycles;
-            if self.slots.iter().all(|s| s.done) {
-                // traffic from the final barrier's released instructions
-                let _ = self.drain_to_master();
-                break;
-            }
-        }
-        self.finish()
+        while !self.step_epochs(1, threads) {}
+        self.into_report()
     }
 
     /// Runs the identical epoch/barrier pipeline inline on the calling
@@ -345,23 +321,101 @@ impl ClusterSim {
         if self.slots.len() == 1 {
             return self.run_single();
         }
-        let mut epoch_end = self.epoch_cycles;
-        loop {
-            let t0 = Instant::now();
-            for slot in &mut self.slots {
-                slot.run_slice(epoch_end, self.max_insts);
-            }
-            let t1 = Instant::now();
-            self.barrier();
-            self.engine.parallel_ns += (t1 - t0).as_nanos() as u64;
-            self.engine.serial_ns += t1.elapsed().as_nanos() as u64;
-            self.engine.epochs += 1;
-            epoch_end += self.epoch_cycles;
-            if self.slots.iter().all(|s| s.done) {
-                let _ = self.drain_to_master();
+        while !self.step_epochs(1, 1) {}
+        self.into_report()
+    }
+
+    /// Whether every core has finished and the final drain has run —
+    /// further [`ClusterSim::step_epochs`] calls are no-ops.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Simulated-cycle epoch boundaries crossed so far.
+    pub fn epochs(&self) -> u64 {
+        self.engine.epochs
+    }
+
+    /// Advances the engine by up to `count` epochs with `threads` worker
+    /// threads (1 = inline, the sequential oracle; results are
+    /// bit-identical either way). Returns [`ClusterSim::finished`].
+    ///
+    /// This is the resumable driver underneath the consuming
+    /// [`ClusterSim::run`]* entry points: a [`ClusterSim::save`]d
+    /// snapshot taken between `step_epochs` calls and
+    /// [`ClusterSim::restore`]d into a same-shape instance continues
+    /// bit-identically (tests/snapshot_resume.rs).
+    pub fn step_epochs(&mut self, count: u64, threads: usize) -> bool {
+        for _ in 0..count {
+            if self.finished {
                 break;
             }
+            self.step_one_epoch(threads);
         }
+        self.finished
+    }
+
+    /// One epoch: parallel (or inline) slice phase, then the serial
+    /// barrier. A single-core cluster steps straight against the master
+    /// hierarchy — no replicas, no barrier — in epoch-sized chunks.
+    fn step_one_epoch(&mut self, threads: usize) {
+        let n = self.slots.len();
+        let epoch_end = (self.engine.epochs + 1).saturating_mul(self.epoch_cycles);
+        if n == 1 {
+            let t0 = Instant::now();
+            let slot = &mut self.slots[0];
+            while !slot.done && slot.core.cycles() < epoch_end {
+                match slot.trace.try_next() {
+                    TraceEvent::Inst(d) => {
+                        slot.core.step(&d, &mut self.master);
+                        slot.steps += 1;
+                        if slot.steps >= self.max_insts {
+                            slot.done = true;
+                        }
+                    }
+                    TraceEvent::Done => slot.done = true,
+                    TraceEvent::Barrier => unreachable!("no cluster gating on a single core"),
+                }
+            }
+            self.engine.parallel_ns += t0.elapsed().as_nanos() as u64;
+            self.engine.epochs += 1;
+            self.finished = self.slots[0].done;
+            return;
+        }
+        let threads = threads.clamp(1, n);
+        let max_insts = self.max_insts;
+        let t0 = Instant::now();
+        if threads == 1 {
+            for slot in &mut self.slots {
+                slot.run_slice(epoch_end, max_insts);
+            }
+        } else {
+            let chunk = n.div_ceil(threads);
+            thread::scope(|scope| {
+                for chunk_slots in self.slots.chunks_mut(chunk) {
+                    scope.spawn(move || {
+                        for slot in chunk_slots {
+                            slot.run_slice(epoch_end, max_insts);
+                        }
+                    });
+                }
+            });
+        }
+        let t1 = Instant::now();
+        self.barrier();
+        self.engine.parallel_ns += (t1 - t0).as_nanos() as u64;
+        self.engine.serial_ns += t1.elapsed().as_nanos() as u64;
+        self.engine.epochs += 1;
+        if self.slots.iter().all(|s| s.done) {
+            // traffic from the final barrier's released instructions
+            let _ = self.drain_to_master();
+            self.finished = true;
+        }
+    }
+
+    /// Assembles the report after a [`ClusterSim::step_epochs`]-driven
+    /// run (or mid-run, for the instructions consumed so far).
+    pub fn into_report(self) -> ClusterReport {
         self.finish()
     }
 
@@ -385,6 +439,120 @@ impl ClusterSim {
         }
         self.engine.parallel_ns += t0.elapsed().as_nanos() as u64;
         self.finish()
+    }
+
+    /// Serializes the whole cluster — every core's emulator (plus its
+    /// bus replica when interrupts are attached), timing core, memory
+    /// replica, pending resync logs, and the master hierarchy — into a
+    /// [`xt_snapshot::KIND_CLUSTER`] frame. Valid at any
+    /// [`ClusterSim::step_epochs`] boundary. Host-time fields of
+    /// [`EngineStats`] are written as zero (they are measurements, not
+    /// state), so equal simulated states produce equal snapshot bytes.
+    pub fn save(&self) -> Vec<u8> {
+        use xt_snapshot::SnapshotState;
+        let mut e = xt_snapshot::Enc::new();
+        e.seq(self.slots.len());
+        e.u64(self.epoch_cycles);
+        e.u64(self.max_insts);
+        e.bool(self.tracing);
+        e.bool(self.finished);
+        e.u64(self.engine.epochs);
+        for s in &self.slots {
+            s.trace.save(&mut e);
+            match bus_of(s.trace.emulator()) {
+                Some(bus) => {
+                    e.bool(true);
+                    bus.save(&mut e);
+                }
+                None => e.bool(false),
+            }
+            s.core.save(&mut e);
+            s.mem.save(&mut e);
+            match &s.pending {
+                Some(logs) => {
+                    e.bool(true);
+                    e.seq(logs.len());
+                    for log in logs.iter() {
+                        e.seq(log.len());
+                        for op in log {
+                            xt_mem::system::save_mem_op(&mut e, op);
+                        }
+                    }
+                }
+                None => e.bool(false),
+            }
+            e.bool(s.parked);
+            e.bool(s.done);
+            e.u64(s.steps);
+        }
+        self.master.save(&mut e);
+        xt_snapshot::seal(xt_snapshot::KIND_CLUSTER, e.bytes())
+    }
+
+    /// Restores a [`ClusterSim::save`]d frame into this cluster. The
+    /// target must have been built with the same shape — core count,
+    /// core/memory configuration, interrupt platform on or off — or
+    /// [`xt_snapshot::SnapshotError::Mismatch`] is returned (the target
+    /// is then partially restored and must be discarded). The engine
+    /// fast-path setting is *not* part of the snapshot: it is
+    /// architecturally invisible, so a snapshot taken with the block
+    /// cache on restores fine into an instance running with it off.
+    pub fn restore(&mut self, bytes: &[u8]) -> xt_snapshot::Result<()> {
+        use xt_snapshot::SnapshotState;
+        let payload = xt_snapshot::open(bytes, xt_snapshot::KIND_CLUSTER)?;
+        let mut d = xt_snapshot::Dec::new(payload);
+        if d.len(1)? != self.slots.len() {
+            return Err(xt_snapshot::SnapshotError::Mismatch { what: "core count" });
+        }
+        self.epoch_cycles = d.u64()?;
+        if self.epoch_cycles == 0 {
+            return Err(xt_snapshot::SnapshotError::Corrupt {
+                what: "epoch cycles",
+            });
+        }
+        self.max_insts = d.u64()?;
+        self.tracing = d.bool()?;
+        self.finished = d.bool()?;
+        self.engine = EngineStats {
+            epochs: d.u64()?,
+            serial_ns: 0,
+            parallel_ns: 0,
+        };
+        for s in &mut self.slots {
+            s.trace.restore(&mut d)?;
+            let has_bus = d.bool()?;
+            match (has_bus, bus_of_mut(s.trace.emulator_mut())) {
+                (true, Some(bus)) => bus.restore(&mut d)?,
+                (false, None) => {}
+                _ => {
+                    return Err(xt_snapshot::SnapshotError::Mismatch {
+                        what: "interrupt platform",
+                    })
+                }
+            }
+            s.core.restore(&mut d)?;
+            s.mem.restore(&mut d)?;
+            s.pending = if d.bool()? {
+                let n_logs = d.len(8)?;
+                let mut logs = Vec::with_capacity(n_logs);
+                for _ in 0..n_logs {
+                    let n_ops = d.len(8)?;
+                    let mut log = Vec::with_capacity(n_ops);
+                    for _ in 0..n_ops {
+                        log.push(xt_mem::system::restore_mem_op(&mut d)?);
+                    }
+                    logs.push(log);
+                }
+                Some(Arc::new(logs))
+            } else {
+                None
+            };
+            s.parked = d.bool()?;
+            s.done = d.bool()?;
+            s.steps = d.u64()?;
+        }
+        self.master.restore(&mut d)?;
+        d.finish()
     }
 
     /// The serial epoch barrier (see the [module docs](self) for the

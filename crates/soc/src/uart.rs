@@ -37,6 +37,17 @@ impl Uart {
     }
 }
 
+impl xt_snapshot::SnapshotState for Uart {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.bytes_seq(&self.tx);
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        self.tx = d.bytes_seq()?.to_vec();
+        Ok(())
+    }
+}
+
 impl MmioDevice for Uart {
     fn read(&mut self, offset: u64, size: usize) -> Result<u64, BusFault> {
         if size != 1 || offset >= 8 {

@@ -285,6 +285,70 @@ impl TraceSink for TraceBuffer {
     }
 }
 
+impl xt_snapshot::SnapshotState for TraceBuffer {
+    fn save(&self, e: &mut xt_snapshot::Enc) {
+        e.seq(self.records.len());
+        for r in &self.records {
+            e.u64(r.seq);
+            e.u64(r.pc);
+            e.str(&r.disasm);
+            for &c in &r.enter {
+                e.u64(c);
+            }
+        }
+        e.seq(self.flushes.len());
+        for f in &self.flushes {
+            e.u64(f.cycle);
+            e.u64(f.pc);
+            e.u8(match f.cause {
+                FlushCause::Mispredict => 0,
+                FlushCause::MemOrder => 1,
+                FlushCause::Exception => 2,
+            });
+        }
+    }
+
+    fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
+        let n = d.len(24 + 8 * NUM_STAGES)?;
+        self.records.clear();
+        for _ in 0..n {
+            let seq = d.u64()?;
+            let pc = d.u64()?;
+            let disasm = d.string()?;
+            let mut enter = [0u64; NUM_STAGES];
+            for c in &mut enter {
+                *c = d.u64()?;
+            }
+            // bypass InstRecord::new's clamp: the saved record was
+            // already clamped at construction, restore it verbatim
+            self.records.push(InstRecord {
+                seq,
+                pc,
+                disasm,
+                enter,
+            });
+        }
+        let n = d.len(17)?;
+        self.flushes.clear();
+        for _ in 0..n {
+            let cycle = d.u64()?;
+            let pc = d.u64()?;
+            let cause = match d.u8()? {
+                0 => FlushCause::Mispredict,
+                1 => FlushCause::MemOrder,
+                2 => FlushCause::Exception,
+                _ => {
+                    return Err(xt_snapshot::SnapshotError::Corrupt {
+                        what: "flush cause",
+                    })
+                }
+            };
+            self.flushes.push(FlushEvent { cycle, pc, cause });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

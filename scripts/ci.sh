@@ -75,10 +75,11 @@ cargo clippy --workspace --offline --all-targets -- -D warnings
 echo "== xt-check conformance smoke (fixed suite seed) =="
 # 64 random programs: emulator vs. host oracle conformance plus
 # timing-model invariants, cluster invariants, the fast-path SMC
-# differential, and the interrupt-delivery differential (random
-# timer-preempted workloads on the real device bus); --self-test
-# additionally injects an oracle fault and requires a shrunk,
-# seed-replayable counterexample.
+# differential, the interrupt-delivery differential (random
+# timer-preempted workloads on the real device bus), and the
+# snapshot/resume phase (random workloads cut at random points must
+# resume bit-identically); --self-test additionally injects an oracle
+# fault and requires a shrunk, seed-replayable counterexample.
 cargo run --release --offline -p xt-check -- --cases 64 --self-test
 
 echo "== rustdoc (no-deps, warnings are errors) =="
@@ -195,6 +196,25 @@ print("OK: BENCH_figures.json parses, 16-cell grid, >=2x vector uplift "
 "$repo_root/target/release/xt-figures" selftest \
     baselines/BENCH_figures_smoke.json --tolerance 0.05
 rm -rf "$fig_dir"
+
+echo "== snapshot/resume identity (docs/SNAPSHOT.md) =="
+# Whole-simulation save/restore: the resume matrix (sessions, clusters,
+# interrupts, tracers, samplers), file-level error paths, and the
+# committed golden frame — a SnapshotState wire-layout change without a
+# deliberate xt_snapshot::VERSION bump fails here. Run under both
+# execution engines: frames must move freely across XT_FASTPATH
+# settings.
+for fp in 0 1; do
+    echo "-- XT_FASTPATH=$fp --"
+    XT_FASTPATH=$fp cargo test -q --offline \
+        --test snapshot_resume --test snapshot_golden --test snapshot_errors
+done
+# The xt-report matrix routed through a save/restore cycle every 1000
+# instructions must emit a byte-identical BENCH_pipeline.json; the
+# binary self-asserts and exits non-zero on any divergence.
+snap_dir=$(mktemp -d)
+(cd "$snap_dir" && "$repo_root/target/release/xt-report" --smoke --snapshot-every 1000)
+rm -rf "$snap_dir"
 
 echo "== hermetic dependency check =="
 # Workspace-local (path) packages have "source": null in cargo metadata;
