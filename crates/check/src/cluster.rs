@@ -8,15 +8,24 @@
 //! for *any* program mix:
 //!
 //! 1. **Determinism** — 1-thread and 2-thread runs produce identical
-//!    perf counters, memory statistics, and exit codes.
+//!    perf counters, memory statistics, and exit codes. The 2-thread
+//!    leg additionally runs with the memory tracer attached, so this
+//!    law also proves tracing changes nothing
+//!    (`tracing_does_not_change_timing`).
 //! 2. **Makespan bound** — sharing a hierarchy can only slow a core
 //!    down, so the cluster makespan (plus bounded slack for the handful
 //!    of unavoidably shared lines: the root page-table line and the
 //!    halt mailbox) is at least the slowest core's standalone runtime.
-//! 3. **Snoop conservation** — every core named by a non-empty snoop
-//!    filter mask is either probed or suppressed:
-//!    `snoops_sent + snoops_suppressed == probe_candidates`.
+//! 3. **Memory-observability conservation** — miss classes sum to the
+//!    L1D miss total per core, each scorecard slot keeps
+//!    `late <= useful`, and the snoop books balance (the matrix sums
+//!    to `snoops_sent`, `snoops_sent + snoops_suppressed ==
+//!    probe_candidates`); see
+//!    [`crate::invariants::check_memory_observability`].
 //! 4. **Completion** — every generated program halts with an exit code.
+//! 5. **Event reconciliation** — the traced leg's replayed event counts
+//!    reconcile exactly with every memory counter
+//!    ([`xt_mem::MemTracer::reconcile`]).
 //!
 //! Failures shrink through `xt-harness` (fewer cores, shorter
 //! programs, smaller epochs) and replay from a printed seed.
@@ -125,28 +134,40 @@ fn mem_cfg(cores: usize) -> MemConfig {
     }
 }
 
-fn run(progs: &[Program], epoch: u64, threads: usize) -> ClusterReport {
-    ClusterSim::new(progs, &CoreConfig::xt910(), mem_cfg(progs.len()), MAX_INSTS)
-        .with_epoch(epoch)
-        .run_threads(threads)
+fn run(progs: &[Program], epoch: u64, threads: usize, traced: bool) -> ClusterReport {
+    let mut sim = ClusterSim::new(progs, &CoreConfig::xt910(), mem_cfg(progs.len()), MAX_INSTS)
+        .with_epoch(epoch);
+    if traced {
+        sim = sim.with_mem_tracing();
+    }
+    sim.run_threads(threads)
 }
 
 /// Checks the cluster invariants for one generated spec. The `Err`
 /// carries a human-readable description of the violated law.
 pub fn check_cluster_invariants(spec: &ClusterSpec) -> Result<(), String> {
     let progs = spec.emit();
-    let r1 = run(&progs, spec.epoch, 1);
+    let r1 = run(&progs, spec.epoch, 1, false);
 
-    // 1. determinism across host thread counts
-    let r2 = run(&progs, spec.epoch, 2);
+    // 1. determinism across host thread counts; the traced leg must
+    // produce the same counters, so this also proves observability is
+    // strictly read-only
+    let r2 = run(&progs, spec.epoch, 2, true);
     if r1.cores != r2.cores || r1.mem != r2.mem || r1.exit_codes != r2.exit_codes {
         return Err(format!(
-            "thread-count nondeterminism: 1-thread and 2-thread runs diverge \
+            "thread-count nondeterminism (or tracing changed results): \
+             untraced 1-thread and traced 2-thread runs diverge \
              (epoch {}, {} cores)",
             spec.epoch,
             progs.len()
         ));
     }
+
+    // 5. the traced leg's event stream reconciles with the counters
+    let tracer = r2.mem_events.as_ref().ok_or("traced run returned no event stream")?;
+    tracer
+        .reconcile(&r2.mem)
+        .map_err(|e| format!("cluster event stream does not reconcile with counters: {e}"))?;
 
     // 4. every program halts
     for (i, code) in r1.exit_codes.iter().enumerate() {
@@ -184,14 +205,8 @@ pub fn check_cluster_invariants(spec: &ClusterSpec) -> Result<(), String> {
         ));
     }
 
-    // 3. snoop conservation on the master hierarchy
-    let m = &r1.mem;
-    if m.snoops_sent + m.snoops_suppressed != m.probe_candidates {
-        return Err(format!(
-            "snoop conservation violated: sent {} + suppressed {} != candidates {}",
-            m.snoops_sent, m.snoops_suppressed, m.probe_candidates
-        ));
-    }
+    // 3. memory-observability conservation on the master hierarchy
+    crate::invariants::check_memory_observability(&r1.mem)?;
 
     Ok(())
 }

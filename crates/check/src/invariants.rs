@@ -15,12 +15,20 @@
 //! 5. telemetry conservation — an [`xt_perf::Sampler`] riding along the
 //!    OoO replay must produce interval deltas that sum exactly to the
 //!    final counters, with every interval's top-down buckets summing
-//!    (signed) to its cycle delta.
+//!    (signed) to its cycle delta,
+//! 6. memory-observability conservation — the OoO replay runs with the
+//!    [`xt_mem::MemTracer`] attached; afterwards the replayed event
+//!    counts must reconcile exactly with every [`xt_mem::MemStats`]
+//!    counter, the four attributed miss classes must sum to the L1D
+//!    miss total per core, each stream's late prefetches must not
+//!    exceed its useful ones, and the snoop books must balance
+//!    (the matrix sums to `snoops_sent`, sent + suppressed =
+//!    candidates).
 
 use crate::progen::ProgSpec;
 use xt_core::{CoreConfig, InOrderCore, OooCore};
 use xt_emu::{Emulator, TraceSource};
-use xt_mem::MemSystem;
+use xt_mem::{MemStats, MemSystem};
 use xt_perf::Sampler;
 
 /// Dynamic instruction budget per checked program (specs are tiny).
@@ -61,6 +69,53 @@ impl TimingSummary {
     }
 }
 
+/// Checks the memory-observability conservation laws on a final
+/// [`MemStats`]: per-core miss-class conservation, per-slot scorecard
+/// sanity (`late <= useful`), and the snoop books
+/// (`snoop_matrix` sums to `snoops_sent`,
+/// `snoops_sent + snoops_suppressed == probe_candidates`). Shared by
+/// the single-core invariant replay and the cluster stage.
+pub fn check_memory_observability(mem: &MemStats) -> Result<(), String> {
+    for (c, &(_, misses)) in mem.l1d.iter().enumerate() {
+        let classes = mem.miss_class_sum(c);
+        if classes != misses {
+            return Err(format!(
+                "miss-class conservation violated on core {c}: \
+                 compulsory {} + capacity {} + conflict {} + coherence {} = {classes}, \
+                 but L1D misses = {misses}",
+                mem.miss_compulsory[c],
+                mem.miss_capacity[c],
+                mem.miss_conflict[c],
+                mem.miss_coherence[c],
+            ));
+        }
+    }
+    for (c, per_slot) in mem.pf_scorecard.iter().enumerate() {
+        for (s, score) in per_slot.iter().enumerate() {
+            if score.late > score.useful {
+                return Err(format!(
+                    "prefetch scorecard core {c} slot {s}: late {} > useful {}",
+                    score.late, score.useful
+                ));
+            }
+        }
+    }
+    let matrix_sum: u64 = mem.snoop_matrix.iter().sum();
+    if matrix_sum != mem.snoops_sent {
+        return Err(format!(
+            "snoop matrix sums to {matrix_sum}, but snoops_sent = {}",
+            mem.snoops_sent
+        ));
+    }
+    if mem.snoops_sent + mem.snoops_suppressed != mem.probe_candidates {
+        return Err(format!(
+            "snoop books unbalanced: sent {} + suppressed {} != candidates {}",
+            mem.snoops_sent, mem.snoops_suppressed, mem.probe_candidates
+        ));
+    }
+    Ok(())
+}
+
 /// Replays `spec` through both timing models and checks the structural
 /// invariants. Returns the timing summary on success and a description
 /// of the first violation on failure.
@@ -73,6 +128,7 @@ pub fn check_invariants(spec: &ProgSpec) -> Result<TimingSummary, String> {
     emu.load(&prog);
     let mut trace = TraceSource::new(emu, MAX_INSTS);
     let mut mem = MemSystem::new(cfg.mem);
+    mem.start_tracing();
     let mut core = OooCore::new(cfg.clone(), 0);
     let mut sampler = Sampler::new(0, SAMPLE_INTERVAL);
     let mut last_retire = 0u64;
@@ -103,6 +159,12 @@ pub fn check_invariants(spec: &ProgSpec) -> Result<TimingSummary, String> {
             "telemetry conservation violated (interval {SAMPLE_INTERVAL}): {e}"
         ));
     }
+
+    check_memory_observability(&report.mem)?;
+    let tracer = mem.stop_tracing().expect("tracing was started");
+    tracer
+        .reconcile(&report.mem)
+        .map_err(|e| format!("memory event stream does not reconcile with counters: {e}"))?;
 
     if perf.attributed_stall_cycles() > cycles {
         return Err(format!(
@@ -138,6 +200,10 @@ pub fn check_invariants(spec: &ProgSpec) -> Result<TimingSummary, String> {
     let mut inorder = InOrderCore::new(cfg.clone(), 0);
     let report = inorder.run_to_end(trace, &mut mem);
     let inorder_cycles = report.perf.cycles;
+    // the classifier is always-on, so the conservation laws must hold
+    // on the in-order core's hierarchy too
+    check_memory_observability(&report.mem)
+        .map_err(|e| format!("in-order baseline: {e}"))?;
 
     // On dependency-free straight-line code the OoO core can extract all
     // ILP, so it must not be slower. A small slack absorbs modeling

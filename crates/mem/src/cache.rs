@@ -31,6 +31,17 @@ impl LineState {
     pub fn is_writable(self) -> bool {
         matches!(self, LineState::Modified | LineState::Exclusive)
     }
+
+    /// Stable display name (single MOSEI letter).
+    pub fn name(self) -> &'static str {
+        match self {
+            LineState::Modified => "M",
+            LineState::Owned => "O",
+            LineState::Exclusive => "E",
+            LineState::Shared => "S",
+            LineState::Invalid => "I",
+        }
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -63,7 +74,11 @@ pub enum ProbeResult {
     Miss,
     /// Hit, but the line is not writable and the access is a store
     /// (requires a coherence upgrade).
-    UpgradeNeeded,
+    UpgradeNeeded {
+        /// True when this is the first demand touch of a prefetched line
+        /// (the touch still counts toward `useful_prefetches`).
+        was_prefetched: bool,
+    },
 }
 
 /// Victim information returned by a fill.
@@ -158,7 +173,7 @@ impl Cache {
                     self.useful_prefetches += 1;
                 }
                 if is_store && !line.state.is_writable() {
-                    return ProbeResult::UpgradeNeeded;
+                    return ProbeResult::UpgradeNeeded { was_prefetched };
                 }
                 if is_store {
                     line.state = LineState::Modified;
@@ -281,7 +296,7 @@ impl Cache {
 }
 
 impl LineState {
-    fn snapshot_tag(self) -> u8 {
+    pub(crate) fn snapshot_tag(self) -> u8 {
         match self {
             LineState::Modified => 0,
             LineState::Owned => 1,
@@ -291,7 +306,7 @@ impl LineState {
         }
     }
 
-    fn from_snapshot_tag(t: u8) -> Option<Self> {
+    pub(crate) fn from_snapshot_tag(t: u8) -> Option<Self> {
         Some(match t {
             0 => LineState::Modified,
             1 => LineState::Owned,
@@ -388,7 +403,21 @@ mod tests {
     fn store_to_shared_needs_upgrade() {
         let mut c = small();
         c.fill(0x80, LineState::Shared, false);
-        assert_eq!(c.access(0x80, true), ProbeResult::UpgradeNeeded);
+        assert_eq!(
+            c.access(0x80, true),
+            ProbeResult::UpgradeNeeded {
+                was_prefetched: false
+            }
+        );
+        // a store-upgrade touch of a prefetched line still counts useful
+        c.fill(0x200, LineState::Shared, true);
+        assert_eq!(
+            c.access(0x200, true),
+            ProbeResult::UpgradeNeeded {
+                was_prefetched: true
+            }
+        );
+        assert_eq!(c.useful_prefetches, 1);
     }
 
     #[test]

@@ -24,21 +24,36 @@
 //! stream tables, TLBs) as a side effect. Bandwidth limits are modeled by
 //! per-channel `busy_until` serialization, which preserves memory-level
 //! parallelism across outstanding misses.
+//!
+//! ## Observability
+//!
+//! Two observability layers ride on the model without perturbing it:
+//! the always-on **miss classifier** ([`missclass`]) attributing every
+//! L1D miss to compulsory/capacity/conflict/coherence with an exact
+//! conservation law, and the opt-in **event tracer** ([`trace`])
+//! recording one structured event per modeled action, reconcilable
+//! against the counters and renderable as chrome://tracing JSON.
+
+#![warn(missing_docs)]
 
 pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod ecc;
+pub mod missclass;
 pub mod prefetch;
 pub mod stats;
 pub mod system;
 pub mod tlb;
+pub mod trace;
 
 pub use cache::{Cache, LineState};
 pub use config::{MemConfig, PrefetchConfig, PrefetchDistance};
 pub use dram::Dram;
 pub use ecc::{ecc_decode, ecc_encode, parity, parity_ok, EccResult};
+pub use missclass::{MissClass, MissClassifier};
 pub use prefetch::Prefetcher;
-pub use stats::MemStats;
+pub use stats::{MemStats, StreamScore};
 pub use system::{MemOp, MemSystem};
 pub use tlb::{Tlb, TlbResult};
+pub use trace::{Level, MemEvent, MemEventKind, MemTracer};

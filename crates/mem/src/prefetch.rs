@@ -22,6 +22,9 @@ use crate::config::PrefetchConfig;
 pub struct PrefetchReq {
     /// Virtual byte address of the line to prefetch.
     pub va: u64,
+    /// Index of the stream-table entry that issued the request (the
+    /// per-stream scorecard key; see `MemStats::pf_scorecard`).
+    pub stream: usize,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -84,10 +87,11 @@ impl Prefetcher {
     }
 
     /// Observes a demand access at virtual address `va`; returns the
-    /// prefetch requests to issue now.
-    pub fn on_access(&mut self, va: u64) -> Vec<PrefetchReq> {
+    /// prefetch requests to issue now, plus the stream-table slot that
+    /// crossed the confirmation threshold on this access (if any).
+    pub fn on_access(&mut self, va: u64) -> (Vec<PrefetchReq>, Option<usize>) {
         if !self.cfg.enabled() {
-            return Vec::new();
+            return (Vec::new(), None);
         }
         self.stamp += 1;
         let line = va >> self.line_bits;
@@ -114,13 +118,14 @@ impl Prefetcher {
             }
         }
 
+        let mut confirmed = None;
         match best {
             Some(i) => {
                 let s = &mut self.streams[i];
                 let delta = line as i64 - s.last as i64;
                 s.lru = self.stamp;
                 if delta == 0 {
-                    return out; // same line, nothing to learn
+                    return (out, None); // same line, nothing to learn
                 }
                 if s.confidence == 0 {
                     // candidate stride established
@@ -128,13 +133,14 @@ impl Prefetcher {
                     s.confidence = 1;
                     s.last = line;
                     s.next = line as i64 + s.stride;
-                    return out;
+                    return (out, None);
                 }
                 // stride confirmed again
                 s.confidence = (s.confidence + 1).min(8);
                 s.last = line;
                 if s.confidence == CONFIRM {
                     self.streams_confirmed += 1;
+                    confirmed = Some(i);
                 }
                 if s.confidence >= CONFIRM {
                     // 2./3. prefetch control + execution: run up to
@@ -164,6 +170,7 @@ impl Prefetcher {
                         if next >= 0 {
                             out.push(PrefetchReq {
                                 va: (next as u64) << self.line_bits,
+                                stream: i,
                             });
                         }
                         next += step;
@@ -189,7 +196,7 @@ impl Prefetcher {
             }
         }
         self.issued += out.len() as u64;
-        out
+        (out, confirmed)
     }
 }
 
@@ -251,12 +258,16 @@ mod tests {
     #[test]
     fn unit_stride_confirms_and_issues() {
         let mut p = engine(PrefetchDistance::Small);
-        assert!(p.on_access(0).is_empty(), "first touch allocates");
-        assert!(p.on_access(64).is_empty(), "second touch sets stride");
-        let reqs = p.on_access(128); // third touch confirms
+        assert!(p.on_access(0).0.is_empty(), "first touch allocates");
+        assert!(p.on_access(64).0.is_empty(), "second touch sets stride");
+        let (reqs, confirmed) = p.on_access(128); // third touch confirms
         assert!(!reqs.is_empty(), "confirmed stream prefetches");
         assert_eq!(reqs[0].va, 192, "starts one line ahead");
         assert!(p.streams_confirmed >= 1);
+        let slot = confirmed.expect("confirmation slot reported");
+        assert!(reqs.iter().all(|r| r.stream == slot), "requests carry the slot");
+        // later accesses on the same stream don't re-confirm
+        assert_eq!(p.on_access(192).1, None);
     }
 
     #[test]
@@ -266,7 +277,7 @@ mod tests {
             p.on_access(k * 64);
         }
         // In steady state each new demand line extends the run by ~stride.
-        let reqs = p.on_access(8 * 64);
+        let reqs = p.on_access(8 * 64).0;
         assert_eq!(reqs.len(), 1);
         // small distance is 4 lines; the L2 engine doubles the reach
         assert_eq!(reqs[0].va, (8 + 8) * 64, "reach 8 lines ahead");
@@ -279,10 +290,10 @@ mod tests {
         let mut tail_small = 0;
         let mut tail_large = 0;
         for k in 0..16u64 {
-            if let Some(r) = small.on_access(k * 64).last() {
+            if let Some(r) = small.on_access(k * 64).0.last() {
                 tail_small = r.va;
             }
-            if let Some(r) = large.on_access(k * 64).last() {
+            if let Some(r) = large.on_access(k * 64).0.last() {
                 tail_large = r.va;
             }
         }
@@ -295,7 +306,7 @@ mod tests {
         // stride of 3 lines
         p.on_access(0);
         p.on_access(3 * 64);
-        let reqs = p.on_access(6 * 64);
+        let reqs = p.on_access(6 * 64).0;
         assert!(!reqs.is_empty());
         assert_eq!(reqs[0].va, 9 * 64);
     }
@@ -305,7 +316,7 @@ mod tests {
         let mut p = engine(PrefetchDistance::Small);
         p.on_access(100 * 64);
         p.on_access(99 * 64);
-        let reqs = p.on_access(98 * 64);
+        let reqs = p.on_access(98 * 64).0;
         assert!(!reqs.is_empty());
         assert_eq!(reqs[0].va, 97 * 64);
     }
@@ -319,10 +330,10 @@ mod tests {
         let mut got_a = false;
         let mut got_b = false;
         for k in 0..8u64 {
-            for r in p.on_access(base_a + k * 64) {
+            for r in p.on_access(base_a + k * 64).0 {
                 got_a |= r.va > base_a;
             }
-            for r in p.on_access(base_b + k * 64) {
+            for r in p.on_access(base_b + k * 64).0 {
                 got_b |= r.va > base_b;
             }
         }
@@ -336,7 +347,7 @@ mod tests {
         // ahead into page 1 without a gap at the boundary
         let mut vas = Vec::new();
         for k in 56..64u64 {
-            vas.extend(p.on_access(k * 64).iter().map(|r| r.va));
+            vas.extend(p.on_access(k * 64).0.into_iter().map(|r| r.va));
         }
         assert!(
             vas.iter().any(|&va| va >= 4096),
@@ -354,7 +365,7 @@ mod tests {
         // descend through the bottom of page 1 into page 0
         let mut vas = Vec::new();
         for k in (64..=70u64).rev() {
-            vas.extend(p.on_access(k * 64).iter().map(|r| r.va));
+            vas.extend(p.on_access(k * 64).0.into_iter().map(|r| r.va));
         }
         assert!(
             vas.iter().any(|&va| va < 4096),
@@ -367,7 +378,7 @@ mod tests {
         let mut p = engine(PrefetchDistance::Large);
         let mut vas = Vec::new();
         for k in (0..=4u64).rev() {
-            vas.extend(p.on_access(k * 64).iter().map(|r| r.va));
+            vas.extend(p.on_access(k * 64).0.into_iter().map(|r| r.va));
         }
         // the run-ahead target is far below line 0; requests clamp there
         // instead of wrapping to the top of the address space
@@ -384,7 +395,7 @@ mod tests {
         let addrs = [0u64, 1 << 20, 5 << 20, 2 << 20, 9 << 20, 3 << 20];
         let mut total = 0;
         for a in addrs {
-            total += p.on_access(a).len();
+            total += p.on_access(a).0.len();
         }
         assert_eq!(total, 0, "no pattern, no prefetch");
     }
@@ -393,7 +404,7 @@ mod tests {
     fn disabled_config_is_silent() {
         let mut p = Prefetcher::new(PrefetchConfig::off(), 64);
         for k in 0..10u64 {
-            assert!(p.on_access(k * 64).is_empty());
+            assert!(p.on_access(k * 64).0.is_empty());
         }
     }
 }

@@ -1,6 +1,50 @@
 //! Aggregated memory-system statistics, reported by the bench harness
 //! and sampled as interval deltas by `xt-perf`.
 
+/// Per-stream prefetch scorecard entry: how one stream-table slot's
+/// prefetches fared (see `MemStats::pf_scorecard`).
+///
+/// Terminology (aggregates over the slot's lifetime):
+///
+/// * **issued** — requests the stream emitted;
+/// * **useful** — prefetched L1D lines that saw a demand touch;
+/// * **late** — useful, but the demand touch arrived while the fill was
+///   still in flight (latency only partially hidden); `late <= useful`;
+/// * **useless** — prefetched L1D lines removed (evicted, invalidated,
+///   flushed) before any demand touch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamScore {
+    /// Prefetch requests issued by this stream.
+    pub issued: u64,
+    /// Prefetched lines that saw a demand hit.
+    pub useful: u64,
+    /// Useful prefetches whose fill was still in flight at the demand.
+    pub late: u64,
+    /// Prefetched lines removed before any demand touch.
+    pub useless: u64,
+}
+
+impl StreamScore {
+    /// Fraction of issued prefetches that proved useful.
+    pub fn accuracy(&self) -> f64 {
+        if self.issued == 0 {
+            0.0
+        } else {
+            self.useful as f64 / self.issued as f64
+        }
+    }
+
+    /// Fraction of useful prefetches that fully hid the miss latency
+    /// (arrived before the demand touch).
+    pub fn timeliness(&self) -> f64 {
+        if self.useful == 0 {
+            0.0
+        } else {
+            (self.useful - self.late) as f64 / self.useful as f64
+        }
+    }
+}
+
 /// A snapshot of every counter in the memory system.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct MemStats {
@@ -8,6 +52,17 @@ pub struct MemStats {
     pub l1i: Vec<(u64, u64)>,
     /// Per-core L1D (hits, misses).
     pub l1d: Vec<(u64, u64)>,
+    /// Per-core L1D misses attributed *compulsory* (first touch). The
+    /// four `miss_*` vectors satisfy the conservation law
+    /// `l1d misses == compulsory + capacity + conflict + coherence`
+    /// exactly (see `crate::missclass`).
+    pub miss_compulsory: Vec<u64>,
+    /// Per-core L1D misses attributed *capacity*.
+    pub miss_capacity: Vec<u64>,
+    /// Per-core L1D misses attributed *conflict*.
+    pub miss_conflict: Vec<u64>,
+    /// Per-core L1D misses attributed *coherence*.
+    pub miss_coherence: Vec<u64>,
     /// Per-core contributions to shared-L2 demand traffic
     /// (hits, misses), attributed to the requesting core. Includes the
     /// core's instruction-side refills and its page-walk PTE reads;
@@ -32,6 +87,12 @@ pub struct MemStats {
     pub prefetches_late: Vec<u64>,
     /// Per-core prefetch streams the engine confirmed (stride locked).
     pub prefetch_streams: Vec<u64>,
+    /// Per-core, per-stream-slot prefetch scorecard (inner length =
+    /// the configured stream-table size). Slot `useful`/`late`/`useless`
+    /// cover data-side (L1D) prefetches; the instruction-side sequential
+    /// prefetcher has no stream table and reports only in the aggregate
+    /// counters.
+    pub pf_scorecard: Vec<Vec<StreamScore>>,
     /// DRAM line requests.
     pub dram_requests: u64,
     /// DRAM requests that queued behind the channel.
@@ -48,6 +109,10 @@ pub struct MemStats {
     /// already silently dropped the line. Conservation law:
     /// `snoops_sent + snoops_suppressed == probe_candidates`.
     pub snoops_suppressed: u64,
+    /// Snoop-traffic matrix, requester-major (`cores * cores` entries):
+    /// entry `r * cores + h` counts probes core `r` sent to core `h`.
+    /// Conservation law: the matrix sums to [`Self::snoops_sent`].
+    pub snoop_matrix: Vec<u64>,
     /// Cache-to-cache transfers.
     pub c2c_transfers: u64,
     /// Coherence transitions: a remote copy was invalidated by a store
@@ -118,6 +183,19 @@ impl MemStats {
     pub fn coh_transitions(&self) -> u64 {
         self.coh_invalidations + self.coh_downgrades + self.coh_upgrades
     }
+
+    /// Sum of the four attributed miss classes for core `c` — by the
+    /// conservation law, exactly core `c`'s L1D miss count.
+    pub fn miss_class_sum(&self, c: usize) -> u64 {
+        self.miss_compulsory[c] + self.miss_capacity[c] + self.miss_conflict[c]
+            + self.miss_coherence[c]
+    }
+
+    /// Probes requester `r` sent to holder `h` (snoop-matrix cell).
+    pub fn snoop_pair(&self, r: usize, h: usize) -> u64 {
+        let cores = self.l1d.len();
+        self.snoop_matrix.get(r * cores + h).copied().unwrap_or(0)
+    }
 }
 
 #[cfg(test)]
@@ -152,5 +230,38 @@ mod tests {
         };
         assert!((s.pf_accuracy(0) - 0.75).abs() < 1e-12);
         assert!((s.pf_coverage(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stream_score_rates() {
+        let z = StreamScore::default();
+        assert_eq!(z.accuracy(), 0.0);
+        assert_eq!(z.timeliness(), 0.0);
+        let s = StreamScore {
+            issued: 10,
+            useful: 8,
+            late: 2,
+            useless: 1,
+        };
+        assert!((s.accuracy() - 0.8).abs() < 1e-12);
+        assert!((s.timeliness() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_class_sum_and_snoop_pair() {
+        let s = MemStats {
+            l1d: vec![(0, 10), (0, 4)],
+            miss_compulsory: vec![3, 1],
+            miss_capacity: vec![4, 0],
+            miss_conflict: vec![2, 2],
+            miss_coherence: vec![1, 1],
+            snoop_matrix: vec![0, 5, 7, 0],
+            ..MemStats::default()
+        };
+        assert_eq!(s.miss_class_sum(0), 10);
+        assert_eq!(s.miss_class_sum(1), 4);
+        assert_eq!(s.snoop_pair(0, 1), 5);
+        assert_eq!(s.snoop_pair(1, 0), 7);
+        assert_eq!(s.snoop_pair(1, 1), 0);
     }
 }

@@ -4,19 +4,24 @@
 //!
 //! * `xt-stat [--smoke]` — run the sampled workload matrix and write,
 //!   to the current directory, `BENCH_perf.json` (totals + top-down
-//!   buckets + interval time-series per (workload, machine), plus the
-//!   cluster section; schema `xt-stat/v1`) and `REPORT_perf.md` (the
-//!   sparkline dashboard). `--smoke` shrinks every workload to CI-gate
-//!   size; smoke output is byte-deterministic (the full run's
-//!   `cluster.engine` block reports measured host time and is the one
-//!   non-deterministic field).
+//!   buckets + interval time-series + memory block — miss-class mix
+//!   and prefetch scorecard — per (workload, machine), plus the
+//!   cluster section with per-cell snoop matrices; schema `xt-stat/v2`)
+//!   and `REPORT_perf.md` (the sparkline dashboard). `--smoke` shrinks
+//!   every workload to CI-gate size; smoke output is
+//!   byte-deterministic (the full run's `cluster.engine` block reports
+//!   measured host time and is the one non-deterministic field).
 //! * `xt-stat diff <baseline.json> <candidate.json> [--tolerance T]` —
-//!   compare two artifacts. Exit 0 = within tolerance, 1 = at least
-//!   one metric out of tolerance, 2 = structurally incomparable
-//!   (missing run, wrong schema, unreadable file).
+//!   compare two artifacts. Both must pass the memory conservation
+//!   laws (`validate_memory`). Exit 0 = within tolerance, 1 = at
+//!   least one metric out of tolerance, 2 = structurally incomparable
+//!   (missing run, wrong schema, broken conservation, unreadable
+//!   file).
 //! * `xt-stat selftest <baseline.json> [--tolerance T]` — prove the
-//!   gate works: the baseline must diff clean against itself AND an
-//!   injected ≥tolerance IPC/cycle regression must be flagged.
+//!   gate works: the baseline must diff clean against itself, an
+//!   injected ≥tolerance IPC/cycle regression must be flagged, AND a
+//!   fabricated event-count mismatch (miss classes no longer summing
+//!   to the miss total) must be rejected.
 //!   Exit 0 = gate healthy, 1 = gate broken, 2 = structural error.
 
 use xt_perf::json;

@@ -2,9 +2,13 @@
 //!
 //! `run_all` runs the observability workload matrix with interval
 //! sampling, `render_json` emits the `BENCH_perf.json` artifact
-//! (schema `xt-stat/v1`), `render_markdown` the sparkline dashboard,
-//! and `diff_documents` / `selftest` implement the CI gate that
-//! compares a candidate run against a committed baseline.
+//! (schema `xt-stat/v2`: v1 plus a per-run `memory` block — miss-class
+//! mix, prefetch scorecard — and per-core-pair snoop matrices on the
+//! cluster cells), `render_markdown` the sparkline dashboard, and
+//! `diff_documents` / `selftest` implement the CI gate that compares a
+//! candidate run against a committed baseline. The gate also validates
+//! the memory block's internal conservation laws
+//! ([`validate_memory`]) so a fabricated count mismatch fails CI.
 //!
 //! Everything except the full-mode `engine` block (measured host time,
 //! explicitly informational) is deterministic: same binary, same
@@ -65,6 +69,9 @@ pub struct ClusterCell {
     pub snoops_sent: u64,
     /// Coherence transitions (invalidations + downgrades + upgrades).
     pub coh_transitions: u64,
+    /// Requester-major snoop matrix (`cores * cores` entries; sums to
+    /// [`ClusterCell::snoops_sent`]).
+    pub snoop_matrix: Vec<u64>,
 }
 
 /// Measured engine host time (full mode only; informational).
@@ -270,6 +277,7 @@ pub fn run_cluster(smoke: bool) -> ClusterSection {
         ipc: r.throughput_ipc(),
         snoops_sent: r.mem.snoops_sent,
         coh_transitions: r.mem.coh_transitions(),
+        snoop_matrix: r.mem.snoop_matrix.clone(),
     }];
     let engine = if smoke {
         None
@@ -302,11 +310,59 @@ fn f64_array(items: impl Iterator<Item = f64>) -> String {
     format!("[{}]", v.join(", "))
 }
 
-/// Renders the `BENCH_perf.json` document (schema `xt-stat/v1`).
+/// Renders a run's `memory` block: core 0's miss-class attribution
+/// (with its conservation total) plus the data-side prefetch scorecard
+/// — aggregate columns summed over every stream slot, and the per-slot
+/// breakdown for the non-zero slots. Instruction-side sequential
+/// prefetches have no stream table and are excluded here (they report
+/// only in the run totals), which is what makes `pf_late <= pf_useful`
+/// hold structurally.
+fn memory_json(mem: &xt_mem::MemStats, indent: &str) -> String {
+    let scorecard = mem.pf_scorecard.first().map(Vec::as_slice).unwrap_or(&[]);
+    let agg = |f: fn(&xt_mem::StreamScore) -> u64| -> u64 { scorecard.iter().map(f).sum() };
+    let mut s = String::new();
+    s.push_str(&format!("{indent}\"memory\": {{\n"));
+    s.push_str(&format!("{indent}  \"misses\": {},\n", mem.l1d[0].1));
+    s.push_str(&format!(
+        "{indent}  \"compulsory\": {}, \"capacity\": {}, \"conflict\": {}, \"coherence\": {},\n",
+        mem.miss_compulsory[0], mem.miss_capacity[0], mem.miss_conflict[0], mem.miss_coherence[0]
+    ));
+    s.push_str(&format!(
+        "{indent}  \"pf_issued\": {}, \"pf_useful\": {}, \"pf_late\": {}, \"pf_useless\": {},\n",
+        agg(|sc| sc.issued),
+        agg(|sc| sc.useful),
+        agg(|sc| sc.late),
+        agg(|sc| sc.useless)
+    ));
+    s.push_str(&format!("{indent}  \"pf_scorecard\": ["));
+    let slots: Vec<String> = scorecard
+        .iter()
+        .enumerate()
+        .filter(|(_, sc)| sc.issued + sc.useful + sc.late + sc.useless > 0)
+        .map(|(i, sc)| {
+            format!(
+                "{{ \"stream\": {i}, \"issued\": {}, \"useful\": {}, \"late\": {}, \
+                 \"useless\": {}, \"accuracy\": {}, \"timeliness\": {} }}",
+                sc.issued,
+                sc.useful,
+                sc.late,
+                sc.useless,
+                json_f64(sc.accuracy()),
+                json_f64(sc.timeliness())
+            )
+        })
+        .collect();
+    s.push_str(&slots.join(", "));
+    s.push_str("]\n");
+    s.push_str(&format!("{indent}}}"));
+    s
+}
+
+/// Renders the `BENCH_perf.json` document (schema `xt-stat/v2`).
 pub fn render_json(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"xt-stat/v1\",\n");
+    s.push_str("  \"schema\": \"xt-stat/v2\",\n");
     s.push_str(&format!("  \"smoke\": {smoke},\n"));
     s.push_str(&format!(
         "  \"interval\": {},\n",
@@ -368,7 +424,9 @@ pub fn render_json(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) -> S
             "        \"retiring\": {}\n",
             num_array(r.series.samples.iter().map(|x| x.topdown.retiring))
         ));
-        s.push_str("      }\n");
+        s.push_str("      },\n");
+        s.push_str(&memory_json(&r.report.mem, "      "));
+        s.push('\n');
         let comma = if i + 1 < runs.len() { "," } else { "" };
         s.push_str(&format!("    }}{comma}\n"));
     }
@@ -380,7 +438,7 @@ pub fn render_json(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) -> S
         s.push_str(&format!(
             "      {{ \"workload\": \"{}\", \"cores\": {}, \"makespan\": {}, \
              \"instructions\": {}, \"ipc\": {}, \"snoops_sent\": {}, \
-             \"coh_transitions\": {} }}{}\n",
+             \"coh_transitions\": {}, \"snoop_matrix\": {} }}{}\n",
             c.workload,
             c.cores,
             c.makespan,
@@ -388,6 +446,7 @@ pub fn render_json(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) -> S
             json_f64(c.ipc),
             c.snoops_sent,
             c.coh_transitions,
+            num_array(c.snoop_matrix.iter()),
             comma
         ));
     }
@@ -524,6 +583,37 @@ pub fn render_markdown(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) 
         s.push_str("```\n\n");
     }
 
+    s.push_str("## Memory hierarchy\n\n");
+    s.push_str(
+        "L1D miss attribution (3C + coherence; classes sum to the miss \
+         total exactly) and the data-side prefetch scorecard aggregates \
+         (instruction-side sequential prefetches excluded). See \
+         docs/OBSERVABILITY.md for the classification method and its \
+         known limits.\n\n",
+    );
+    s.push_str("| workload | machine | misses | compulsory | capacity | conflict | coherence | pf issued | pf useful | pf late | pf useless |\n");
+    s.push_str("|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    for r in runs {
+        let mem = &r.report.mem;
+        let scorecard = mem.pf_scorecard.first().map(Vec::as_slice).unwrap_or(&[]);
+        let agg = |f: fn(&xt_mem::StreamScore) -> u64| -> u64 { scorecard.iter().map(f).sum() };
+        s.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            r.workload,
+            r.machine,
+            mem.l1d[0].1,
+            mem.miss_compulsory[0],
+            mem.miss_capacity[0],
+            mem.miss_conflict[0],
+            mem.miss_coherence[0],
+            agg(|sc| sc.issued),
+            agg(|sc| sc.useful),
+            agg(|sc| sc.late),
+            agg(|sc| sc.useless),
+        ));
+    }
+    s.push('\n');
+
     s.push_str("## Multicore (epoch-barriered cluster engine)\n\n");
     s.push_str("| workload | cores | makespan | insts | IPC | snoops | coh-transitions |\n");
     s.push_str("|---|---:|---:|---:|---:|---:|---:|\n");
@@ -532,6 +622,23 @@ pub fn render_markdown(runs: &[StatRun], cluster: &ClusterSection, smoke: bool) 
             "| {} | {} | {} | {} | {:.3} | {} | {} |\n",
             c.workload, c.cores, c.makespan, c.instructions, c.ipc, c.snoops_sent, c.coh_transitions
         ));
+    }
+    for c in &cluster.cells {
+        if c.snoop_matrix.iter().all(|&x| x == 0) {
+            continue;
+        }
+        s.push_str(&format!(
+            "\nSnoop matrix for {} (rows = requester, columns = holder):\n\n",
+            c.workload
+        ));
+        s.push_str("```text\n");
+        for r in 0..c.cores {
+            let row: Vec<String> = (0..c.cores)
+                .map(|h| format!("{:>6}", c.snoop_matrix[r * c.cores + h]))
+                .collect();
+            s.push_str(&format!("core{r} {}\n", row.join(" ")));
+        }
+        s.push_str("```\n");
     }
     match &cluster.engine {
         Some(e) => s.push_str(&format!(
@@ -602,18 +709,87 @@ fn find_run<'a>(doc: &'a Value, workload: &str, machine: &str) -> Option<&'a Val
     })
 }
 
+/// Reads a required numeric field out of `obj`, for the conservation
+/// checks in [`validate_memory`].
+fn req_num(obj: &Value, ctx: &str, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Value::as_num)
+        .ok_or_else(|| format!("{ctx}: missing numeric \"{key}\""))
+}
+
+/// Validates the memory-observability conservation laws inside one
+/// xt-stat document:
+///
+/// * per run: `misses == compulsory + capacity + conflict + coherence`
+///   (the miss-classification conservation law) and `pf_late <=
+///   pf_useful` (a late prefetch is by definition also useful);
+/// * per cluster cell: `snoop_matrix` sums to `snoops_sent`.
+///
+/// [`diff_documents`] runs this on both documents, so a fabricated or
+/// stale artifact that breaks event-count accounting fails the CI gate
+/// even when every compared metric matches.
+pub fn validate_memory(doc: &Value) -> Result<(), String> {
+    let runs = doc.get("runs").and_then(Value::as_arr).ok_or("no runs array")?;
+    for r in runs {
+        let w = r.get("workload").and_then(Value::as_str).unwrap_or("?");
+        let m = r.get("machine").and_then(Value::as_str).unwrap_or("?");
+        let ctx = format!("{w}@{m} memory");
+        let mem = r
+            .get("memory")
+            .ok_or_else(|| format!("{ctx}: missing memory block"))?;
+        let misses = req_num(mem, &ctx, "misses")?;
+        let classes = ["compulsory", "capacity", "conflict", "coherence"]
+            .iter()
+            .map(|k| req_num(mem, &ctx, k))
+            .sum::<Result<f64, _>>()?;
+        if misses != classes {
+            return Err(format!(
+                "{ctx}: miss classes sum to {classes}, but misses = {misses} \
+                 (conservation law violated)"
+            ));
+        }
+        let (useful, late) = (req_num(mem, &ctx, "pf_useful")?, req_num(mem, &ctx, "pf_late")?);
+        if late > useful {
+            return Err(format!("{ctx}: pf_late {late} > pf_useful {useful}"));
+        }
+    }
+    let cells = doc
+        .get("cluster")
+        .and_then(|c| c.get("cells"))
+        .and_then(Value::as_arr)
+        .ok_or("no cluster cells")?;
+    for c in cells {
+        let w = c.get("workload").and_then(Value::as_str).unwrap_or("?");
+        let ctx = format!("cluster {w}");
+        let sent = req_num(c, &ctx, "snoops_sent")?;
+        let matrix = c
+            .get("snoop_matrix")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| format!("{ctx}: missing snoop_matrix"))?;
+        let sum: f64 = matrix.iter().filter_map(Value::as_num).sum();
+        if sum != sent {
+            return Err(format!(
+                "{ctx}: snoop_matrix sums to {sum}, but snoops_sent = {sent}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Compares `cand` against `base` with relative tolerance `tol`.
-/// Simulated-cycle metrics (totals, top-down buckets, cluster cells)
-/// are compared; `engine` host-time blocks and the raw series are
-/// informational and ignored. `Err` means the documents are
-/// structurally incomparable (missing runs, wrong schema) — the CI
-/// gate treats that as failure too.
+/// Simulated-cycle metrics (totals, top-down buckets, per-run memory
+/// blocks, cluster cells) are compared; `engine` host-time blocks and
+/// the raw series are informational and ignored. Both documents must
+/// also pass [`validate_memory`]. `Err` means the documents are
+/// structurally incomparable (missing runs, wrong schema, broken
+/// conservation laws) — the CI gate treats that as failure too.
 pub fn diff_documents(base: &Value, cand: &Value, tol: f64) -> Result<DiffOutcome, String> {
     for (doc, who) in [(base, "baseline"), (cand, "candidate")] {
         match doc.get("schema").and_then(Value::as_str) {
-            Some("xt-stat/v1") => {}
+            Some("xt-stat/v2") => {}
             other => return Err(format!("{who}: unsupported schema {other:?}")),
         }
+        validate_memory(doc).map_err(|e| format!("{who}: {e}"))?;
     }
     let mut out = DiffOutcome::default();
     let base_runs = base
@@ -642,6 +818,14 @@ pub fn diff_documents(base: &Value, cand: &Value, tol: f64) -> Result<DiffOutcom
         for key in TopDown::NAMES {
             compare_num(&mut out, &format!("{ctx} topdown"), key, btd, ctd, tol)?;
         }
+        let bm = br.get("memory").ok_or_else(|| format!("{ctx}: baseline has no memory"))?;
+        let cm = cr.get("memory").ok_or_else(|| format!("{ctx}: candidate has no memory"))?;
+        for key in [
+            "misses", "compulsory", "capacity", "conflict", "coherence",
+            "pf_issued", "pf_useful", "pf_late", "pf_useless",
+        ] {
+            compare_num(&mut out, &format!("{ctx} memory"), key, bm, cm, tol)?;
+        }
     }
     let base_cells = base
         .get("cluster")
@@ -662,7 +846,7 @@ pub fn diff_documents(base: &Value, cand: &Value, tol: f64) -> Result<DiffOutcom
             .iter()
             .find(|c| c.get("workload").and_then(Value::as_str) == Some(w))
             .ok_or_else(|| format!("candidate is missing cluster cell {w}"))?;
-        for key in ["makespan", "instructions", "ipc"] {
+        for key in ["makespan", "instructions", "ipc", "snoops_sent", "coh_transitions"] {
             compare_num(&mut out, &format!("cluster {w}"), key, bc, cc, tol)?;
         }
     }
@@ -700,10 +884,38 @@ fn perturb(doc: &Value, ipc_mul: f64, cycle_mul: f64) -> Value {
     walk(doc, false, ipc_mul, cycle_mul)
 }
 
+/// Deep-copies `doc` with every `memory.compulsory` bumped by one
+/// *without* bumping `misses` — a fabricated event-count mismatch that
+/// breaks the miss-classification conservation law (the injected fault
+/// for [`selftest`]).
+fn break_conservation(doc: &Value) -> Value {
+    fn walk(v: &Value, in_memory: bool) -> Value {
+        match v {
+            Value::Obj(fields) => Value::Obj(
+                fields
+                    .iter()
+                    .map(|(k, val)| {
+                        let next = match (in_memory, k.as_str(), val) {
+                            (true, "compulsory", Value::Num(n)) => Value::Num(n + 1.0),
+                            _ => walk(val, k == "memory"),
+                        };
+                        (k.clone(), next)
+                    })
+                    .collect(),
+            ),
+            Value::Arr(items) => Value::Arr(items.iter().map(|x| walk(x, in_memory)).collect()),
+            other => other.clone(),
+        }
+    }
+    walk(doc, false)
+}
+
 /// Self-test of the gate: a baseline must diff clean against itself,
-/// and an injected ≥tolerance IPC/cycle regression must be flagged.
-/// Returns `Err` if either direction fails — CI runs this so a broken
-/// comparator can never silently wave regressions through.
+/// an injected ≥tolerance IPC/cycle regression must be flagged, and a
+/// fabricated event-count mismatch (miss classes no longer summing to
+/// the miss total) must be rejected by [`validate_memory`]. Returns
+/// `Err` if any direction fails — CI runs this so a broken comparator
+/// can never silently wave regressions through.
 pub fn selftest(base: &Value, tol: f64) -> Result<(), String> {
     let clean = diff_documents(base, base, tol)?;
     if !clean.issues.is_empty() {
@@ -725,7 +937,16 @@ pub fn selftest(base: &Value, tol: f64) -> Result<(), String> {
             factor * 100.0
         ));
     }
-    Ok(())
+    // inject an event-count mismatch; the conservation gate must refuse
+    // to compare the document at all
+    let forged = break_conservation(base);
+    match diff_documents(base, &forged, tol) {
+        Err(e) if e.contains("conservation") => Ok(()),
+        Err(e) => Err(format!(
+            "forged miss-class mismatch rejected for the wrong reason: {e}"
+        )),
+        Ok(_) => Err("forged miss-class mismatch was not rejected".into()),
+    }
 }
 
 #[cfg(test)]
@@ -758,7 +979,7 @@ mod tests {
     fn smoke_json_parses_and_diffs_clean_against_itself() {
         let (runs, cluster) = smoke_artifacts();
         let doc = parse(&render_json(&runs, &cluster, true)).expect("own JSON parses");
-        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("xt-stat/v1"));
+        assert_eq!(doc.get("schema").and_then(Value::as_str), Some("xt-stat/v2"));
         assert!(doc.get("cluster").and_then(|c| c.get("engine")) == Some(&Value::Null));
         let out = diff_documents(&doc, &doc, 0.0).expect("comparable");
         assert!(out.issues.is_empty());
@@ -782,6 +1003,18 @@ mod tests {
         let nudge = perturb(&doc, 0.999, 1.0);
         let out = diff_documents(&doc, &nudge, 0.05).expect("comparable");
         assert!(out.issues.is_empty(), "0.1% wiggle passes 5%: {:?}", out.issues);
+    }
+
+    #[test]
+    fn forged_event_counts_fail_the_conservation_gate() {
+        let (runs, cluster) = smoke_artifacts();
+        let doc = parse(&render_json(&runs, &cluster, true)).unwrap();
+        validate_memory(&doc).expect("generated artifact conserves");
+        let forged = break_conservation(&doc);
+        let err = validate_memory(&forged).expect_err("forged counts rejected");
+        assert!(err.contains("conservation"), "got: {err}");
+        let err = diff_documents(&doc, &forged, 0.5).expect_err("diff refuses forged candidate");
+        assert!(err.starts_with("candidate:"), "got: {err}");
     }
 
     #[test]

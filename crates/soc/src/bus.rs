@@ -38,7 +38,7 @@ pub const DEFAULT_PLIC_SOURCES: usize = 31;
 
 /// Ceiling on retained denied-access diagnostics (a guest wedged in a
 /// faulting loop must not grow the log unboundedly).
-const MAX_DENIED: usize = 64;
+pub const MAX_DENIED: usize = 64;
 
 /// A device as the bus sees it: width-checked reads and writes at
 /// window-relative offsets.
@@ -90,8 +90,13 @@ pub struct MmioBus {
     pub plic: Plic,
     /// The console UART.
     pub uart: Uart,
-    /// Denied-access diagnostics, oldest first (capped).
+    /// Denied-access diagnostics, oldest first (capped at
+    /// [`MAX_DENIED`]; later denials only bump
+    /// [`MmioBus::denied_dropped`]).
     pub denied: Vec<DeniedAccess>,
+    /// Denied accesses dropped after the log filled — the log plus this
+    /// counter account for every denial.
+    pub denied_dropped: u64,
     extra: Vec<ExtraWindow>,
     harts: usize,
 }
@@ -105,6 +110,7 @@ impl MmioBus {
             plic: Plic::new(DEFAULT_PLIC_SOURCES, harts),
             uart: Uart::new(),
             denied: Vec::new(),
+            denied_dropped: 0,
             extra: Vec::new(),
             harts,
         }
@@ -174,6 +180,8 @@ impl MmioBus {
                 is_write,
                 window,
             });
+        } else {
+            self.denied_dropped += 1;
         }
     }
 }
@@ -196,6 +204,7 @@ impl xt_snapshot::SnapshotState for MmioBus {
             e.bool(a.is_write);
             e.str(a.window);
         }
+        e.u64(self.denied_dropped);
     }
 
     fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
@@ -237,6 +246,7 @@ impl xt_snapshot::SnapshotState for MmioBus {
             });
         }
         self.denied = denied;
+        self.denied_dropped = d.u64()?;
         Ok(())
     }
 }
@@ -379,6 +389,28 @@ mod tests {
                 },
             ]
         );
+    }
+
+    #[test]
+    fn denied_log_caps_and_counts_drops() {
+        let mut bus = MmioBus::new(1);
+        // a guest wedged in a faulting loop: way more denials than the cap
+        for _ in 0..(MAX_DENIED + 50) {
+            assert_eq!(bus.read(PLIC_BASE + 2, 4), Err(BusFault));
+        }
+        assert_eq!(bus.denied.len(), MAX_DENIED, "log capped");
+        assert_eq!(bus.denied_dropped, 50, "overflow denials counted");
+        // snapshot round-trips the drop counter
+        use xt_snapshot::SnapshotState;
+        let mut e = xt_snapshot::Enc::new();
+        bus.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut r = MmioBus::new(1);
+        let mut d = xt_snapshot::Dec::new(&bytes);
+        r.restore(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(r.denied.len(), MAX_DENIED);
+        assert_eq!(r.denied_dropped, 50);
     }
 
     #[test]

@@ -29,13 +29,14 @@
 //! enforce this; docs/CLUSTER.md derives it.
 
 use crate::bus::{bus_of, bus_of_mut, MmioBus};
+use crate::timeline::{EpochSample, EpochTimeline};
 use std::sync::Arc;
 use std::thread;
 use std::time::Instant;
 use xt_asm::Program;
 use xt_core::{CoreConfig, OooCore, PerfCounters};
 use xt_emu::{ClusterCtl, Emulator, StoreRec, TraceEvent, TraceSource};
-use xt_mem::{MemConfig, MemOp, MemStats, MemSystem};
+use xt_mem::{MemConfig, MemOp, MemStats, MemSystem, MemTracer};
 
 /// Default epoch length in simulated cycles. Long enough to amortize
 /// the serial barrier over thousands of parallel core-steps, short
@@ -91,6 +92,15 @@ pub struct ClusterReport {
     /// Engine host-time breakdown (measured, non-deterministic; see
     /// [`EngineStats`]).
     pub engine: EngineStats,
+    /// Per-epoch per-core progress attribution, when enabled with
+    /// [`ClusterSim::with_timeline`]. Guest columns are deterministic;
+    /// host columns are measurements (see [`EpochTimeline`]).
+    pub timeline: Option<EpochTimeline>,
+    /// The master hierarchy's memory-event stream, when enabled with
+    /// [`ClusterSim::with_mem_tracing`]. Every event mirrors a counter
+    /// in [`ClusterReport::mem`] ([`MemTracer::reconcile`]), and the
+    /// stream is bit-identical for any host thread count.
+    pub mem_events: Option<MemTracer>,
 }
 
 impl ClusterReport {
@@ -181,6 +191,8 @@ pub struct ClusterSim {
     epoch_cycles: u64,
     tracing: bool,
     engine: EngineStats,
+    /// Per-epoch attribution rows, when enabled.
+    timeline: Option<EpochTimeline>,
     /// All cores done *and* the one-shot final drain has run.
     finished: bool,
 }
@@ -238,6 +250,7 @@ impl ClusterSim {
             epoch_cycles: DEFAULT_EPOCH_CYCLES,
             tracing: false,
             engine: EngineStats::default(),
+            timeline: None,
             finished: false,
         }
     }
@@ -250,6 +263,28 @@ impl ClusterSim {
     pub fn with_epoch(mut self, cycles: u64) -> Self {
         assert!(cycles > 0, "epoch must be at least one cycle");
         self.epoch_cycles = cycles;
+        if let Some(tl) = &mut self.timeline {
+            tl.epoch_cycles = cycles;
+        }
+        self
+    }
+
+    /// Records a per-epoch, per-core progress timeline; the report then
+    /// carries an [`EpochTimeline`] whose guest columns are
+    /// deterministic (host columns are wall-clock measurements).
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = Some(EpochTimeline::new(self.slots.len(), self.epoch_cycles));
+        self
+    }
+
+    /// Attaches a [`MemTracer`] to the *master* memory hierarchy — the
+    /// canonical instance every core's recorded traffic replays into at
+    /// the barrier, in core-index order — so the collected event stream
+    /// is deterministic for any host thread count and reconciles with
+    /// the reported [`MemStats`]. Purely observational (the
+    /// `tracing_does_not_change_timing` guarantee).
+    pub fn with_mem_tracing(mut self) -> Self {
+        self.master.start_tracing();
         self
     }
 
@@ -361,6 +396,10 @@ impl ClusterSim {
     fn step_one_epoch(&mut self, threads: usize) {
         let n = self.slots.len();
         let epoch_end = (self.engine.epochs + 1).saturating_mul(self.epoch_cycles);
+        let progress_before: Option<Vec<(u64, u64)>> = self
+            .timeline
+            .as_ref()
+            .map(|_| self.slots.iter().map(|s| (s.core.cycles(), s.steps)).collect());
         if n == 1 {
             let t0 = Instant::now();
             let slot = &mut self.slots[0];
@@ -377,9 +416,11 @@ impl ClusterSim {
                     TraceEvent::Barrier => unreachable!("no cluster gating on a single core"),
                 }
             }
-            self.engine.parallel_ns += t0.elapsed().as_nanos() as u64;
+            let par_ns = t0.elapsed().as_nanos() as u64;
+            self.engine.parallel_ns += par_ns;
             self.engine.epochs += 1;
             self.finished = self.slots[0].done;
+            self.record_epoch(progress_before, par_ns, 0);
             return;
         }
         let threads = threads.clamp(1, n);
@@ -403,14 +444,43 @@ impl ClusterSim {
         }
         let t1 = Instant::now();
         self.barrier();
-        self.engine.parallel_ns += (t1 - t0).as_nanos() as u64;
-        self.engine.serial_ns += t1.elapsed().as_nanos() as u64;
+        let par_ns = (t1 - t0).as_nanos() as u64;
+        let ser_ns = t1.elapsed().as_nanos() as u64;
+        self.engine.parallel_ns += par_ns;
+        self.engine.serial_ns += ser_ns;
         self.engine.epochs += 1;
         if self.slots.iter().all(|s| s.done) {
             // traffic from the final barrier's released instructions
             let _ = self.drain_to_master();
             self.finished = true;
         }
+        self.record_epoch(progress_before, par_ns, ser_ns);
+    }
+
+    /// Appends one timeline row: each core's guest-cycle and
+    /// instruction deltas across the epoch just executed (slice plus
+    /// barrier-released work), with the epoch's measured host split.
+    fn record_epoch(
+        &mut self,
+        progress_before: Option<Vec<(u64, u64)>>,
+        parallel_ns: u64,
+        serial_ns: u64,
+    ) {
+        let (Some(tl), Some(before)) = (self.timeline.as_mut(), progress_before) else {
+            return;
+        };
+        let mut cycles = Vec::with_capacity(self.slots.len());
+        let mut steps = Vec::with_capacity(self.slots.len());
+        for (s, (c0, s0)) in self.slots.iter().zip(before) {
+            cycles.push(s.core.cycles() - c0);
+            steps.push(s.steps - s0);
+        }
+        tl.record(EpochSample {
+            cycles,
+            steps,
+            parallel_ns,
+            serial_ns,
+        });
     }
 
     /// Assembles the report after a [`ClusterSim::step_epochs`]-driven
@@ -437,7 +507,22 @@ impl ClusterSim {
                 TraceEvent::Barrier => unreachable!("no cluster gating on a single core"),
             }
         }
-        self.engine.parallel_ns += t0.elapsed().as_nanos() as u64;
+        let par_ns = t0.elapsed().as_nanos() as u64;
+        self.engine.parallel_ns += par_ns;
+        // the single-core fast path has no epochs: the timeline gets one
+        // whole-run row so its totals still match the report
+        if self.timeline.is_some() {
+            let cycles = self.slots[0].core.cycles();
+            let steps = self.slots[0].steps;
+            if let Some(tl) = self.timeline.as_mut() {
+                tl.record(EpochSample {
+                    cycles: vec![cycles],
+                    steps: vec![steps],
+                    parallel_ns: par_ns,
+                    serial_ns: 0,
+                });
+            }
+        }
         self.finish()
     }
 
@@ -486,6 +571,13 @@ impl ClusterSim {
             e.u64(s.steps);
         }
         self.master.save(&mut e);
+        match &self.timeline {
+            Some(tl) => {
+                e.bool(true);
+                tl.save(&mut e);
+            }
+            None => e.bool(false),
+        }
         xt_snapshot::seal(xt_snapshot::KIND_CLUSTER, e.bytes())
     }
 
@@ -552,6 +644,15 @@ impl ClusterSim {
             s.steps = d.u64()?;
         }
         self.master.restore(&mut d)?;
+        match (d.bool()?, self.timeline.as_mut()) {
+            (true, Some(tl)) => tl.restore(&mut d)?,
+            (false, None) => {}
+            _ => {
+                return Err(xt_snapshot::SnapshotError::Mismatch {
+                    what: "epoch timeline",
+                })
+            }
+        }
         d.finish()
     }
 
@@ -725,6 +826,8 @@ impl ClusterSim {
             exit_codes: self.slots.iter().map(|s| s.trace.exit_code).collect(),
             konata,
             engine: self.engine,
+            timeline: self.timeline.take(),
+            mem_events: self.master.stop_tracing(),
         }
     }
 }
@@ -877,6 +980,81 @@ mod tests {
         assert!(r.engine.parallel_ns > 0, "slice phase takes host time");
         let share = r.engine.serial_share();
         assert!((0.0..=1.0).contains(&share), "share in [0,1]: {share}");
+    }
+
+    #[test]
+    fn timeline_accounts_every_cycle_and_instruction() {
+        let progs: Vec<Program> = (0..2u64).map(private_kernel).collect();
+        let mem_cfg = MemConfig {
+            cores: 2,
+            ..MemConfig::default()
+        };
+        let r = ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 1_000_000)
+            .with_timeline()
+            .run_threads(2);
+        let tl = r.timeline.as_ref().expect("timeline requested");
+        assert_eq!(tl.cores, 2);
+        assert_eq!(tl.epochs.len() as u64, r.engine.epochs, "one row per epoch");
+        for (c, core) in r.cores.iter().enumerate() {
+            assert_eq!(
+                tl.core_cycles(c),
+                core.cycles,
+                "core {c}: timeline rows sum to the reported cycle count"
+            );
+        }
+        // host attribution sums to the engine totals
+        let par: u64 = tl.epochs.iter().map(|e| e.parallel_ns).sum();
+        let ser: u64 = tl.epochs.iter().map(|e| e.serial_ns).sum();
+        assert_eq!(par, r.engine.parallel_ns);
+        assert_eq!(ser, r.engine.serial_ns);
+        // the guest-axis chrome render is valid and host-free
+        let j = tl.to_chrome_json(false);
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(!j.contains("host"));
+    }
+
+    #[test]
+    fn timeline_guest_columns_deterministic_across_threads() {
+        let mk = || {
+            let progs: Vec<Program> = (0..4u64).map(private_kernel).collect();
+            let mem_cfg = MemConfig {
+                cores: 4,
+                ..MemConfig::default()
+            };
+            ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 200_000).with_timeline()
+        };
+        let a = mk().run_threads(1).timeline.unwrap();
+        let b = mk().run_threads(4).timeline.unwrap();
+        assert_eq!(a.epochs.len(), b.epochs.len());
+        for (ra, rb) in a.epochs.iter().zip(&b.epochs) {
+            assert_eq!(ra.cycles, rb.cycles, "guest cycles are thread-invariant");
+            assert_eq!(ra.steps, rb.steps, "guest steps are thread-invariant");
+        }
+        assert_eq!(
+            a.to_chrome_json(false),
+            b.to_chrome_json(false),
+            "guest-axis render is byte-identical"
+        );
+    }
+
+    #[test]
+    fn cluster_mem_events_reconcile_and_are_thread_invariant() {
+        let mk = || {
+            let progs: Vec<Program> = (0..2).map(|_| sharing_kernel(100)).collect();
+            let mem_cfg = MemConfig {
+                cores: 2,
+                ..MemConfig::default()
+            };
+            ClusterSim::new(&progs, &CoreConfig::xt910(), mem_cfg, 500_000).with_mem_tracing()
+        };
+        let r1 = mk().run_threads(1);
+        let r2 = mk().run_threads(2);
+        assert_eq!(r1.mem, r2.mem, "stats thread-invariant");
+        let e1 = r1.mem_events.expect("tracing requested");
+        let e2 = r2.mem_events.expect("tracing requested");
+        assert!(!e1.is_empty());
+        assert_eq!(e1.events, e2.events, "event stream bit-identical");
+        e1.reconcile(&r1.mem).expect("events reconcile with stats");
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod clint;
 pub mod cluster;
 pub mod config;
 pub mod plic;
+pub mod timeline;
 pub mod uart;
 
 pub use bus::{attach_bus, bus_of, bus_of_mut, DeniedAccess, MmioBus, MmioDevice};
@@ -43,4 +44,5 @@ pub use clint::Clint;
 pub use cluster::{ClusterReport, ClusterSim, EngineStats, DEFAULT_EPOCH_CYCLES};
 pub use config::SocConfig;
 pub use plic::Plic;
+pub use timeline::{EpochSample, EpochTimeline};
 pub use uart::Uart;

@@ -18,11 +18,21 @@ use xt_emu::BusFault;
 /// LSR value: THR empty | transmitter idle.
 const LSR_IDLE: u64 = 0x60;
 
+/// Ceiling on retained TX bytes (a guest wedged in a print loop must
+/// not grow host memory unboundedly). 64 KiB holds any test program's
+/// full console output.
+pub const MAX_TX: usize = 64 * 1024;
+
 /// The UART device model.
 #[derive(Clone, Debug, Default)]
 pub struct Uart {
-    /// Every byte the guest transmitted, in order.
+    /// Transmitted bytes, in order, capped at [`MAX_TX`]; overflow
+    /// bytes are counted in [`Uart::tx_dropped`] instead. The write
+    /// itself still succeeds — a full host-side buffer is not a guest
+    /// bus fault.
     pub tx: Vec<u8>,
+    /// Bytes transmitted after the buffer filled (dropped, not stored).
+    pub tx_dropped: u64,
 }
 
 impl Uart {
@@ -40,10 +50,12 @@ impl Uart {
 impl xt_snapshot::SnapshotState for Uart {
     fn save(&self, e: &mut xt_snapshot::Enc) {
         e.bytes_seq(&self.tx);
+        e.u64(self.tx_dropped);
     }
 
     fn restore(&mut self, d: &mut xt_snapshot::Dec) -> xt_snapshot::Result<()> {
         self.tx = d.bytes_seq()?.to_vec();
+        self.tx_dropped = d.u64()?;
         Ok(())
     }
 }
@@ -63,7 +75,11 @@ impl MmioDevice for Uart {
         if size != 1 || offset != 0 {
             return Err(BusFault);
         }
-        self.tx.push(value as u8);
+        if self.tx.len() < MAX_TX {
+            self.tx.push(value as u8);
+        } else {
+            self.tx_dropped += 1;
+        }
         Ok(())
     }
 }
@@ -81,6 +97,27 @@ mod tests {
         assert_eq!(u.tx_string(), "hi");
         assert_eq!(u.read(5, 1).unwrap(), LSR_IDLE);
         assert_eq!(u.read(0, 1).unwrap(), 0, "rx empty");
+    }
+
+    #[test]
+    fn tx_buffer_caps_and_counts_drops() {
+        let mut u = Uart::new();
+        for i in 0..(MAX_TX + 100) {
+            u.write(0, (i & 0x7f) as u64, 1).unwrap();
+        }
+        assert_eq!(u.tx.len(), MAX_TX, "buffer capped");
+        assert_eq!(u.tx_dropped, 100, "overflow bytes counted");
+        // snapshot round-trips the cap state
+        use xt_snapshot::SnapshotState;
+        let mut e = xt_snapshot::Enc::new();
+        u.save(&mut e);
+        let bytes = e.into_bytes();
+        let mut r = Uart::new();
+        let mut d = xt_snapshot::Dec::new(&bytes);
+        r.restore(&mut d).unwrap();
+        d.finish().unwrap();
+        assert_eq!(r.tx.len(), MAX_TX);
+        assert_eq!(r.tx_dropped, 100);
     }
 
     #[test]

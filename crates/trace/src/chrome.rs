@@ -7,24 +7,8 @@
 //! emitted as global instant events (`"ph":"i"`). JSON is hand-rolled
 //! (hermetic-build policy: no serde) and deterministic.
 
+use crate::lanes::esc;
 use crate::{FlushEvent, InstRecord, Stage};
-
-/// Escapes a string for a JSON string literal.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
 
 pub(crate) fn render(records: &[InstRecord], flushes: &[FlushEvent]) -> String {
     let mut evs: Vec<String> = Vec::new();

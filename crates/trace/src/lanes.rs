@@ -1,0 +1,161 @@
+//! Generic Chrome `trace_event` lane builder.
+//!
+//! The pipeline renderer ([`crate::TraceBuffer::to_chrome_json`]) emits
+//! one track per *instruction*; other producers (the memory-event tracer
+//! in `xt-mem`, the cluster epoch timeline in `xt-soc`) want one track
+//! per *component* (a core, an engine phase) carrying a mix of instant
+//! events and duration slices. [`LaneTrace`] is the shared, hand-rolled
+//! JSON machinery for that shape: callers declare named lanes, append
+//! events with explicit timestamps, and receive a deterministic
+//! `chrome://tracing` / Perfetto document from [`LaneTrace::finish`].
+//!
+//! Like every JSON emitter in the workspace, output is built by string
+//! concatenation (hermetic-build policy: no serde) and is byte-stable
+//! for identical inputs, so fixtures built from it can be committed and
+//! compared exactly.
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a `(key, value)` argument list as a JSON object body. Values
+/// must already be valid JSON fragments (numbers, `true`, or quoted
+/// strings built with [`esc`]).
+fn args_json(args: &[(&str, String)]) -> String {
+    let body: Vec<String> = args
+        .iter()
+        .map(|(k, v)| format!("\"{}\":{}", esc(k), v))
+        .collect();
+    body.join(",")
+}
+
+/// Builder for a multi-lane Chrome trace document.
+///
+/// `tid` values name lanes; declare them with [`LaneTrace::lane`] so the
+/// viewer shows a human-readable track name, then append
+/// [`LaneTrace::instant`] and [`LaneTrace::slice`] events in any order
+/// (the viewer sorts by timestamp).
+#[derive(Debug)]
+pub struct LaneTrace {
+    events: Vec<String>,
+}
+
+impl LaneTrace {
+    /// Starts a document whose single process is named `process`.
+    pub fn new(process: &str) -> Self {
+        let mut events = Vec::new();
+        events.push(format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(process)
+        ));
+        LaneTrace { events }
+    }
+
+    /// Declares lane `tid` with a display `name`.
+    pub fn lane(&mut self, tid: u64, name: &str) {
+        self.events.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            esc(name)
+        ));
+    }
+
+    /// Appends an instant event (`"ph":"i"`, thread scope) on lane
+    /// `tid` at timestamp `ts`. `args` are pre-rendered JSON fragments
+    /// (see [`esc`]).
+    pub fn instant(&mut self, tid: u64, ts: u64, name: &str, args: &[(&str, String)]) {
+        let extra = if args.is_empty() {
+            String::new()
+        } else {
+            format!(",\"args\":{{{}}}", args_json(args))
+        };
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{ts},\
+             \"pid\":0,\"tid\":{tid}{extra}}}",
+            esc(name)
+        ));
+    }
+
+    /// Appends a complete slice (`"ph":"X"`) of duration `dur` on lane
+    /// `tid` starting at `ts`. Zero-duration slices are skipped (they
+    /// render as invisible slivers).
+    pub fn slice(&mut self, tid: u64, ts: u64, dur: u64, name: &str, args: &[(&str, String)]) {
+        if dur == 0 {
+            return;
+        }
+        let extra = if args.is_empty() {
+            String::new()
+        } else {
+            format!(",\"args\":{{{}}}", args_json(args))
+        };
+        self.events.push(format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":0,\"tid\":{tid}{extra}}}",
+            esc(name)
+        ));
+    }
+
+    /// Seals the document.
+    pub fn finish(self) -> String {
+        format!(
+            "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+            self.events.join(",")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_json_metacharacters() {
+        assert_eq!(esc("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(esc("x\ny"), "x\\ny");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn builds_balanced_deterministic_json() {
+        let build = || {
+            let mut t = LaneTrace::new("test proc");
+            t.lane(0, "core 0");
+            t.lane(1, "core 1");
+            t.instant(0, 5, "l1d-miss", &[("line", "\"0x40\"".to_string())]);
+            t.slice(1, 0, 10, "epoch 0", &[("cycles", "8192".to_string())]);
+            t.slice(1, 10, 0, "invisible", &[]);
+            t.finish()
+        };
+        let j = build();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+        assert!(j.contains("\"l1d-miss\""));
+        assert!(j.contains("\"epoch 0\""));
+        assert!(!j.contains("invisible"), "zero-duration slice skipped");
+        assert_eq!(j, build(), "byte-stable output");
+    }
+
+    #[test]
+    fn instant_without_args_has_no_args_object() {
+        let mut t = LaneTrace::new("p");
+        t.instant(0, 1, "tick", &[]);
+        let j = t.finish();
+        assert!(j.contains("\"tick\""));
+        assert_eq!(j.matches("\"args\"").count(), 1, "only process_name metadata");
+    }
+}

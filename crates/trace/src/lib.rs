@@ -37,6 +37,7 @@
 
 mod chrome;
 mod konata;
+pub mod lanes;
 
 /// The XT-910's pipeline stages as modeled (paper §II, Fig. 3).
 ///

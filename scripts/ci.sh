@@ -24,7 +24,8 @@ echo "== test matrix: cluster engine thread counts =="
 for threads in 1 4; do
     echo "-- XT_THREADS=$threads --"
     XT_THREADS=$threads cargo test -q --offline -p xt-soc
-    XT_THREADS=$threads cargo test -q --offline --test determinism --test litmus
+    XT_THREADS=$threads cargo test -q --offline \
+        --test determinism --test litmus --test mem_events
 done
 
 echo "== test matrix: decoded-block fast path on/off =="
@@ -35,7 +36,8 @@ for fp in 0 1; do
     echo "-- XT_FASTPATH=$fp --"
     XT_FASTPATH=$fp cargo test -q --offline -p xt-emu
     XT_FASTPATH=$fp cargo test -q --offline \
-        --test smc --test determinism --test golden_trace
+        --test smc --test determinism --test golden_trace \
+        --test mem_events --test mem_chrome_golden
 done
 
 echo "== test matrix: interrupt delivery + scheduler smoke =="
@@ -121,16 +123,19 @@ echo "== xt-report MIPS sanity (fast path never slower) =="
 
 echo "== xt-stat smoke (telemetry dashboard + regression gate) =="
 # The sampled dashboard must run end-to-end, emit parseable JSON whose
-# top-down buckets sum (signed) to each interval's cycles, match the
-# committed smoke baseline exactly (simulated-cycle determinism), and
-# prove its own diff gate catches injected regressions.
+# top-down buckets sum (signed) to each interval's cycles and whose
+# memory blocks obey the miss-class and snoop-matrix conservation laws,
+# match the committed smoke baseline exactly (simulated-cycle
+# determinism), and prove its own diff gate catches injected
+# regressions — including a fabricated event-count mismatch, which the
+# selftest injects and must see rejected.
 stat_dir=$(mktemp -d)
 repo_root=$(pwd)
 (cd "$stat_dir" && "$repo_root/target/release/xt-stat" --smoke)
 python3 -c '
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "xt-stat/v1", doc.get("schema")
+assert doc["schema"] == "xt-stat/v2", doc.get("schema")
 assert doc["smoke"] is True
 assert len(doc["runs"]) == 6, len(doc["runs"])
 for run in doc["runs"]:
@@ -146,16 +151,37 @@ for run in doc["runs"]:
     agg_cycles = t["cycles"]
     assert sum(td.values()) == agg_cycles, (run["workload"], run["machine"])
     assert t["instructions"] > 0 and t["cycles"] > 0
+    # memory-observability conservation: the four miss classes sum to
+    # the miss total exactly, and a late prefetch is also useful
+    m = run["memory"]
+    classes = m["compulsory"] + m["capacity"] + m["conflict"] + m["coherence"]
+    assert classes == m["misses"], (run["workload"], classes, m["misses"])
+    assert m["pf_late"] <= m["pf_useful"], (run["workload"], m)
 cl = doc["cluster"]
 assert len(cl["cells"]) == 1 and cl["cells"][0]["cores"] == 4
+assert sum(cl["cells"][0]["snoop_matrix"]) == cl["cells"][0]["snoops_sent"]
 assert cl["engine"] is None, "smoke runs must not embed host time"
 print("OK: BENCH_perf.json parses, 6 sampled runs + cluster cell, "
-      "top-down buckets sum to cycles")
+      "top-down buckets sum to cycles, memory blocks conserve")
 ' "$stat_dir/BENCH_perf.json"
 "$repo_root/target/release/xt-stat" diff \
     baselines/BENCH_perf_smoke.json "$stat_dir/BENCH_perf.json" --tolerance 0
 "$repo_root/target/release/xt-stat" selftest \
     baselines/BENCH_perf_smoke.json --tolerance 0.05
+# A hand-forged event-count mismatch (miss classes no longer summing to
+# the miss total) must make the diff gate exit non-zero.
+python3 -c '
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["runs"][0]["memory"]["compulsory"] += 1
+json.dump(doc, open(sys.argv[2], "w"))
+' "$stat_dir/BENCH_perf.json" "$stat_dir/forged.json"
+if "$repo_root/target/release/xt-stat" diff \
+    baselines/BENCH_perf_smoke.json "$stat_dir/forged.json" --tolerance 0.5; then
+    echo "ERROR: forged event counts passed the xt-stat diff gate" >&2
+    exit 1
+fi
+echo "OK: forged event-count mismatch rejected by the diff gate"
 rm -rf "$stat_dir"
 
 echo "== xt-figures smoke (vector figure artifact + gate) =="
